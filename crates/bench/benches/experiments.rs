@@ -1,0 +1,135 @@
+//! Criterion benches: one group per paper artifact.
+//!
+//! The simulator is deterministic, so the *simulated* cycle counts (the
+//! paper's actual metric) are exactly reproducible; these benches measure
+//! the wall-clock cost of regenerating each artifact and print the
+//! headline series once per run, so `cargo bench` both exercises and
+//! reproduces the paper's results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mpsoc_bench::Harness;
+use mpsoc_offload::OffloadStrategy;
+
+fn bench_fig1_left(c: &mut Criterion) {
+    let mut harness = Harness::new().expect("harness");
+    // Print the series once: this IS Fig. 1 (left).
+    let rows = harness.fig1_left().expect("fig1_left");
+    println!("\nfig1_left (N=1024): M, baseline, extended");
+    for r in &rows {
+        println!("  {:>2}, {:>5}, {:>5}", r.m, r.baseline, r.extended);
+    }
+    let mut group = c.benchmark_group("fig1_left");
+    group.sample_size(10);
+    for m in [1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("baseline", m), &m, |b, &m| {
+            b.iter(|| {
+                harness
+                    .measure_daxpy(black_box(1024), m, OffloadStrategy::baseline())
+                    .expect("offload")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("extended", m), &m, |b, &m| {
+            b.iter(|| {
+                harness
+                    .measure_daxpy(black_box(1024), m, OffloadStrategy::extended())
+                    .expect("offload")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig1_right(c: &mut Criterion) {
+    let mut harness = Harness::new().expect("harness");
+    let rows = harness.fig1_right().expect("fig1_right");
+    let max = rows
+        .iter()
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        .expect("rows");
+    println!(
+        "\nfig1_right: max speedup {:.3} at N={} M={}; always > 1: {}",
+        max.speedup,
+        max.n,
+        max.m,
+        rows.iter().all(|r| r.speedup > 1.0)
+    );
+    let mut group = c.benchmark_group("fig1_right");
+    group.sample_size(10);
+    for n in [1024u64, 8192] {
+        group.bench_with_input(BenchmarkId::new("pair_at_m32", n), &n, |b, &n| {
+            b.iter(|| {
+                let base = harness
+                    .measure_daxpy(n, 32, OffloadStrategy::baseline())
+                    .expect("offload");
+                let ext = harness
+                    .measure_daxpy(n, 32, OffloadStrategy::extended())
+                    .expect("offload");
+                black_box(base as f64 / ext as f64)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_and_mape(c: &mut Criterion) {
+    let mut harness = Harness::new().expect("harness");
+    let (model, rows) = harness.mape_table().expect("mape");
+    println!("\nmape_table (model {model}):");
+    for r in &rows {
+        println!("  N={:>5}  MAPE {:.3}%", r.n, r.mape_pct);
+    }
+    let mut group = c.benchmark_group("mape");
+    group.sample_size(10);
+    group.bench_function("fit_over_training_grid", |b| {
+        b.iter(|| harness.model_fit().expect("fit"))
+    });
+    group.finish();
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let mut harness = Harness::new().expect("harness");
+    let (_, rows) = harness.decision_table(1.0).expect("decision");
+    println!(
+        "\ndecision: {}/{} confirmed",
+        rows.iter().filter(|r| r.confirmed).count(),
+        rows.len()
+    );
+    let mut group = c.benchmark_group("decision");
+    group.sample_size(10);
+    group.bench_function("solve_and_validate_one", |b| {
+        let model = mpsoc_offload::RuntimeModel::paper();
+        b.iter(|| mpsoc_offload::decision::min_clusters(black_box(&model), black_box(1024), 650.0))
+    });
+    group.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut harness = Harness::new().expect("harness");
+    let rows = harness.ablation().expect("ablation");
+    println!("\nablation at M=32:");
+    for r in rows.iter().filter(|r| r.m == 32) {
+        println!("  {:<34} {:>5}", r.strategy, r.cycles);
+    }
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for strategy in OffloadStrategy::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.to_string()),
+            &strategy,
+            |b, &s| b.iter(|| harness.measure_daxpy(1024, 32, s).expect("offload")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_left,
+    bench_fig1_right,
+    bench_model_and_mape,
+    bench_decision,
+    bench_ablation
+);
+criterion_main!(benches);

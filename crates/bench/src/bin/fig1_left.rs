@@ -1,0 +1,63 @@
+//! Regenerates **Fig. 1 (left)**: runtime of a 1024-element DAXPY for
+//! 1–32 clusters, baseline vs extended (multicast + credit counter).
+//!
+//! ```text
+//! cargo run --release -p mpsoc-bench --bin fig1_left [-- --json out.json]
+//! ```
+
+use mpsoc_bench::{json_arg, render_table, write_json, Fig1LeftRow, Harness};
+use mpsoc_offload::OffloadStrategy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut harness = Harness::new()?;
+    let dense = std::env::args().any(|a| a == "--dense");
+    let rows: Vec<Fig1LeftRow> = if dense {
+        // Every cluster count 1..=32, for plotting the full curve.
+        (1..=32usize)
+            .map(|m| {
+                Ok::<_, Box<dyn std::error::Error>>(Fig1LeftRow {
+                    m,
+                    baseline: harness.measure_daxpy(1024, m, OffloadStrategy::baseline())?,
+                    extended: harness.measure_daxpy(1024, m, OffloadStrategy::extended())?,
+                })
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        harness.fig1_left()?
+    };
+
+    println!("Fig. 1 (left) — DAXPY N=1024 runtime [cycles == ns @ 1 GHz]\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.m.to_string(),
+                r.baseline.to_string(),
+                r.extended.to_string(),
+                r.gap().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["M", "baseline", "extended", "gap"], &table)
+    );
+
+    let min_base = rows.iter().min_by_key(|r| r.baseline).expect("rows");
+    let last = rows.last().expect("rows");
+    println!(
+        "baseline global minimum at M={} ({} cycles)",
+        min_base.m, min_base.baseline
+    );
+    println!(
+        "extended monotonically decreasing: {}",
+        rows.windows(2).all(|w| w[1].extended <= w[0].extended)
+    );
+    println!("gap at M=32: {} cycles (paper: more than 300)", last.gap());
+
+    if let Some(path) = json_arg() {
+        write_json(&path, &rows)?;
+        println!("\nwrote {}", path.display());
+    }
+    Ok(())
+}

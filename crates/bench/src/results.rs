@@ -1,0 +1,195 @@
+//! Typed, serializable experiment results.
+
+use mpsoc_offload::RuntimeModel;
+use serde::{Deserialize, Serialize};
+
+/// One row of Fig. 1 (left): runtime of the 1024-element DAXPY vs
+/// cluster count, for both runtimes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig1LeftRow {
+    /// Clusters employed.
+    pub m: usize,
+    /// Baseline runtime (cycles == ns at 1 GHz).
+    pub baseline: u64,
+    /// Extended (multicast + credit counter) runtime.
+    pub extended: u64,
+}
+
+impl Fig1LeftRow {
+    /// Cycles saved by the extensions.
+    pub fn gap(&self) -> i64 {
+        self.baseline as i64 - self.extended as i64
+    }
+}
+
+/// One cell of Fig. 1 (right): speedup of the extensions over the
+/// baseline at one `(N, M)` point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig1RightRow {
+    /// Problem size.
+    pub n: u64,
+    /// Clusters employed.
+    pub m: usize,
+    /// Baseline runtime.
+    pub baseline: u64,
+    /// Extended runtime.
+    pub extended: u64,
+    /// `baseline / extended`.
+    pub speedup: f64,
+}
+
+/// The headline result: maximum speedup improvement on the 1024-element
+/// DAXPY (the paper reports 47.9% at M=32).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Headline {
+    /// Problem size (1024 in the paper).
+    pub n: u64,
+    /// Clusters (32 in the paper).
+    pub m: usize,
+    /// Baseline runtime.
+    pub baseline: u64,
+    /// Extended runtime.
+    pub extended: u64,
+    /// Speedup improvement in percent (`(baseline/extended − 1)·100`).
+    pub improvement_pct: f64,
+    /// Cycle gap (the paper reports "more than 300 cycles" at M=32).
+    pub gap_cycles: i64,
+}
+
+/// Result of fitting Eq. 1 to measured extended-runtime samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelFitResult {
+    /// Coefficients fitted to this simulator's measurements.
+    pub fitted: RuntimeModel,
+    /// The paper's published coefficients, for comparison.
+    pub paper: RuntimeModel,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+    /// Largest absolute percentage error over the fit set.
+    pub max_abs_pct_err: f64,
+    /// Samples fitted.
+    pub samples: usize,
+}
+
+/// One row of the Eq. 2 validation table: MAPE of the fitted model for
+/// one problem size, over the tested cluster counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapeRow {
+    /// Problem size.
+    pub n: u64,
+    /// MAPE of the fitted model, percent (paper: < 1%).
+    pub mape_pct: f64,
+    /// Cluster counts averaged over.
+    pub points: usize,
+}
+
+/// One row of the Eq. 3 decision-validation table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRow {
+    /// Problem size.
+    pub n: u64,
+    /// Deadline in cycles.
+    pub t_max: f64,
+    /// `M_min` from the model (Eq. 3), `None` if infeasible.
+    pub m_min: Option<u64>,
+    /// Simulated runtime at `M_min` (extended runtime).
+    pub simulated_at_m_min: Option<u64>,
+    /// Simulated runtime at `M_min − 1` (must miss the deadline).
+    pub simulated_below: Option<u64>,
+    /// Whether the simulation confirms the decision (deadline met at
+    /// `M_min`, within model tolerance, and missed at `M_min − 1`).
+    pub confirmed: bool,
+}
+
+/// One row of the dispatch/sync ablation at fixed N.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Strategy label (`dispatch+sync`).
+    pub strategy: String,
+    /// Clusters employed.
+    pub m: usize,
+    /// Measured runtime.
+    pub cycles: u64,
+}
+
+/// One row of the kernel-zoo model-generality sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSweepRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Fitted Eq. 1-form coefficients for this kernel.
+    pub fitted: RuntimeModel,
+    /// R² of the fit.
+    pub r_squared: f64,
+    /// MAPE of the fitted model over the validation grid, percent.
+    pub mape_pct: f64,
+    /// The four-term extension (adds a `c_host·M` term), which restores
+    /// sub-1% MAPE for reduce kernels whose host-side combine is linear
+    /// in `M`.
+    pub extended: mpsoc_offload::ExtendedModel,
+    /// MAPE of the extended model over the validation grid, percent.
+    pub mape_extended_pct: f64,
+    /// Whether every offload in the sweep verified against the golden
+    /// reference.
+    pub all_verified: bool,
+}
+
+/// One row of the offload/host break-even analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakEvenRow {
+    /// Clusters employed.
+    pub m: usize,
+    /// Smallest problem size at which offloading beats host execution
+    /// (from the fitted model).
+    pub break_even_n: u64,
+    /// Simulated accelerator runtime at the break-even size.
+    pub accel_cycles: u64,
+    /// *Simulated* host-execution runtime at the break-even size (the
+    /// CVA6-class scalar pipeline running the same kernel).
+    pub host_cycles: f64,
+}
+
+/// One row of the energy sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Clusters employed.
+    pub m: usize,
+    /// Runtime in cycles.
+    pub cycles: u64,
+    /// Total energy estimate in picojoules.
+    pub total_pj: f64,
+    /// Idle/leakage share in picojoules.
+    pub idle_pj: f64,
+    /// Dispatch/synchronization share in picojoules.
+    pub sync_pj: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_gap() {
+        let row = Fig1LeftRow {
+            m: 32,
+            baseline: 945,
+            extended: 639,
+        };
+        assert_eq!(row.gap(), 306);
+    }
+
+    #[test]
+    fn rows_serialize() {
+        let row = MapeRow {
+            n: 256,
+            mape_pct: 0.4,
+            points: 6,
+        };
+        let json = serde_json::to_string(&row).unwrap();
+        assert!(json.contains("256"));
+        let back: MapeRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, row);
+    }
+}

@@ -1,0 +1,92 @@
+//! Calibration probe: prints the measured offload runtime grid and phase
+//! breakdowns for both strategies, to tune SoC/runtime cost parameters
+//! against the paper's Eq. 1 targets.
+
+use mpsoc_kernels::Daxpy;
+use mpsoc_offload::{OffloadStrategy, Offloader, RuntimeModel, Sample};
+use mpsoc_soc::SocConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = Daxpy::new(2.0);
+    let ms = [1usize, 2, 4, 8, 16, 32];
+    let ns = [256u64, 512, 768, 1024, 2048, 4096, 8192];
+
+    let mut offloader = Offloader::new(SocConfig::manticore())?;
+    let paper = RuntimeModel::paper();
+
+    println!(
+        "{:>6} {:>4} {:>9} {:>9} {:>9} {:>8}",
+        "N", "M", "base", "ext", "eq1", "spdup"
+    );
+    let mut samples = Vec::new();
+    for &n in &ns {
+        let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        for &m in &ms {
+            let base = offloader.offload(&kernel, &x, &y, m, OffloadStrategy::baseline())?;
+            let ext = offloader.offload(&kernel, &x, &y, m, OffloadStrategy::extended())?;
+            let pred = paper.predict(m as u64, n);
+            println!(
+                "{:>6} {:>4} {:>9} {:>9} {:>9.1} {:>8.3}",
+                n,
+                m,
+                base.cycles(),
+                ext.cycles(),
+                pred,
+                base.cycles() as f64 / ext.cycles() as f64
+            );
+            samples.push(Sample {
+                m: m as u64,
+                n,
+                cycles: ext.cycles() as f64,
+            });
+        }
+    }
+
+    let fit = RuntimeModel::fit(&samples)?;
+    println!("\nfitted: {}", fit.model);
+    println!("paper : {}", paper);
+    println!(
+        "r^2 = {:.6}, max |err| = {:.2}%",
+        fit.r_squared, fit.max_abs_pct_err
+    );
+
+    // Phase breakdown at N=1024, M=32 for both strategies.
+    let n = 1024u64;
+    let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+    for strat in [OffloadStrategy::baseline(), OffloadStrategy::extended()] {
+        let run = offloader.offload(&kernel, &x, &y, 32, strat)?;
+        let p = run.outcome.phases;
+        println!(
+            "\n{strat}: total={} dispatch={} dma_in={} compute={} dma_out={} sync={}",
+            run.cycles(),
+            p.last_dispatch.as_u64(),
+            p.last_dma_in.as_u64(),
+            p.last_compute.as_u64(),
+            p.last_dma_out.as_u64(),
+            p.sync_done.as_u64(),
+        );
+        let (_, t0) = run.outcome.clusters[0];
+        let (_, t31) = run.outcome.clusters[31];
+        println!(
+            "  cluster0: wake={} desc={} dmain={} comp={} dmaout={} compl={}",
+            t0.woken_at.as_u64(),
+            t0.desc_at.as_u64(),
+            t0.dma_in_at.as_u64(),
+            t0.compute_at.as_u64(),
+            t0.dma_out_at.as_u64(),
+            t0.complete_at.as_u64()
+        );
+        println!(
+            "  cluster31: wake={} desc={} dmain={} comp={} dmaout={} compl={}",
+            t31.woken_at.as_u64(),
+            t31.desc_at.as_u64(),
+            t31.dma_in_at.as_u64(),
+            t31.compute_at.as_u64(),
+            t31.dma_out_at.as_u64(),
+            t31.complete_at.as_u64()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Debug probe: phase breakdown of baseline vs extended at M=1 for two
+//! problem sizes, to locate any N-dependent divergence.
+
+use mpsoc_kernels::Daxpy;
+use mpsoc_offload::{OffloadStrategy, Offloader};
+use mpsoc_soc::SocConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = Daxpy::new(2.0);
+    let mut off = Offloader::new(SocConfig::manticore())?;
+    for n in [1024u64, 8192] {
+        let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+        let y: Vec<f64> = vec![1.0; n as usize];
+        for strat in [OffloadStrategy::baseline(), OffloadStrategy::extended()] {
+            let run = off.offload(&kernel, &x, &y, 1, strat)?;
+            let p = run.outcome.phases;
+            let (_, t) = run.outcome.clusters[0];
+            println!(
+                "N={n} {strat}: total={} disp={} wake={} desc={} dmain={} comp={} dmaout={} compl={} sync={} polls={}",
+                run.cycles(),
+                p.last_dispatch.as_u64(),
+                t.woken_at.as_u64(),
+                t.desc_at.as_u64(),
+                t.dma_in_at.as_u64(),
+                t.compute_at.as_u64(),
+                t.dma_out_at.as_u64(),
+                t.complete_at.as_u64(),
+                p.sync_done.as_u64(),
+                run.outcome.poll_iterations,
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,466 @@
+//! The offload decision problem (the paper's Eq. 3 and extensions).
+//!
+//! With an accurate runtime model, "how should I offload?" becomes an
+//! optimization problem. The paper derives the minimum number of clusters
+//! satisfying a deadline by inverting Eq. 1:
+//!
+//! ```text
+//! M_min = ceil( 2.6·N / (8·(t_max − 367 − N/4)) )        (Eq. 3)
+//! ```
+//!
+//! [`min_clusters`] implements that inversion for any [`RuntimeModel`];
+//! [`max_problem_size`] inverts the model in `N` instead; and
+//! [`decide`] wraps the former into a feasibility verdict against a
+//! concrete machine size.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::RuntimeModel;
+
+/// Outcome of an offload decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Offload to this many clusters (the minimum meeting the deadline).
+    Offload {
+        /// The chosen cluster count.
+        m: u64,
+    },
+    /// No cluster count can meet the deadline: the serial fraction
+    /// (constant overhead + data movement) alone exceeds it.
+    Infeasible,
+    /// The deadline is met only with more clusters than the machine has.
+    NotEnoughClusters {
+        /// The minimum required.
+        required: u64,
+    },
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Offload { m } => write!(f, "offload to {m} clusters"),
+            Decision::Infeasible => write!(f, "infeasible: serial fraction exceeds the deadline"),
+            Decision::NotEnoughClusters { required } => {
+                write!(f, "needs {required} clusters, more than available")
+            }
+        }
+    }
+}
+
+/// The minimum number of clusters for which the model predicts
+/// `t̂(M, N) ≤ t_max` — the paper's Eq. 3. `None` when no finite `M`
+/// suffices (the deadline is below the serial fraction `c₀ + c_mem·N`).
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_offload::{decision::min_clusters, RuntimeModel};
+///
+/// let model = RuntimeModel::paper();
+/// // Eq. 3 for N=1024, t_max=650: ceil(2.6·1024 / (8·(650−367−256))).
+/// assert_eq!(min_clusters(&model, 1024, 650.0), Some(13));
+/// // An impossible deadline:
+/// assert_eq!(min_clusters(&model, 1024, 600.0), None);
+/// ```
+pub fn min_clusters(model: &RuntimeModel, n: u64, t_max: f64) -> Option<u64> {
+    let serial = model.c0 + model.c_mem * n as f64;
+    let slack = t_max - serial;
+    let parallel_work = model.c_comp * n as f64;
+    if parallel_work <= 0.0 {
+        // Nothing to parallelize: feasible with one cluster iff the
+        // serial fraction fits.
+        return (slack >= 0.0).then_some(1);
+    }
+    if slack <= 0.0 {
+        return None;
+    }
+    let m = (parallel_work / slack).ceil().max(1.0);
+    // Guard against pathological coefficients overflowing u64.
+    if m > u64::MAX as f64 {
+        return None;
+    }
+    Some(m as u64)
+}
+
+/// The largest problem size `N` for which the model predicts
+/// `t̂(M, N) ≤ t_max` on `m` clusters; `None` when even `N = 0` misses
+/// the deadline (i.e. `t_max < c₀`).
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_offload::{decision::max_problem_size, RuntimeModel};
+///
+/// let model = RuntimeModel::paper();
+/// let n = max_problem_size(&model, 32, 1000.0).unwrap();
+/// assert!(model.predict(32, n) <= 1000.0);
+/// assert!(model.predict(32, n + 1) > 1000.0);
+/// ```
+pub fn max_problem_size(model: &RuntimeModel, m: u64, t_max: f64) -> Option<u64> {
+    assert!(m > 0, "cluster count must be positive");
+    let slack = t_max - model.c0;
+    if slack < 0.0 {
+        return None;
+    }
+    let per_elem = model.c_mem + model.c_comp / m as f64;
+    if per_elem <= 0.0 {
+        return Some(u64::MAX);
+    }
+    Some((slack / per_elem).floor() as u64)
+}
+
+/// Solves the offload decision for a concrete machine: offload `n`
+/// elements within `t_max` cycles on a SoC with `available` clusters.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_offload::{decision::{decide, Decision}, RuntimeModel};
+///
+/// let model = RuntimeModel::paper();
+/// assert_eq!(decide(&model, 1024, 650.0, 32), Decision::Offload { m: 13 });
+/// assert_eq!(decide(&model, 1024, 640.0, 8),
+///            Decision::NotEnoughClusters { required: 20 });
+/// assert_eq!(decide(&model, 1024, 100.0, 32), Decision::Infeasible);
+/// ```
+pub fn decide(model: &RuntimeModel, n: u64, t_max: f64, available: u64) -> Decision {
+    match min_clusters(model, n, t_max) {
+        None => Decision::Infeasible,
+        Some(required) if required > available => Decision::NotEnoughClusters { required },
+        Some(m) => Decision::Offload { m },
+    }
+}
+
+/// The energy-minimizing cluster count under a deadline, given that the
+/// energy of an offload grows with the number of active clusters (idle
+/// power and synchronization traffic) while the runtime shrinks.
+///
+/// With energy `E(M) ≈ e_active·M·t̂(M,N) + e_base·t̂(M,N)`, the minimum
+/// over the feasible range is found by evaluating the model — the range
+/// is tiny (`M ≤ 64`), so exhaustive evaluation is both exact and cheap.
+/// Returns `(m, predicted_energy)`, or `None` when no `m` in
+/// `1..=available` meets the deadline.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_offload::{decision::min_energy_clusters, RuntimeModel};
+///
+/// let model = RuntimeModel::paper();
+/// let (m, _) = min_energy_clusters(&model, 1024, 1000.0, 32, 1.0, 8.0).unwrap();
+/// // The energy optimum uses as few clusters as the deadline allows.
+/// assert!(model.predict(m, 1024) <= 1000.0);
+/// ```
+pub fn min_energy_clusters(
+    model: &RuntimeModel,
+    n: u64,
+    t_max: f64,
+    available: u64,
+    e_active_per_cluster_cycle: f64,
+    e_base_per_cycle: f64,
+) -> Option<(u64, f64)> {
+    let mut best: Option<(u64, f64)> = None;
+    for m in 1..=available {
+        let t = model.predict(m, n);
+        if t > t_max {
+            continue;
+        }
+        let energy = t * (e_base_per_cycle + e_active_per_cluster_cycle * m as f64);
+        match best {
+            Some((_, e)) if e <= energy => {}
+            _ => best = Some((m, energy)),
+        }
+    }
+    best
+}
+
+/// An analytic model of executing the kernel on the host core itself
+/// (no offload): `t_host(N) = c₀ + c_elem·N`.
+///
+/// The paper's introduction frames the offload decision as *"determining
+/// if a portion of the workload can benefit or not from offloading"* —
+/// which requires a host-side cost to compare against. A CVA6-class
+/// in-order core runs a scalar DAXPY at roughly 3.5 cycles/element
+/// (two loads, one FMA, one store, loop overhead; single-issue FPU).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostModel {
+    /// Fixed loop setup cost (cycles).
+    pub c0: f64,
+    /// Cycles per element on the host.
+    pub c_elem: f64,
+}
+
+impl HostModel {
+    /// A CVA6-class scalar DAXPY cost model.
+    pub fn cva6_daxpy() -> Self {
+        HostModel {
+            c0: 40.0,
+            c_elem: 3.5,
+        }
+    }
+
+    /// Predicted host-execution time for `n` elements.
+    pub fn predict(&self, n: u64) -> f64 {
+        self.c0 + self.c_elem * n as f64
+    }
+}
+
+impl Default for HostModel {
+    fn default() -> Self {
+        HostModel::cva6_daxpy()
+    }
+}
+
+/// `true` when offloading `n` elements to `m` clusters beats executing
+/// on the host.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_offload::decision::{should_offload, HostModel};
+/// use mpsoc_offload::RuntimeModel;
+///
+/// let host = HostModel::cva6_daxpy();
+/// let accel = RuntimeModel::paper();
+/// // Tiny jobs stay on the host (the 367-cycle overhead dominates)...
+/// assert!(!should_offload(&host, &accel, 64, 32));
+/// // ...large jobs offload.
+/// assert!(should_offload(&host, &accel, 1024, 32));
+/// ```
+pub fn should_offload(host: &HostModel, accel: &RuntimeModel, n: u64, m: u64) -> bool {
+    accel.predict(m, n) < host.predict(n)
+}
+
+/// The break-even problem size on `m` clusters: the smallest `N` at
+/// which offloading beats host execution, `None` if offloading never
+/// wins (the accelerator's per-element cost is not better than the
+/// host's).
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_offload::decision::{break_even_n, should_offload, HostModel};
+/// use mpsoc_offload::RuntimeModel;
+///
+/// let host = HostModel::cva6_daxpy();
+/// let accel = RuntimeModel::paper();
+/// let n_star = break_even_n(&host, &accel, 32).unwrap();
+/// assert!(!should_offload(&host, &accel, n_star - 1, 32));
+/// assert!(should_offload(&host, &accel, n_star, 32));
+/// ```
+pub fn break_even_n(host: &HostModel, accel: &RuntimeModel, m: u64) -> Option<u64> {
+    assert!(m > 0, "cluster count must be positive");
+    let accel_slope = accel.c_mem + accel.c_comp / m as f64;
+    let offset = accel.c0 - host.c0;
+    if accel_slope >= host.c_elem {
+        // The accelerator is never catching up per element; it only wins
+        // if it is already ahead at N = 0 (i.e. lower constant), in
+        // which case it wins everywhere.
+        return (offset < 0.0).then_some(0);
+    }
+    if offset <= 0.0 {
+        return Some(0);
+    }
+    // First integer N with accel(N) < host(N).
+    let crossover = offset / (host.c_elem - accel_slope);
+    Some(crossover.floor() as u64 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> RuntimeModel {
+        RuntimeModel::paper()
+    }
+
+    #[test]
+    fn eq3_closed_form_matches_paper_formula() {
+        let model = paper();
+        for &n in &[256u64, 512, 768, 1024] {
+            for &t_max in &[500.0f64, 650.0, 700.0, 900.0, 1200.0] {
+                let got = min_clusters(&model, n, t_max);
+                // Paper's closed form.
+                let denom = 8.0 * (t_max - 367.0 - n as f64 / 4.0);
+                let want = if denom > 0.0 {
+                    Some(((2.6 * n as f64) / denom).ceil().max(1.0) as u64)
+                } else {
+                    None
+                };
+                assert_eq!(got, want, "n={n} t_max={t_max}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_clusters_is_minimal_and_feasible() {
+        let model = paper();
+        for &n in &[256u64, 1024, 4096] {
+            for &t_max in &[700.0f64, 800.0, 1500.0] {
+                if let Some(m) = min_clusters(&model, n, t_max) {
+                    assert!(
+                        model.predict(m, n) <= t_max + 1e-9,
+                        "M_min must meet the deadline"
+                    );
+                    if m > 1 {
+                        assert!(
+                            model.predict(m - 1, n) > t_max,
+                            "M_min - 1 must miss the deadline"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_deadlines() {
+        let model = paper();
+        // Below the constant overhead.
+        assert_eq!(min_clusters(&model, 1024, 300.0), None);
+        // Exactly the serial fraction: still infeasible (slack must be
+        // strictly positive for a finite M).
+        assert_eq!(min_clusters(&model, 1024, 367.0 + 256.0), None);
+    }
+
+    #[test]
+    fn generous_deadline_needs_one_cluster() {
+        let model = paper();
+        assert_eq!(min_clusters(&model, 256, 1e9), Some(1));
+    }
+
+    #[test]
+    fn zero_compute_model() {
+        let model = RuntimeModel {
+            c0: 100.0,
+            c_mem: 1.0,
+            c_comp: 0.0,
+        };
+        assert_eq!(min_clusters(&model, 10, 200.0), Some(1));
+        assert_eq!(min_clusters(&model, 10, 50.0), None);
+    }
+
+    #[test]
+    fn max_problem_size_inverts_predict() {
+        let model = paper();
+        for &m in &[1u64, 4, 32] {
+            for &t_max in &[500.0f64, 1000.0, 5000.0] {
+                if let Some(n) = max_problem_size(&model, m, t_max) {
+                    assert!(model.predict(m, n) <= t_max + 1e-9);
+                    assert!(model.predict(m, n + 1) > t_max);
+                }
+            }
+        }
+        assert_eq!(max_problem_size(&model, 32, 100.0), None);
+    }
+
+    #[test]
+    fn decide_covers_all_verdicts() {
+        let model = paper();
+        assert!(matches!(
+            decide(&model, 1024, 2000.0, 32),
+            Decision::Offload { m: 1 }
+        ));
+        assert!(matches!(
+            decide(&model, 1024, 100.0, 32),
+            Decision::Infeasible
+        ));
+        match decide(&model, 1024, 640.0, 8) {
+            Decision::NotEnoughClusters { required } => assert!(required > 8),
+            other => panic!("expected NotEnoughClusters, got {other}"),
+        }
+    }
+
+    #[test]
+    fn energy_optimum_prefers_fewer_clusters() {
+        let model = paper();
+        // Loose deadline: M=1 is feasible and minimizes active energy.
+        let (m, _) = min_energy_clusters(&model, 1024, 1e6, 32, 1.0, 0.0).unwrap();
+        assert_eq!(m, 1);
+        // Tight deadline forces more clusters.
+        let (m, _) = min_energy_clusters(&model, 1024, 650.0, 32, 1.0, 0.0).unwrap();
+        assert_eq!(m, 13);
+        // Impossible deadline.
+        assert_eq!(min_energy_clusters(&model, 1024, 100.0, 32, 1.0, 0.0), None);
+    }
+
+    #[test]
+    fn break_even_is_tight_for_every_cluster_count() {
+        let host = HostModel::cva6_daxpy();
+        let accel = paper();
+        for m in [1u64, 2, 4, 8, 16, 32] {
+            let n_star = break_even_n(&host, &accel, m).expect("accelerator wins eventually");
+            assert!(n_star > 0, "the 367-cycle overhead must matter");
+            assert!(
+                !should_offload(&host, &accel, n_star - 1, m),
+                "host must win just below break-even at m={m}"
+            );
+            assert!(
+                should_offload(&host, &accel, n_star, m),
+                "offload must win at break-even at m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn break_even_decreases_with_more_clusters() {
+        let host = HostModel::cva6_daxpy();
+        let accel = paper();
+        let n1 = break_even_n(&host, &accel, 1).unwrap();
+        let n32 = break_even_n(&host, &accel, 32).unwrap();
+        assert!(
+            n32 < n1,
+            "more clusters should amortize the overhead sooner"
+        );
+    }
+
+    #[test]
+    fn slow_accelerator_never_breaks_even() {
+        let host = HostModel {
+            c0: 0.0,
+            c_elem: 1.0,
+        };
+        let accel = RuntimeModel {
+            c0: 100.0,
+            c_mem: 2.0,
+            c_comp: 0.1,
+        };
+        assert_eq!(break_even_n(&host, &accel, 32), None);
+    }
+
+    #[test]
+    fn free_accelerator_always_wins() {
+        let host = HostModel {
+            c0: 100.0,
+            c_elem: 4.0,
+        };
+        let accel = RuntimeModel {
+            c0: 10.0,
+            c_mem: 0.1,
+            c_comp: 0.1,
+        };
+        assert_eq!(break_even_n(&host, &accel, 1), Some(0));
+    }
+
+    #[test]
+    fn host_model_accessors() {
+        let h = HostModel::default();
+        assert_eq!(h.predict(0), 40.0);
+        assert_eq!(h.predict(100), 40.0 + 350.0);
+    }
+
+    #[test]
+    fn decision_display() {
+        assert!(Decision::Offload { m: 4 }.to_string().contains("4"));
+        assert!(Decision::Infeasible.to_string().contains("infeasible"));
+        assert!(Decision::NotEnoughClusters { required: 40 }
+            .to_string()
+            .contains("40"));
+    }
+}

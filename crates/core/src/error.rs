@@ -1,0 +1,140 @@
+//! Offload-runtime errors.
+
+use std::error::Error;
+use std::fmt;
+
+use mpsoc_isa::BuildError;
+use mpsoc_soc::SocError;
+
+/// An error raised by the offload runtime.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum OffloadError {
+    /// The underlying SoC failed.
+    Soc(SocError),
+    /// Kernel code generation failed.
+    Codegen(BuildError),
+    /// The requested cluster count exceeds the SoC.
+    TooManyClusters {
+        /// Requested clusters.
+        requested: usize,
+        /// Clusters available.
+        available: usize,
+    },
+    /// The job does not fit in a cluster's TCDM.
+    TcdmOverflow {
+        /// Words required by the largest per-cluster slice.
+        required: u64,
+        /// TCDM capacity in words.
+        capacity: u64,
+    },
+    /// Operand vectors have inconsistent lengths.
+    OperandMismatch {
+        /// Length of `x`.
+        x_len: usize,
+        /// Length of `y`.
+        y_len: usize,
+    },
+    /// The job does not fit in main memory.
+    MainMemoryOverflow {
+        /// Words required.
+        required: u64,
+        /// Capacity in words.
+        capacity: u64,
+    },
+    /// Zero clusters were requested.
+    NoClusters,
+    /// Pipelined offload requested for a kernel kind that does not
+    /// support it (reductions accumulate across the whole slice).
+    PipelineUnsupported {
+        /// Kernel name.
+        kernel: String,
+    },
+}
+
+impl fmt::Display for OffloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffloadError::Soc(e) => write!(f, "soc error: {e}"),
+            OffloadError::Codegen(e) => write!(f, "kernel codegen failed: {e}"),
+            OffloadError::TooManyClusters {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} clusters but the SoC has {available}"
+            ),
+            OffloadError::TcdmOverflow { required, capacity } => write!(
+                f,
+                "per-cluster slice needs {required} TCDM words, capacity is {capacity}"
+            ),
+            OffloadError::OperandMismatch { x_len, y_len } => {
+                write!(f, "operand length mismatch: x has {x_len}, y has {y_len}")
+            }
+            OffloadError::MainMemoryOverflow { required, capacity } => write!(
+                f,
+                "job needs {required} main-memory words, capacity is {capacity}"
+            ),
+            OffloadError::NoClusters => write!(f, "at least one cluster must be selected"),
+            OffloadError::PipelineUnsupported { kernel } => {
+                write!(f, "kernel '{kernel}' does not support pipelined offload")
+            }
+        }
+    }
+}
+
+impl Error for OffloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OffloadError::Soc(e) => Some(e),
+            OffloadError::Codegen(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SocError> for OffloadError {
+    fn from(e: SocError) -> Self {
+        OffloadError::Soc(e)
+    }
+}
+
+impl From<BuildError> for OffloadError {
+    fn from(e: BuildError) -> Self {
+        OffloadError::Codegen(e)
+    }
+}
+
+impl From<mpsoc_mem::MemoryError> for OffloadError {
+    fn from(e: mpsoc_mem::MemoryError) -> Self {
+        OffloadError::Soc(SocError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = OffloadError::TooManyClusters {
+            requested: 40,
+            available: 32,
+        };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("32"));
+        assert!(OffloadError::NoClusters
+            .to_string()
+            .contains("at least one"));
+        let e = OffloadError::OperandMismatch { x_len: 1, y_len: 2 };
+        assert!(e.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn sources_propagate() {
+        let e = OffloadError::from(BuildError::Empty);
+        assert!(e.source().is_some());
+        let e = OffloadError::NoClusters;
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,547 @@
+//! The analytic offload runtime model (the paper's Eq. 1) and its
+//! validation metric (Eq. 2).
+//!
+//! The paper models an offloaded DAXPY of size `N` on `M` clusters as
+//!
+//! ```text
+//! t̂_offl(M, N) = 367 + N/4 + 2.6·N/(M·8)        (Eq. 1)
+//! ```
+//!
+//! i.e. a constant offload overhead, a serial data-movement term linear
+//! in `N`, and a parallel compute term in `N/M`. [`RuntimeModel`]
+//! generalizes this to arbitrary coefficients `t̂ = c₀ + c_mem·N +
+//! c_comp·N/M`, with [`RuntimeModel::paper`] giving the published
+//! constants and [`RuntimeModel::fit`] recovering coefficients from
+//! measured samples by ordinary least squares (normal equations, solved
+//! by Gaussian elimination with partial pivoting — no external linear
+//! algebra).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Anything that predicts an offload runtime from `(M, N)`; lets
+/// [`mape`] and the decision helpers work with both the paper's
+/// three-term model and the [`ExtendedModel`].
+pub trait Predictor {
+    /// Predicted runtime in cycles for `m` clusters and `n` elements.
+    fn predict(&self, m: u64, n: u64) -> f64;
+}
+
+/// One runtime measurement: `(M, N) → cycles`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Clusters employed.
+    pub m: u64,
+    /// Problem size (elements).
+    pub n: u64,
+    /// Measured offload runtime in cycles.
+    pub cycles: f64,
+}
+
+/// The three-term offload runtime model `t̂ = c₀ + c_mem·N + c_comp·N/M`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeModel {
+    /// Constant offload overhead (cycles).
+    pub c0: f64,
+    /// Serial data-movement coefficient (cycles per element).
+    pub c_mem: f64,
+    /// Parallel compute coefficient (cycles per element per cluster).
+    pub c_comp: f64,
+}
+
+impl RuntimeModel {
+    /// The paper's published Eq. 1 coefficients: `367 + N/4 + 2.6·N/(8M)`.
+    pub fn paper() -> Self {
+        RuntimeModel {
+            c0: 367.0,
+            c_mem: 0.25,
+            c_comp: 2.6 / 8.0,
+        }
+    }
+
+    /// Predicted runtime for `m` clusters and `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpsoc_offload::RuntimeModel;
+    ///
+    /// let model = RuntimeModel::paper();
+    /// // The paper's Eq. 1 at M=32, N=1024: 367 + 256 + 10.4.
+    /// assert!((model.predict(32, 1024) - 633.4).abs() < 1e-9);
+    /// ```
+    pub fn predict(&self, m: u64, n: u64) -> f64 {
+        assert!(m > 0, "cluster count must be positive");
+        self.c0 + self.c_mem * n as f64 + self.c_comp * n as f64 / m as f64
+    }
+
+    /// Fits the model to measured samples by ordinary least squares.
+    ///
+    /// Returns the fitted model plus goodness-of-fit diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] when fewer than three samples are provided or
+    /// the design matrix is singular (e.g. all samples share one `(M, N)`).
+    pub fn fit(samples: &[Sample]) -> Result<FitReport, FitError> {
+        if samples.len() < 3 {
+            return Err(FitError::TooFewSamples { got: samples.len() });
+        }
+        // Basis functions: phi = [1, N, N/M].
+        let mut ata = [[0.0f64; 3]; 3];
+        let mut atb = [0.0f64; 3];
+        for s in samples {
+            let phi = [1.0, s.n as f64, s.n as f64 / s.m as f64];
+            for i in 0..3 {
+                for j in 0..3 {
+                    ata[i][j] += phi[i] * phi[j];
+                }
+                atb[i] += phi[i] * s.cycles;
+            }
+        }
+        let coeffs = solve_dense::<3>(ata, atb).ok_or(FitError::Singular)?;
+        let model = RuntimeModel {
+            c0: coeffs[0],
+            c_mem: coeffs[1],
+            c_comp: coeffs[2],
+        };
+
+        // Diagnostics.
+        let mean = samples.iter().map(|s| s.cycles).sum::<f64>() / samples.len() as f64;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        let mut max_abs_pct = 0.0f64;
+        for s in samples {
+            let pred = model.predict(s.m, s.n);
+            ss_res += (s.cycles - pred).powi(2);
+            ss_tot += (s.cycles - mean).powi(2);
+            if s.cycles != 0.0 {
+                max_abs_pct = max_abs_pct.max(100.0 * (s.cycles - pred).abs() / s.cycles);
+            }
+        }
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        Ok(FitReport {
+            model,
+            r_squared,
+            max_abs_pct_err: max_abs_pct,
+            samples: samples.len(),
+        })
+    }
+}
+
+impl Predictor for RuntimeModel {
+    fn predict(&self, m: u64, n: u64) -> f64 {
+        RuntimeModel::predict(self, m, n)
+    }
+}
+
+impl fmt::Display for RuntimeModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t̂(M,N) = {:.1} + {:.4}·N + {:.4}·N/M",
+            self.c0, self.c_mem, self.c_comp
+        )
+    }
+}
+
+/// A four-term extension of Eq. 1 with a per-cluster host-side term:
+/// `t̂ = c₀ + c_mem·N + c_comp·N/M + c_host·M`.
+///
+/// The paper's three-term form assumes the host does no per-cluster work
+/// after dispatch. Reduce kernels break that assumption: the host
+/// combines one partial per worker core, a cost linear in `M`. This
+/// extension (not in the paper) restores sub-1% MAPE for the reduction
+/// kernels in the `kernel_sweep` experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtendedModel {
+    /// Constant offload overhead (cycles).
+    pub c0: f64,
+    /// Serial data-movement coefficient (cycles per element).
+    pub c_mem: f64,
+    /// Parallel compute coefficient (cycles per element per cluster).
+    pub c_comp: f64,
+    /// Per-cluster host-side coefficient (cycles per cluster).
+    pub c_host: f64,
+}
+
+impl ExtendedModel {
+    /// Predicted runtime for `m` clusters and `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn predict(&self, m: u64, n: u64) -> f64 {
+        assert!(m > 0, "cluster count must be positive");
+        self.c0 + self.c_mem * n as f64 + self.c_comp * n as f64 / m as f64 + self.c_host * m as f64
+    }
+
+    /// Fits the four-term model by ordinary least squares.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError`] on fewer than four samples or a singular design.
+    pub fn fit(samples: &[Sample]) -> Result<ExtendedFitReport, FitError> {
+        if samples.len() < 4 {
+            return Err(FitError::TooFewSamples { got: samples.len() });
+        }
+        let mut ata = [[0.0f64; 4]; 4];
+        let mut atb = [0.0f64; 4];
+        for s in samples {
+            let phi = [1.0, s.n as f64, s.n as f64 / s.m as f64, s.m as f64];
+            for i in 0..4 {
+                for j in 0..4 {
+                    ata[i][j] += phi[i] * phi[j];
+                }
+                atb[i] += phi[i] * s.cycles;
+            }
+        }
+        let coeffs = solve_dense::<4>(ata, atb).ok_or(FitError::Singular)?;
+        let model = ExtendedModel {
+            c0: coeffs[0],
+            c_mem: coeffs[1],
+            c_comp: coeffs[2],
+            c_host: coeffs[3],
+        };
+        let mean = samples.iter().map(|s| s.cycles).sum::<f64>() / samples.len() as f64;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for s in samples {
+            ss_res += (s.cycles - model.predict(s.m, s.n)).powi(2);
+            ss_tot += (s.cycles - mean).powi(2);
+        }
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        Ok(ExtendedFitReport { model, r_squared })
+    }
+}
+
+impl Predictor for ExtendedModel {
+    fn predict(&self, m: u64, n: u64) -> f64 {
+        ExtendedModel::predict(self, m, n)
+    }
+}
+
+impl fmt::Display for ExtendedModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t̂(M,N) = {:.1} + {:.4}·N + {:.4}·N/M + {:.2}·M",
+            self.c0, self.c_mem, self.c_comp, self.c_host
+        )
+    }
+}
+
+/// A fitted [`ExtendedModel`] plus its R².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtendedFitReport {
+    /// The fitted coefficients.
+    pub model: ExtendedModel,
+    /// Coefficient of determination over the fit set.
+    pub r_squared: f64,
+}
+
+/// Fit failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FitError {
+    /// Fewer than three samples.
+    TooFewSamples {
+        /// Samples provided.
+        got: usize,
+    },
+    /// The normal equations are singular.
+    Singular,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewSamples { got } => {
+                write!(
+                    f,
+                    "need at least 3 samples to fit 3 coefficients, got {got}"
+                )
+            }
+            FitError::Singular => write!(f, "design matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted model plus goodness-of-fit diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitReport {
+    /// The fitted coefficients.
+    pub model: RuntimeModel,
+    /// Coefficient of determination over the fit set.
+    pub r_squared: f64,
+    /// Largest absolute percentage error over the fit set.
+    pub max_abs_pct_err: f64,
+    /// Number of samples used.
+    pub samples: usize,
+}
+
+/// Solves a D×D linear system by Gaussian elimination with partial
+/// pivoting; `None` if singular.
+fn solve_dense<const D: usize>(mut a: [[f64; D]; D], mut b: [f64; D]) -> Option<[f64; D]> {
+    for col in 0..D {
+        // Pivot.
+        let pivot = (col..D).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..D {
+            let factor = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (cell, &p) in rest[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = [0.0; D];
+    for col in (0..D).rev() {
+        let mut acc = b[col];
+        for k in col + 1..D {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// The paper's Eq. 2: mean absolute percentage error of `model` against
+/// the measured samples of one problem size, averaged over the tested
+/// cluster counts.
+///
+/// ```text
+/// MAPE(N) = 100/|M| · Σ_M |t(M,N) − t̂(M,N)| / t(M,N)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or any sample has zero measured cycles.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_offload::{mape, RuntimeModel, Sample};
+///
+/// let model = RuntimeModel::paper();
+/// let samples: Vec<Sample> = [1u64, 2, 4].iter().map(|&m| Sample {
+///     m,
+///     n: 1024,
+///     cycles: model.predict(m, 1024),
+/// }).collect();
+/// assert!(mape(&model, &samples) < 1e-12, "perfect data fits perfectly");
+/// ```
+pub fn mape<P: Predictor>(model: &P, samples: &[Sample]) -> f64 {
+    assert!(!samples.is_empty(), "MAPE of an empty sample set");
+    let total: f64 = samples
+        .iter()
+        .map(|s| {
+            assert!(s.cycles > 0.0, "measured runtime must be positive");
+            (s.cycles - model.predict(s.m, s.n)).abs() / s.cycles
+        })
+        .sum();
+    100.0 * total / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_coefficients() {
+        let m = RuntimeModel::paper();
+        assert_eq!(m.c0, 367.0);
+        assert_eq!(m.c_mem, 0.25);
+        assert!((m.c_comp - 0.325).abs() < 1e-12);
+        // Eq. 1 spot checks.
+        assert!((m.predict(1, 256) - (367.0 + 64.0 + 83.2)).abs() < 1e-9);
+        assert!((m.predict(16, 512) - (367.0 + 128.0 + 10.4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_recovers_synthetic_coefficients_exactly() {
+        let truth = RuntimeModel {
+            c0: 412.0,
+            c_mem: 0.21,
+            c_comp: 0.4,
+        };
+        let mut samples = Vec::new();
+        for &n in &[256u64, 512, 1024, 2048] {
+            for &m in &[1u64, 2, 4, 8, 16, 32] {
+                samples.push(Sample {
+                    m,
+                    n,
+                    cycles: truth.predict(m, n),
+                });
+            }
+        }
+        let report = RuntimeModel::fit(&samples).unwrap();
+        assert!((report.model.c0 - truth.c0).abs() < 1e-6);
+        assert!((report.model.c_mem - truth.c_mem).abs() < 1e-9);
+        assert!((report.model.c_comp - truth.c_comp).abs() < 1e-9);
+        assert!(report.r_squared > 0.999_999);
+        assert!(report.max_abs_pct_err < 1e-6);
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let truth = RuntimeModel::paper();
+        let mut rng = mpsoc_sim::rng::SplitMix64::new(7);
+        let mut samples = Vec::new();
+        for &n in &[256u64, 512, 768, 1024] {
+            for &m in &[1u64, 2, 4, 8, 16, 32] {
+                let noise = 1.0 + 0.01 * (rng.next_f64() - 0.5);
+                samples.push(Sample {
+                    m,
+                    n,
+                    cycles: truth.predict(m, n) * noise,
+                });
+            }
+        }
+        let report = RuntimeModel::fit(&samples).unwrap();
+        assert!((report.model.c0 - truth.c0).abs() < 20.0);
+        assert!((report.model.c_mem - truth.c_mem).abs() < 0.02);
+        assert!(report.r_squared > 0.99);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert_eq!(
+            RuntimeModel::fit(&[]).unwrap_err(),
+            FitError::TooFewSamples { got: 0 }
+        );
+        let same = Sample {
+            m: 4,
+            n: 1024,
+            cycles: 100.0,
+        };
+        assert_eq!(
+            RuntimeModel::fit(&[same; 5]).unwrap_err(),
+            FitError::Singular
+        );
+    }
+
+    #[test]
+    fn mape_matches_hand_computation() {
+        let model = RuntimeModel {
+            c0: 0.0,
+            c_mem: 0.0,
+            c_comp: 1.0,
+        };
+        // predictions: n/m = 10, 5; measurements 8, 5.
+        let samples = [
+            Sample {
+                m: 1,
+                n: 10,
+                cycles: 8.0,
+            },
+            Sample {
+                m: 2,
+                n: 10,
+                cycles: 5.0,
+            },
+        ];
+        // errors: |8-10|/8 = 0.25, |5-5|/5 = 0 -> mean 0.125 -> 12.5%.
+        assert!((mape(&model, &samples) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solver_handles_permuted_systems() {
+        // x = [1, 2, 3] with rows needing pivoting.
+        let a = [[0.0, 1.0, 0.0], [2.0, 0.0, 0.0], [0.0, 0.0, 4.0]];
+        let b = [2.0, 2.0, 12.0];
+        let x = solve_dense::<3>(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extended_model_recovers_m_term() {
+        let truth = ExtendedModel {
+            c0: 400.0,
+            c_mem: 0.25,
+            c_comp: 0.5,
+            c_host: 24.0,
+        };
+        let mut samples = Vec::new();
+        for &n in &[256u64, 512, 1024, 2048] {
+            for &m in &[1u64, 2, 4, 8, 16, 32] {
+                samples.push(Sample {
+                    m,
+                    n,
+                    cycles: truth.predict(m, n),
+                });
+            }
+        }
+        let report = ExtendedModel::fit(&samples).unwrap();
+        assert!((report.model.c_host - 24.0).abs() < 1e-6);
+        assert!((report.model.c0 - 400.0).abs() < 1e-5);
+        assert!(report.r_squared > 0.999_999);
+        // A plain 3-term fit of the same data misses badly on the M term.
+        let flat = RuntimeModel::fit(&samples).unwrap();
+        assert!(mape(&flat.model, &samples) > mape(&report.model, &samples));
+        // Display mentions the M term.
+        assert!(report.model.to_string().contains("·M"));
+    }
+
+    #[test]
+    fn extended_fit_rejects_too_few() {
+        let s = Sample {
+            m: 1,
+            n: 10,
+            cycles: 1.0,
+        };
+        assert_eq!(
+            ExtendedModel::fit(&[s; 3]).unwrap_err(),
+            FitError::TooFewSamples { got: 3 }
+        );
+    }
+
+    #[test]
+    fn display_shows_coefficients() {
+        let s = RuntimeModel::paper().to_string();
+        assert!(s.contains("367.0"));
+        assert!(s.contains("N/M"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster count must be positive")]
+    fn predict_zero_clusters_panics() {
+        RuntimeModel::paper().predict(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn mape_empty_panics() {
+        mape(&RuntimeModel::paper(), &[]);
+    }
+}

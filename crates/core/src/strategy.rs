@@ -1,0 +1,136 @@
+//! Offload dispatch and synchronization strategies.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How the host announces a job to the selected clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DispatchStrategy {
+    /// One posted mailbox store per cluster, issued in a host-side loop.
+    /// Cost grows linearly with the number of clusters — the baseline.
+    Sequential,
+    /// A single store replicated by the interconnect to every selected
+    /// cluster. Constant cost — the paper's hardware extension.
+    Multicast,
+}
+
+impl fmt::Display for DispatchStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DispatchStrategy::Sequential => "sequential",
+            DispatchStrategy::Multicast => "multicast",
+        })
+    }
+}
+
+/// How job completion reaches the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncStrategy {
+    /// Clusters atomically increment a counter in shared memory; the host
+    /// spins on it. Polling and AMO contention grow with the number of
+    /// clusters — the baseline.
+    SoftwareBarrier,
+    /// Clusters post credits to the dedicated credit-counter unit, which
+    /// interrupts the host at the threshold. Constant cost — the paper's
+    /// hardware extension.
+    CreditCounter,
+}
+
+impl fmt::Display for SyncStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SyncStrategy::SoftwareBarrier => "software-barrier",
+            SyncStrategy::CreditCounter => "credit-counter",
+        })
+    }
+}
+
+/// A complete offload configuration: dispatch × synchronization.
+///
+/// The two presets are the configurations compared throughout the paper;
+/// the two mixed combinations are the ablation points of `DESIGN.md`
+/// (`abl-dispatch`, `abl-sync`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OffloadStrategy {
+    /// Dispatch mechanism.
+    pub dispatch: DispatchStrategy,
+    /// Completion-synchronization mechanism.
+    pub sync: SyncStrategy,
+}
+
+impl OffloadStrategy {
+    /// The baseline runtime: sequential dispatch + software barrier.
+    pub fn baseline() -> Self {
+        OffloadStrategy {
+            dispatch: DispatchStrategy::Sequential,
+            sync: SyncStrategy::SoftwareBarrier,
+        }
+    }
+
+    /// The paper's co-design: multicast dispatch + credit counter.
+    pub fn extended() -> Self {
+        OffloadStrategy {
+            dispatch: DispatchStrategy::Multicast,
+            sync: SyncStrategy::CreditCounter,
+        }
+    }
+
+    /// All four dispatch × sync combinations, for ablations.
+    pub fn all() -> [OffloadStrategy; 4] {
+        [
+            OffloadStrategy::baseline(),
+            OffloadStrategy {
+                dispatch: DispatchStrategy::Multicast,
+                sync: SyncStrategy::SoftwareBarrier,
+            },
+            OffloadStrategy {
+                dispatch: DispatchStrategy::Sequential,
+                sync: SyncStrategy::CreditCounter,
+            },
+            OffloadStrategy::extended(),
+        ]
+    }
+}
+
+impl fmt::Display for OffloadStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.dispatch, self.sync)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let b = OffloadStrategy::baseline();
+        assert_eq!(b.dispatch, DispatchStrategy::Sequential);
+        assert_eq!(b.sync, SyncStrategy::SoftwareBarrier);
+        let e = OffloadStrategy::extended();
+        assert_eq!(e.dispatch, DispatchStrategy::Multicast);
+        assert_eq!(e.sync, SyncStrategy::CreditCounter);
+        assert_ne!(b, e);
+    }
+
+    #[test]
+    fn all_covers_the_grid() {
+        let all = OffloadStrategy::all();
+        assert_eq!(all.len(), 4);
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            OffloadStrategy::baseline().to_string(),
+            "sequential+software-barrier"
+        );
+        assert_eq!(
+            OffloadStrategy::extended().to_string(),
+            "multicast+credit-counter"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Result verification against golden references.
+
+use std::fmt;
+
+/// Comparison of an offloaded result against the kernel's golden
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifyReport {
+    /// Elements compared (1 for reductions).
+    pub compared: usize,
+    /// Elements that differ beyond the tolerance.
+    pub mismatches: usize,
+    /// Largest absolute error observed.
+    pub max_abs_err: f64,
+    /// Tolerance used (0.0 = bitwise for map kernels; relative for
+    /// reductions, whose combination order differs from the reference).
+    pub tolerance: f64,
+}
+
+impl VerifyReport {
+    /// `true` when every element matched within tolerance.
+    pub fn passed(&self) -> bool {
+        self.mismatches == 0
+    }
+
+    /// Compares two vectors elementwise with an absolute tolerance.
+    /// Bitwise-equal values always match (so equal infinities and equal
+    /// NaN payloads pass); otherwise a non-finite or out-of-tolerance
+    /// difference counts as a mismatch.
+    pub fn compare_vectors(got: &[f64], want: &[f64], tolerance: f64) -> Self {
+        let mut mismatches = got.len().abs_diff(want.len());
+        let mut max_abs_err: f64 = 0.0;
+        for (&g, &w) in got.iter().zip(want) {
+            if g.to_bits() == w.to_bits() {
+                continue;
+            }
+            let err = (g - w).abs();
+            // NaN or out-of-tolerance differences are mismatches (the
+            // negated comparison is deliberate: it catches NaN).
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(err <= tolerance) {
+                mismatches += 1;
+            }
+            if err.is_nan() || err > max_abs_err {
+                max_abs_err = if err.is_nan() { f64::NAN } else { err };
+            }
+        }
+        VerifyReport {
+            compared: got.len().max(want.len()),
+            mismatches,
+            max_abs_err,
+            tolerance,
+        }
+    }
+
+    /// Compares two scalars with a relative tolerance.
+    pub fn compare_scalars(got: f64, want: f64, rel_tolerance: f64) -> Self {
+        let scale = want.abs().max(1.0);
+        let err = (got - want).abs();
+        let ok = err <= rel_tolerance * scale;
+        VerifyReport {
+            compared: 1,
+            mismatches: usize::from(!ok),
+            max_abs_err: err,
+            tolerance: rel_tolerance * scale,
+        }
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.passed() {
+            write!(
+                f,
+                "ok ({} elements, max |err| = {:.3e})",
+                self.compared, self.max_abs_err
+            )
+        } else {
+            write!(
+                f,
+                "FAILED ({}/{} mismatches, max |err| = {:.3e}, tol = {:.3e})",
+                self.mismatches, self.compared, self.max_abs_err, self.tolerance
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_passes() {
+        let r = VerifyReport::compare_vectors(&[1.0, 2.0], &[1.0, 2.0], 0.0);
+        assert!(r.passed());
+        assert_eq!(r.max_abs_err, 0.0);
+        assert!(r.to_string().starts_with("ok"));
+    }
+
+    #[test]
+    fn mismatch_detected() {
+        let r = VerifyReport::compare_vectors(&[1.0, 2.5], &[1.0, 2.0], 0.1);
+        assert!(!r.passed());
+        assert_eq!(r.mismatches, 1);
+        assert_eq!(r.max_abs_err, 0.5);
+        assert!(r.to_string().contains("FAILED"));
+    }
+
+    #[test]
+    fn length_mismatch_counts() {
+        let r = VerifyReport::compare_vectors(&[1.0], &[1.0, 2.0], 0.0);
+        assert!(!r.passed());
+        assert_eq!(r.compared, 2);
+    }
+
+    #[test]
+    fn nan_results_fail() {
+        let r = VerifyReport::compare_vectors(&[f64::NAN], &[1.0], 1e9);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn scalar_relative_tolerance() {
+        let r = VerifyReport::compare_scalars(1000.0000001, 1000.0, 1e-9);
+        assert!(r.passed());
+        let r = VerifyReport::compare_scalars(1000.1, 1000.0, 1e-9);
+        assert!(!r.passed());
+        // Small magnitudes fall back to absolute scale 1.0.
+        let r = VerifyReport::compare_scalars(1e-12, 0.0, 1e-9);
+        assert!(r.passed());
+    }
+}

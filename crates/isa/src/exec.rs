@@ -1,0 +1,921 @@
+//! The micro-op interpreter: functional semantics + issue timing.
+
+use std::error::Error;
+use std::fmt;
+
+use mpsoc_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::{MicroOp, PipeClass, Program};
+
+/// A memory access fault raised by a [`MemoryPort`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortError {
+    /// The faulting local byte address.
+    pub addr: u64,
+}
+
+impl fmt::Display for PortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory port fault at local address {:#x}", self.addr)
+    }
+}
+
+impl Error for PortError {}
+
+/// The data/timing interface between a core and its cluster TCDM.
+///
+/// Addresses are byte offsets local to the cluster. [`MemoryPort::grant`]
+/// is the bank-arbitration hook: given the cycle an access *wants* to
+/// issue, it returns the cycle the access is *granted* (possibly later on
+/// a bank conflict). The default grants immediately.
+pub trait MemoryPort {
+    /// Reads the 64-bit word at `addr` as a double.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PortError`] on an out-of-range or misaligned address.
+    fn load(&mut self, addr: u64) -> Result<f64, PortError>;
+
+    /// Writes a double to the 64-bit word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PortError`] on an out-of-range or misaligned address.
+    fn store(&mut self, addr: u64, value: f64) -> Result<(), PortError>;
+
+    /// Arbitration hook: earliest grant for an access to `addr` proposed
+    /// at cycle `at`.
+    fn grant(&mut self, _addr: u64, at: Cycle) -> Cycle {
+        at
+    }
+}
+
+/// A plain `Vec<f64>`-backed [`MemoryPort`] with no contention; handy for
+/// tests and for running kernels outside the full SoC.
+#[derive(Debug, Clone, Default)]
+pub struct VecPort {
+    data: Vec<f64>,
+}
+
+impl VecPort {
+    /// Wraps a vector; element `i` lives at byte address `8·i`.
+    pub fn new(data: Vec<f64>) -> Self {
+        VecPort { data }
+    }
+
+    /// The backing data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the backing data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    fn index(&self, addr: u64) -> Result<usize, PortError> {
+        if addr % 8 != 0 {
+            return Err(PortError { addr });
+        }
+        let i = (addr / 8) as usize;
+        if i >= self.data.len() {
+            return Err(PortError { addr });
+        }
+        Ok(i)
+    }
+}
+
+impl MemoryPort for VecPort {
+    fn load(&mut self, addr: u64) -> Result<f64, PortError> {
+        let i = self.index(addr)?;
+        Ok(self.data[i])
+    }
+
+    fn store(&mut self, addr: u64, value: f64) -> Result<(), PortError> {
+        let i = self.index(addr)?;
+        self.data[i] = value;
+        Ok(())
+    }
+}
+
+/// Latency parameters of the modeled in-order core.
+///
+/// The defaults are the calibrated Snitch-class values: with them, the
+/// software-pipelined DAXPY kernel of `mpsoc-kernels` sustains 26 cycles
+/// per 10 elements (2.6 cycles/element), the compute coefficient of the
+/// paper's Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreTiming {
+    /// Cycles from load issue to destination availability.
+    pub load_latency: u64,
+    /// Cycles from FP op issue to destination availability (pipelined).
+    pub fp_latency: u64,
+    /// Cycles from integer op issue to destination availability.
+    pub int_latency: u64,
+    /// Extra fetch bubble after a taken branch.
+    pub branch_taken_penalty: u64,
+    /// Execution fuel: maximum retired ops before aborting.
+    pub max_steps: u64,
+    /// When `true`, all ops contend for one issue slot per cycle (a
+    /// scalar in-order core like the CVA6-class host); when `false`,
+    /// the four pipes (LSU/FPU/ALU/branch) issue independently.
+    pub single_issue: bool,
+}
+
+impl CoreTiming {
+    /// The calibrated Snitch-class configuration.
+    pub fn snitch() -> Self {
+        CoreTiming {
+            load_latency: 2,
+            fp_latency: 3,
+            int_latency: 1,
+            branch_taken_penalty: 1,
+            max_steps: 100_000_000,
+            single_issue: false,
+        }
+    }
+
+    /// A CVA6-class application core: scalar single-issue, longer FP and
+    /// load latencies, costlier taken branches. Used to model executing
+    /// a kernel on the host instead of offloading it.
+    pub fn cva6() -> Self {
+        CoreTiming {
+            load_latency: 3,
+            fp_latency: 5,
+            int_latency: 1,
+            branch_taken_penalty: 2,
+            max_steps: 100_000_000,
+            single_issue: true,
+        }
+    }
+}
+
+impl Default for CoreTiming {
+    fn default() -> Self {
+        CoreTiming::snitch()
+    }
+}
+
+/// What happened during one program execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Completion time: when the last op's result is architecturally done.
+    pub finish: Cycle,
+    /// Total retired micro-ops.
+    pub retired: u64,
+    /// Retired loads/stores.
+    pub mem_ops: u64,
+    /// Retired FP ops.
+    pub fp_ops: u64,
+    /// Retired integer ops.
+    pub int_ops: u64,
+    /// Retired branches (taken or not).
+    pub branches: u64,
+    /// Cycles lost to operand/bank hazards beyond in-order flow.
+    pub stall_cycles: u64,
+}
+
+/// An execution failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A memory access faulted.
+    Port(PortError),
+    /// The fuel limit was reached (runaway loop guard).
+    FuelExhausted {
+        /// Ops retired before giving up.
+        steps: u64,
+    },
+    /// A branch target or fall-through left the program.
+    PcOutOfRange {
+        /// The offending op index.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Port(e) => write!(f, "{e}"),
+            ExecError::FuelExhausted { steps } => {
+                write!(f, "execution fuel exhausted after {steps} ops")
+            }
+            ExecError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Port(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PortError> for ExecError {
+    fn from(e: PortError) -> Self {
+        ExecError::Port(e)
+    }
+}
+
+/// Executes [`Program`]s with cycle-accurate issue timing.
+///
+/// The modeled core is a decoupled in-order design with four pipes
+/// ([`PipeClass`]): per cycle, at most one op issues on each pipe, in
+/// program order (issue times never decrease). Operand hazards stall
+/// issue; a taken branch inserts a fetch bubble; loads/stores consult the
+/// [`MemoryPort::grant`] hook so TCDM bank conflicts delay the LSU.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone, Default)]
+pub struct Interpreter {
+    timing: CoreTiming,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with [`CoreTiming::snitch`] timing.
+    pub fn new() -> Self {
+        Interpreter::default()
+    }
+
+    /// Creates an interpreter with explicit timing.
+    pub fn with_timing(timing: CoreTiming) -> Self {
+        Interpreter { timing }
+    }
+
+    /// The timing parameters in effect.
+    pub fn timing(&self) -> &CoreTiming {
+        &self.timing
+    }
+
+    /// Runs `program` to completion starting at cycle 0.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run(
+        &self,
+        program: &Program,
+        port: &mut impl MemoryPort,
+    ) -> Result<ExecReport, ExecError> {
+        self.run_from(program, Cycle::ZERO, port)
+    }
+
+    /// Runs `program` to completion, with the first op eligible to issue
+    /// at `start` (the cluster controller's go signal).
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run_from<P: MemoryPort>(
+        &self,
+        program: &Program,
+        start: Cycle,
+        port: &mut P,
+    ) -> Result<ExecReport, ExecError> {
+        let t = &self.timing;
+        let ops = program.ops();
+        let mut int_regs = [0i64; 16];
+        let mut fp_regs = [0f64; 32];
+        let mut int_ready = [start; 16];
+        let mut fp_ready = [start; 32];
+        // Indexed by PipeClass order: Mem, Fp, Int, Ctrl.
+        let mut pipe_free = [start; 4];
+        let mut fetch_avail = start;
+        let mut high_water = start;
+        let mut report = ExecReport::default();
+        let mut pc = 0usize;
+
+        let single_issue = t.single_issue;
+        let pipe_index = move |class: PipeClass| -> usize {
+            if single_issue {
+                return 0;
+            }
+            match class {
+                PipeClass::Mem => 0,
+                PipeClass::Fp => 1,
+                PipeClass::Int => 2,
+                PipeClass::Ctrl => 3,
+            }
+        };
+
+        // SSR stream state (streams 0-2 alias f0-f2 while enabled).
+        #[derive(Clone, Copy)]
+        struct StreamState {
+            addr: u64,
+            stride: i64,
+            remaining: u64,
+        }
+        let mut streams: [Option<StreamState>; 3] = [None, None, None];
+        let mut ssr_enabled = false;
+        // Active hardware loop: (first body pc, last body pc, iterations left).
+        let mut frep: Option<(usize, usize, u64)> = None;
+
+        fn stream_pop<P: MemoryPort>(
+            streams: &mut [Option<StreamState>; 3],
+            port: &mut P,
+            idx: usize,
+        ) -> Result<f64, ExecError> {
+            let st = streams[idx]
+                .as_mut()
+                .ok_or(ExecError::Port(PortError { addr: u64::MAX }))?;
+            if st.remaining == 0 {
+                return Err(ExecError::Port(PortError { addr: st.addr }));
+            }
+            let value = port.load(st.addr)?;
+            st.addr = st.addr.wrapping_add_signed(st.stride);
+            st.remaining -= 1;
+            Ok(value)
+        }
+
+        fn stream_push<P: MemoryPort>(
+            streams: &mut [Option<StreamState>; 3],
+            port: &mut P,
+            idx: usize,
+            value: f64,
+        ) -> Result<(), ExecError> {
+            let st = streams[idx]
+                .as_mut()
+                .ok_or(ExecError::Port(PortError { addr: u64::MAX }))?;
+            if st.remaining == 0 {
+                return Err(ExecError::Port(PortError { addr: st.addr }));
+            }
+            port.store(st.addr, value)?;
+            st.addr = st.addr.wrapping_add_signed(st.stride);
+            st.remaining -= 1;
+            Ok(())
+        }
+
+        loop {
+            if report.retired >= t.max_steps {
+                return Err(ExecError::FuelExhausted {
+                    steps: report.retired,
+                });
+            }
+            let Some(&op) = ops.get(pc) else {
+                return Err(ExecError::PcOutOfRange { pc });
+            };
+            let pipe = pipe_index(op.pipe());
+            // In-order multi-issue: an op may share a cycle with the
+            // previous op (different pipe) but never issue earlier.
+            let base = fetch_avail.max(pipe_free[pipe]);
+
+            let mut operand_ready = base;
+            let ready_int = |r: crate::IntReg, operand_ready: &mut Cycle| {
+                *operand_ready = (*operand_ready).max(int_ready[r.index()]);
+            };
+            let ready_fp = |r: crate::FpReg, operand_ready: &mut Cycle| {
+                // Enabled streams are prefetched by dedicated SSR ports:
+                // no register-file dependency.
+                if ssr_enabled && r.index() < 3 && streams[r.index()].is_some() {
+                    return;
+                }
+                *operand_ready = (*operand_ready).max(fp_ready[r.index()]);
+            };
+
+            match op {
+                MicroOp::Li { .. } => {}
+                MicroOp::Addi { rs, .. } => ready_int(rs, &mut operand_ready),
+                MicroOp::Add { rs1, rs2, .. } => {
+                    ready_int(rs1, &mut operand_ready);
+                    ready_int(rs2, &mut operand_ready);
+                }
+                MicroOp::Fld { rs, .. } => ready_int(rs, &mut operand_ready),
+                MicroOp::Fsd { fs, rs, .. } => {
+                    ready_fp(fs, &mut operand_ready);
+                    ready_int(rs, &mut operand_ready);
+                }
+                MicroOp::FsdPair { fs1, fs2, rs, .. } => {
+                    ready_fp(fs1, &mut operand_ready);
+                    ready_fp(fs2, &mut operand_ready);
+                    ready_int(rs, &mut operand_ready);
+                }
+                MicroOp::Fmadd { fa, fb, fc, .. } => {
+                    ready_fp(fa, &mut operand_ready);
+                    ready_fp(fb, &mut operand_ready);
+                    ready_fp(fc, &mut operand_ready);
+                }
+                MicroOp::Fadd { fa, fb, .. } | MicroOp::Fmul { fa, fb, .. } => {
+                    ready_fp(fa, &mut operand_ready);
+                    ready_fp(fb, &mut operand_ready);
+                }
+                MicroOp::Bnez { rs, .. } => ready_int(rs, &mut operand_ready),
+                MicroOp::SsrCfg { base, .. } => ready_int(base, &mut operand_ready),
+                MicroOp::SsrEnable | MicroOp::SsrDisable | MicroOp::Frep { .. } => {}
+                MicroOp::Halt => {}
+            }
+
+            let mut issue = operand_ready;
+
+            // Bank arbitration for memory ops.
+            if op.is_mem() {
+                let addr = match op {
+                    MicroOp::Fld { rs, offset, .. }
+                    | MicroOp::Fsd { rs, offset, .. }
+                    | MicroOp::FsdPair { rs, offset, .. } => {
+                        int_regs[rs.index()].wrapping_add(offset) as u64
+                    }
+                    _ => unreachable!("is_mem covers exactly the three mem ops"),
+                };
+                issue = port.grant(addr, issue);
+            }
+
+            report.stall_cycles += (issue - base).as_u64();
+
+            // Execute (functional semantics) and set destination latency.
+            let mut next_pc = pc + 1;
+            match op {
+                MicroOp::Li { rd, imm } => {
+                    int_regs[rd.index()] = imm;
+                    int_ready[rd.index()] = issue + Cycle::new(t.int_latency);
+                    report.int_ops += 1;
+                }
+                MicroOp::Addi { rd, rs, imm } => {
+                    int_regs[rd.index()] = int_regs[rs.index()].wrapping_add(imm);
+                    int_ready[rd.index()] = issue + Cycle::new(t.int_latency);
+                    report.int_ops += 1;
+                }
+                MicroOp::Add { rd, rs1, rs2 } => {
+                    int_regs[rd.index()] =
+                        int_regs[rs1.index()].wrapping_add(int_regs[rs2.index()]);
+                    int_ready[rd.index()] = issue + Cycle::new(t.int_latency);
+                    report.int_ops += 1;
+                }
+                MicroOp::Fld { fd, rs, offset } => {
+                    let addr = int_regs[rs.index()].wrapping_add(offset) as u64;
+                    fp_regs[fd.index()] = port.load(addr)?;
+                    fp_ready[fd.index()] = issue + Cycle::new(t.load_latency);
+                    report.mem_ops += 1;
+                }
+                MicroOp::Fsd { fs, rs, offset } => {
+                    let addr = int_regs[rs.index()].wrapping_add(offset) as u64;
+                    port.store(addr, fp_regs[fs.index()])?;
+                    report.mem_ops += 1;
+                }
+                MicroOp::FsdPair {
+                    fs1,
+                    fs2,
+                    rs,
+                    offset,
+                } => {
+                    let addr = int_regs[rs.index()].wrapping_add(offset) as u64;
+                    port.store(addr, fp_regs[fs1.index()])?;
+                    port.store(addr + 8, fp_regs[fs2.index()])?;
+                    report.mem_ops += 1;
+                }
+                MicroOp::Fmadd { fd, fa, fb, fc } => {
+                    let fd_is_stream =
+                        ssr_enabled && fd.index() < 3 && streams[fd.index()].is_some();
+                    let read = |streams: &mut [Option<StreamState>; 3],
+                                port: &mut P,
+                                fp_regs: &[f64; 32],
+                                r: crate::FpReg|
+                     -> Result<f64, ExecError> {
+                        if ssr_enabled && r.index() < 3 && streams[r.index()].is_some() {
+                            stream_pop(streams, port, r.index())
+                        } else {
+                            Ok(fp_regs[r.index()])
+                        }
+                    };
+                    let va = read(&mut streams, port, &fp_regs, fa)?;
+                    let vb = read(&mut streams, port, &fp_regs, fb)?;
+                    let vc = read(&mut streams, port, &fp_regs, fc)?;
+                    let result = va.mul_add(vb, vc);
+                    if fd_is_stream {
+                        stream_push(&mut streams, port, fd.index(), result)?;
+                    } else {
+                        fp_regs[fd.index()] = result;
+                        fp_ready[fd.index()] = issue + Cycle::new(t.fp_latency);
+                    }
+                    report.fp_ops += 1;
+                }
+                MicroOp::Fadd { fd, fa, fb } | MicroOp::Fmul { fd, fa, fb } => {
+                    let is_mul = matches!(op, MicroOp::Fmul { .. });
+                    let fd_is_stream =
+                        ssr_enabled && fd.index() < 3 && streams[fd.index()].is_some();
+                    let read = |streams: &mut [Option<StreamState>; 3],
+                                port: &mut P,
+                                fp_regs: &[f64; 32],
+                                r: crate::FpReg|
+                     -> Result<f64, ExecError> {
+                        if ssr_enabled && r.index() < 3 && streams[r.index()].is_some() {
+                            stream_pop(streams, port, r.index())
+                        } else {
+                            Ok(fp_regs[r.index()])
+                        }
+                    };
+                    let va = read(&mut streams, port, &fp_regs, fa)?;
+                    let vb = read(&mut streams, port, &fp_regs, fb)?;
+                    let result = if is_mul { va * vb } else { va + vb };
+                    if fd_is_stream {
+                        stream_push(&mut streams, port, fd.index(), result)?;
+                    } else {
+                        fp_regs[fd.index()] = result;
+                        fp_ready[fd.index()] = issue + Cycle::new(t.fp_latency);
+                    }
+                    report.fp_ops += 1;
+                }
+                MicroOp::Bnez { rs, target } => {
+                    report.branches += 1;
+                    if int_regs[rs.index()] != 0 {
+                        next_pc = target;
+                        // Taken branch: fetch bubble.
+                        fetch_avail = issue + Cycle::new(1 + t.branch_taken_penalty);
+                    }
+                }
+                MicroOp::SsrCfg {
+                    stream,
+                    base,
+                    stride,
+                    count,
+                    ..
+                } => {
+                    streams[stream as usize] = Some(StreamState {
+                        addr: int_regs[base.index()] as u64,
+                        stride,
+                        remaining: count,
+                    });
+                    report.int_ops += 1;
+                }
+                MicroOp::SsrEnable => {
+                    ssr_enabled = true;
+                    report.int_ops += 1;
+                }
+                MicroOp::SsrDisable => {
+                    ssr_enabled = false;
+                    report.int_ops += 1;
+                }
+                MicroOp::Frep { iterations, body } => {
+                    let start = pc + 1;
+                    let end = pc + body as usize;
+                    if end >= ops.len() {
+                        return Err(ExecError::PcOutOfRange { pc: end });
+                    }
+                    if iterations > 1 {
+                        frep = Some((start, end, iterations - 1));
+                    }
+                    report.branches += 1;
+                }
+                MicroOp::Halt => {
+                    report.retired += 1;
+                    report.finish = high_water.max(issue);
+                    return Ok(report);
+                }
+            }
+
+            // Completion high-water mark (stores complete one cycle after
+            // issue; results at their latency).
+            let completion = match op.pipe() {
+                PipeClass::Mem => issue + Cycle::new(1),
+                PipeClass::Fp => issue + Cycle::new(t.fp_latency),
+                PipeClass::Int => issue + Cycle::new(t.int_latency),
+                PipeClass::Ctrl => issue + Cycle::new(1),
+            };
+            high_water = high_water.max(completion);
+
+            pipe_free[pipe] = issue + Cycle::new(1);
+            if !matches!(op, MicroOp::Bnez { rs, .. } if int_regs[rs.index()] != 0) {
+                fetch_avail = fetch_avail.max(issue);
+            }
+            report.retired += 1;
+            // Hardware-loop wraparound: when the body's last op retires
+            // and iterations remain, jump back with zero overhead.
+            if let Some((start, end, remaining)) = frep {
+                if pc == end && next_pc == pc + 1 {
+                    if remaining > 0 {
+                        frep = Some((start, end, remaining - 1));
+                        next_pc = start;
+                    } else {
+                        frep = None;
+                    }
+                }
+            }
+            pc = next_pc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FpReg, IntReg, ProgramBuilder};
+
+    fn x(i: u8) -> IntReg {
+        IntReg::new(i)
+    }
+    fn f(i: u8) -> FpReg {
+        FpReg::new(i)
+    }
+
+    #[test]
+    fn functional_daxpy_one_element() {
+        // y = a*x + y with a=2, x=3, y=10 -> 16.
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 0);
+        b.fld(f(0), x(1), 0); // x
+        b.fld(f(1), x(1), 8); // y
+        b.fld(f(2), x(1), 16); // a
+        b.fmadd(f(1), f(2), f(0), f(1));
+        b.fsd(f(1), x(1), 8);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![3.0, 10.0, 2.0]);
+        let report = Interpreter::new().run(&p, &mut port).unwrap();
+        assert_eq!(port.data()[1], 16.0);
+        assert_eq!(report.retired, 7);
+        assert_eq!(report.mem_ops, 4);
+        assert_eq!(report.fp_ops, 1);
+    }
+
+    #[test]
+    fn load_use_hazard_stalls() {
+        // fld then an immediately dependent fmadd: the fmadd waits
+        // load_latency cycles.
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 0);
+        b.fld(f(0), x(1), 0);
+        b.fmadd(f(1), f(0), f(0), f(0));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![2.0]);
+        let report = Interpreter::new().run(&p, &mut port).unwrap();
+        // li@0, fld@1 (waits x1 ready at 1), fmadd: f0 ready at 1+2=3.
+        // stall = 3 - 2(base after fld at same cycle min) => recorded.
+        assert!(report.stall_cycles >= 1, "expected a load-use stall");
+    }
+
+    #[test]
+    fn independent_ops_dual_issue() {
+        // An fld and an independent fadd should share a cycle.
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 0);
+        b.fadd(f(2), f(1), f(1)); // fp pipe
+        b.fld(f(0), x(1), 0); // mem pipe, independent
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![1.0]);
+        let report = Interpreter::new().run(&p, &mut port).unwrap();
+        // li@0; fadd@0? (x-indep, fp pipe, fetch_avail 0) -> fadd@0;
+        // fld needs x1 ready at 1 -> @1. halt@1. finish >= fadd compl. 3.
+        assert_eq!(report.finish, Cycle::new(3));
+    }
+
+    #[test]
+    fn loop_executes_correct_trip_count() {
+        // Sum 1.0 five times via a counted loop.
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 5); // counter
+        b.li(x(2), 0); // base
+        b.fld(f(1), x(2), 0); // increment = 1.0
+        let top = b.label();
+        b.bind(top);
+        b.fadd(f(0), f(0), f(1));
+        b.addi(x(1), x(1), -1);
+        b.bnez(x(1), top);
+        b.fsd(f(0), x(2), 8);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![1.0, 0.0]);
+        let report = Interpreter::new().run(&p, &mut port).unwrap();
+        assert_eq!(port.data()[1], 5.0);
+        assert_eq!(report.branches, 5);
+    }
+
+    #[test]
+    fn taken_branch_costs_a_bubble() {
+        // Loop of pure int ops: steady-state II is limited by the branch.
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 10);
+        let top = b.label();
+        b.bind(top);
+        b.addi(x(1), x(1), -1);
+        b.bnez(x(1), top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![]);
+        let r10 = Interpreter::new().run(&p, &mut port).unwrap();
+
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 20);
+        let top = b.label();
+        b.bind(top);
+        b.addi(x(1), x(1), -1);
+        b.bnez(x(1), top);
+        b.halt();
+        let p20 = b.build().unwrap();
+        let r20 = Interpreter::new().run(&p20, &mut port).unwrap();
+
+        // addi waits on its own previous result (int_latency 1), bnez
+        // dual-issues, taken branch adds 2 to the next fetch: II = 3.
+        let delta = r20.finish - r10.finish;
+        assert_eq!(delta, Cycle::new(30), "10 extra iterations at II=3");
+    }
+
+    #[test]
+    fn grant_hook_delays_memory_ops() {
+        struct SlowPort {
+            inner: VecPort,
+            extra: u64,
+        }
+        impl MemoryPort for SlowPort {
+            fn load(&mut self, addr: u64) -> Result<f64, PortError> {
+                self.inner.load(addr)
+            }
+            fn store(&mut self, addr: u64, value: f64) -> Result<(), PortError> {
+                self.inner.store(addr, value)
+            }
+            fn grant(&mut self, _addr: u64, at: Cycle) -> Cycle {
+                at + Cycle::new(self.extra)
+            }
+        }
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 0);
+        b.fld(f(0), x(1), 0);
+        b.fsd(f(0), x(1), 8);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let mut fast = VecPort::new(vec![1.0, 0.0]);
+        let fast_finish = Interpreter::new().run(&p, &mut fast).unwrap().finish;
+
+        let mut slow = SlowPort {
+            inner: VecPort::new(vec![1.0, 0.0]),
+            extra: 5,
+        };
+        let slow_finish = Interpreter::new().run(&p, &mut slow).unwrap().finish;
+        assert!(slow_finish > fast_finish);
+        assert_eq!(slow.inner.data()[1], 1.0);
+    }
+
+    #[test]
+    fn paired_store_writes_both_words_in_one_access() {
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 0);
+        b.fld(f(0), x(1), 0);
+        b.fld(f(1), x(1), 8);
+        b.fsd_pair(f(0), f(1), x(1), 16);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![7.0, 8.0, 0.0, 0.0]);
+        let report = Interpreter::new().run(&p, &mut port).unwrap();
+        assert_eq!(&port.data()[2..4], &[7.0, 8.0]);
+        assert_eq!(report.mem_ops, 3); // two loads + one paired store
+    }
+
+    #[test]
+    fn fuel_guard_stops_runaway_loops() {
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 1);
+        let top = b.label();
+        b.bind(top);
+        b.bnez(x(1), top); // infinite
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![]);
+        let mut timing = CoreTiming::snitch();
+        timing.max_steps = 1000;
+        let err = Interpreter::with_timing(timing)
+            .run(&p, &mut port)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::FuelExhausted { .. }));
+        assert!(err.to_string().contains("fuel"));
+    }
+
+    #[test]
+    fn port_fault_propagates() {
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 800); // out of range
+        b.fld(f(0), x(1), 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![0.0; 4]);
+        let err = Interpreter::new().run(&p, &mut port).unwrap_err();
+        assert!(matches!(err, ExecError::Port(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn run_from_offsets_all_timing() {
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 0);
+        b.fld(f(0), x(1), 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![1.0]);
+        let base = Interpreter::new().run(&p, &mut port).unwrap().finish;
+        let shifted = Interpreter::new()
+            .run_from(&p, Cycle::new(100), &mut port)
+            .unwrap()
+            .finish;
+        assert_eq!(shifted, base + Cycle::new(100));
+    }
+
+    #[test]
+    fn ssr_streams_feed_fp_ops_without_explicit_loads() {
+        // y[i] = a*x[i] + y[i] for 4 elements, entirely via streams:
+        // stream 0 reads x, stream 1 reads y, stream 2 writes y.
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 0); // x base
+        b.li(x(2), 32); // y base
+        b.ssr_cfg(0, x(1), 8, 4, false);
+        b.ssr_cfg(1, x(2), 8, 4, false);
+        b.ssr_cfg(2, x(2), 8, 4, true);
+        b.fld(f(31), x(1), 64); // a at word 8
+        b.ssr_enable();
+        b.frep(4, 1);
+        b.fmadd(f(2), f(31), f(0), f(1));
+        b.ssr_disable();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![
+            1.0, 2.0, 3.0, 4.0, // x
+            10.0, 20.0, 30.0, 40.0, // y
+            2.0,  // a
+        ]);
+        let report = Interpreter::new().run(&p, &mut port).unwrap();
+        assert_eq!(&port.data()[4..8], &[12.0, 24.0, 36.0, 48.0]);
+        assert_eq!(report.fp_ops, 4, "one fmadd per frep iteration");
+        assert_eq!(report.mem_ops, 1, "only the scalar load uses the LSU");
+    }
+
+    #[test]
+    fn frep_fmadd_sustains_one_element_per_cycle() {
+        let run_n = |n: u64| {
+            let mut b = ProgramBuilder::new();
+            b.li(x(1), 0);
+            b.li(x(2), (n * 8) as i64);
+            b.ssr_cfg(0, x(1), 8, n, false);
+            b.ssr_cfg(1, x(2), 8, n, false);
+            b.ssr_cfg(2, x(2), 8, n, true);
+            b.fld(f(31), x(1), (2 * n * 8) as i64);
+            b.ssr_enable();
+            b.frep(n, 1);
+            b.fmadd(f(2), f(31), f(0), f(1));
+            b.ssr_disable();
+            b.halt();
+            let p = b.build().unwrap();
+            let mut port = VecPort::new(vec![1.0; (2 * n + 1) as usize]);
+            Interpreter::new()
+                .run(&p, &mut port)
+                .unwrap()
+                .finish
+                .as_u64()
+        };
+        let t100 = run_n(100);
+        let t200 = run_n(200);
+        assert_eq!(t200 - t100, 100, "streaming FMA must sustain II=1");
+    }
+
+    #[test]
+    fn exhausted_stream_faults() {
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 0);
+        b.ssr_cfg(0, x(1), 8, 1, false);
+        b.ssr_enable();
+        b.fadd(f(5), f(0), f(0)); // two pops from a 1-element stream
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![1.0; 4]);
+        let err = Interpreter::new().run(&p, &mut port).unwrap_err();
+        assert!(matches!(err, ExecError::Port(_)));
+    }
+
+    #[test]
+    fn disabled_streams_are_plain_registers() {
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), 0);
+        b.ssr_cfg(0, x(1), 8, 4, false);
+        // Not enabled: f0 is just a register (0.0).
+        b.fadd(f(3), f(0), f(0));
+        b.fsd(f(3), x(1), 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![9.0; 2]);
+        Interpreter::new().run(&p, &mut port).unwrap();
+        assert_eq!(port.data()[0], 0.0);
+    }
+
+    #[test]
+    fn frep_body_past_end_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.frep(3, 5); // body extends past halt
+        b.halt();
+        let p = b.build().unwrap();
+        let mut port = VecPort::new(vec![]);
+        let err = Interpreter::new().run(&p, &mut port).unwrap_err();
+        assert!(matches!(err, ExecError::PcOutOfRange { .. }));
+    }
+
+    #[test]
+    fn vec_port_misaligned_and_oob() {
+        let mut p = VecPort::new(vec![0.0; 2]);
+        assert!(p.load(4).is_err());
+        assert!(p.load(16).is_err());
+        assert!(p.store(16, 1.0).is_err());
+        p.data_mut()[0] = 9.0;
+        assert_eq!(p.load(0).unwrap(), 9.0);
+    }
+}

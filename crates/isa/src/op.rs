@@ -1,0 +1,366 @@
+//! Micro-op definitions and register names.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of integer registers.
+pub const INT_REGS: u8 = 16;
+/// Number of floating-point registers (Snitch-class cores have 32).
+pub const FP_REGS: u8 = 32;
+
+/// An integer register name (`x0`–`x15`).
+///
+/// Unlike RISC-V, `x0` is a normal register here; the micro-ISA has no
+/// hardwired zero because immediates cover that use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct IntReg(u8);
+
+impl IntReg {
+    /// Names register `x{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub const fn new(index: u8) -> Self {
+        assert!(index < INT_REGS, "integer register index out of range");
+        IntReg(index)
+    }
+
+    /// The register index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A floating-point register name (`f0`–`f31`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct FpReg(u8);
+
+impl FpReg {
+    /// Names register `f{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn new(index: u8) -> Self {
+        assert!(index < FP_REGS, "fp register index out of range");
+        FpReg(index)
+    }
+
+    /// The register index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// The execution pipe an op issues on.
+///
+/// The modeled core is a decoupled in-order design: one op per pipe may
+/// issue per cycle, in program order (issue times are non-decreasing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PipeClass {
+    /// Load/store unit: one TCDM access per cycle (a paired store moves
+    /// two words in one access, modeling a 128-bit TCDM port).
+    Mem,
+    /// Floating-point unit (fully pipelined FMA).
+    Fp,
+    /// Integer ALU.
+    Int,
+    /// Branch unit.
+    Ctrl,
+}
+
+/// One micro-operation.
+///
+/// Memory operands are byte addresses local to the executing cluster's
+/// TCDM, formed as `base_register + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MicroOp {
+    /// `rd <- imm`
+    Li {
+        /// Destination.
+        rd: IntReg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `rd <- rs + imm`
+    Addi {
+        /// Destination.
+        rd: IntReg,
+        /// Source.
+        rs: IntReg,
+        /// Immediate addend.
+        imm: i64,
+    },
+    /// `rd <- rs1 + rs2`
+    Add {
+        /// Destination.
+        rd: IntReg,
+        /// First source.
+        rs1: IntReg,
+        /// Second source.
+        rs2: IntReg,
+    },
+    /// `fd <- mem[rs + offset]` (one 64-bit word)
+    Fld {
+        /// Destination.
+        fd: FpReg,
+        /// Base address register.
+        rs: IntReg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// `mem[rs + offset] <- fs` (one 64-bit word)
+    Fsd {
+        /// Source.
+        fs: FpReg,
+        /// Base address register.
+        rs: IntReg,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// 128-bit paired store: `mem[rs+offset] <- fs1; mem[rs+offset+8] <- fs2`
+    /// in a single TCDM access.
+    FsdPair {
+        /// First source (lower address).
+        fs1: FpReg,
+        /// Second source (upper address).
+        fs2: FpReg,
+        /// Base address register.
+        rs: IntReg,
+        /// Byte offset of the lower word.
+        offset: i64,
+    },
+    /// `fd <- fa * fb + fc`
+    Fmadd {
+        /// Destination.
+        fd: FpReg,
+        /// Multiplicand.
+        fa: FpReg,
+        /// Multiplier.
+        fb: FpReg,
+        /// Addend.
+        fc: FpReg,
+    },
+    /// `fd <- fa + fb`
+    Fadd {
+        /// Destination.
+        fd: FpReg,
+        /// First operand.
+        fa: FpReg,
+        /// Second operand.
+        fb: FpReg,
+    },
+    /// `fd <- fa * fb`
+    Fmul {
+        /// Destination.
+        fd: FpReg,
+        /// First operand.
+        fa: FpReg,
+        /// Second operand.
+        fb: FpReg,
+    },
+    /// Branch to `target` (an op index filled in by the builder) when
+    /// `rs != 0`.
+    Bnez {
+        /// Condition register.
+        rs: IntReg,
+        /// Resolved target op index.
+        target: usize,
+    },
+    /// Configures a stream semantic register (SSR): while streaming is
+    /// enabled, reads of `f{stream}` pop successive elements from memory
+    /// and writes push them, with no explicit load/store instructions —
+    /// the Snitch cores' signature feature.
+    SsrCfg {
+        /// Stream index (0–2, aliasing `f0`–`f2`).
+        stream: u8,
+        /// Base-address register (byte address at configuration time).
+        base: IntReg,
+        /// Byte stride between elements.
+        stride: i64,
+        /// Number of elements the stream supplies/accepts.
+        count: u64,
+        /// `true` for a write (store) stream, `false` for a read stream.
+        write: bool,
+    },
+    /// Enables SSR streaming (reads/writes of `f0`–`f2` become stream
+    /// accesses).
+    SsrEnable,
+    /// Disables SSR streaming.
+    SsrDisable,
+    /// Hardware loop (FREP): repeats the next `body` ops `iterations`
+    /// times with zero fetch/branch overhead.
+    Frep {
+        /// Total iterations (≥ 1).
+        iterations: u64,
+        /// Number of following ops forming the loop body (≥ 1).
+        body: u8,
+    },
+    /// Stop execution.
+    Halt,
+}
+
+impl MicroOp {
+    /// The pipe this op issues on.
+    pub fn pipe(self) -> PipeClass {
+        match self {
+            MicroOp::Li { .. }
+            | MicroOp::Addi { .. }
+            | MicroOp::Add { .. }
+            | MicroOp::SsrCfg { .. }
+            | MicroOp::SsrEnable
+            | MicroOp::SsrDisable => PipeClass::Int,
+            MicroOp::Fld { .. } | MicroOp::Fsd { .. } | MicroOp::FsdPair { .. } => PipeClass::Mem,
+            MicroOp::Fmadd { .. } | MicroOp::Fadd { .. } | MicroOp::Fmul { .. } => PipeClass::Fp,
+            MicroOp::Bnez { .. } | MicroOp::Frep { .. } | MicroOp::Halt => PipeClass::Ctrl,
+        }
+    }
+
+    /// `true` for loads and stores.
+    pub fn is_mem(self) -> bool {
+        self.pipe() == PipeClass::Mem
+    }
+}
+
+impl fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MicroOp::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            MicroOp::Addi { rd, rs, imm } => write!(f, "addi {rd}, {rs}, {imm}"),
+            MicroOp::Add { rd, rs1, rs2 } => write!(f, "add {rd}, {rs1}, {rs2}"),
+            MicroOp::Fld { fd, rs, offset } => write!(f, "fld {fd}, {offset}({rs})"),
+            MicroOp::Fsd { fs, rs, offset } => write!(f, "fsd {fs}, {offset}({rs})"),
+            MicroOp::FsdPair {
+                fs1,
+                fs2,
+                rs,
+                offset,
+            } => write!(f, "fsdp {fs1}:{fs2}, {offset}({rs})"),
+            MicroOp::Fmadd { fd, fa, fb, fc } => write!(f, "fmadd {fd}, {fa}, {fb}, {fc}"),
+            MicroOp::Fadd { fd, fa, fb } => write!(f, "fadd {fd}, {fa}, {fb}"),
+            MicroOp::Fmul { fd, fa, fb } => write!(f, "fmul {fd}, {fa}, {fb}"),
+            MicroOp::Bnez { rs, target } => write!(f, "bnez {rs}, @{target}"),
+            MicroOp::SsrCfg {
+                stream,
+                base,
+                stride,
+                count,
+                write,
+            } => write!(
+                f,
+                "ssr.cfg s{stream}, {base}, stride={stride}, count={count}, {}",
+                if write { "write" } else { "read" }
+            ),
+            MicroOp::SsrEnable => write!(f, "ssr.enable"),
+            MicroOp::SsrDisable => write!(f, "ssr.disable"),
+            MicroOp::Frep { iterations, body } => write!(f, "frep {iterations}, body={body}"),
+            MicroOp::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_construction_and_bounds() {
+        assert_eq!(IntReg::new(0).index(), 0);
+        assert_eq!(IntReg::new(15).index(), 15);
+        assert_eq!(FpReg::new(31).index(), 31);
+        assert_eq!(IntReg::new(3).to_string(), "x3");
+        assert_eq!(FpReg::new(7).to_string(), "f7");
+    }
+
+    #[test]
+    #[should_panic(expected = "integer register index")]
+    fn int_reg_out_of_range() {
+        let _ = IntReg::new(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "fp register index")]
+    fn fp_reg_out_of_range() {
+        let _ = FpReg::new(32);
+    }
+
+    #[test]
+    fn pipe_classification() {
+        let x = IntReg::new(1);
+        let f = FpReg::new(1);
+        assert_eq!(MicroOp::Li { rd: x, imm: 0 }.pipe(), PipeClass::Int);
+        assert_eq!(
+            MicroOp::Fld {
+                fd: f,
+                rs: x,
+                offset: 0
+            }
+            .pipe(),
+            PipeClass::Mem
+        );
+        assert_eq!(
+            MicroOp::Fmadd {
+                fd: f,
+                fa: f,
+                fb: f,
+                fc: f
+            }
+            .pipe(),
+            PipeClass::Fp
+        );
+        assert_eq!(MicroOp::Halt.pipe(), PipeClass::Ctrl);
+        assert!(MicroOp::FsdPair {
+            fs1: f,
+            fs2: f,
+            rs: x,
+            offset: 0
+        }
+        .is_mem());
+    }
+
+    #[test]
+    fn display_forms() {
+        let x = IntReg::new(2);
+        let f0 = FpReg::new(0);
+        let f1 = FpReg::new(1);
+        assert_eq!(
+            MicroOp::Fld {
+                fd: f0,
+                rs: x,
+                offset: 16
+            }
+            .to_string(),
+            "fld f0, 16(x2)"
+        );
+        assert_eq!(
+            MicroOp::FsdPair {
+                fs1: f0,
+                fs2: f1,
+                rs: x,
+                offset: 8
+            }
+            .to_string(),
+            "fsdp f0:f1, 8(x2)"
+        );
+        assert_eq!(
+            MicroOp::Bnez { rs: x, target: 4 }.to_string(),
+            "bnez x2, @4"
+        );
+    }
+}

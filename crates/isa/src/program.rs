@@ -1,0 +1,344 @@
+//! Programs and the label-resolving builder.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FpReg, IntReg, MicroOp};
+
+/// A forward-referenceable jump target handed out by
+/// [`ProgramBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An error from [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A label was referenced by a branch but never bound.
+    UnboundLabel {
+        /// The label's internal id.
+        label: usize,
+    },
+    /// The program has no terminating `halt` on its fall-through path.
+    MissingHalt,
+    /// The program is empty.
+    Empty,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { label } => {
+                write!(f, "label {label} referenced but never bound")
+            }
+            BuildError::MissingHalt => write!(f, "program does not end in halt"),
+            BuildError::Empty => write!(f, "program is empty"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// A validated, executable sequence of micro-ops.
+///
+/// Construct with [`ProgramBuilder`]; a `Program` always ends in
+/// [`MicroOp::Halt`] and all branch targets are resolved in-range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    ops: Vec<MicroOp>,
+}
+
+impl Program {
+    /// The ops in execution order.
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the program has no ops (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Renders a human-readable listing.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            out.push_str(&format!("{i:>5}: {op}\n"));
+        }
+        out
+    }
+}
+
+/// Incrementally builds a [`Program`], resolving forward branch labels.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_isa::{IntReg, ProgramBuilder};
+///
+/// # fn main() -> Result<(), mpsoc_isa::BuildError> {
+/// let mut b = ProgramBuilder::new();
+/// let x1 = IntReg::new(1);
+/// b.li(x1, 3);
+/// let top = b.label();
+/// b.bind(top);
+/// b.addi(x1, x1, -1);
+/// b.bnez(x1, top); // loop three times
+/// b.halt();
+/// let program = b.build()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    ops: Vec<MicroOp>,
+    /// For each label id: the op index it is bound to, if bound.
+    labels: Vec<Option<usize>>,
+    /// `(op_index, label_id)` pairs to patch at build time.
+    fixups: Vec<(usize, usize)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Number of ops emitted so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when no ops have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.ops.len());
+    }
+
+    /// Emits a raw op.
+    pub fn push(&mut self, op: MicroOp) {
+        self.ops.push(op);
+    }
+
+    /// Emits `li rd, imm`.
+    pub fn li(&mut self, rd: IntReg, imm: i64) {
+        self.push(MicroOp::Li { rd, imm });
+    }
+
+    /// Emits `addi rd, rs, imm`.
+    pub fn addi(&mut self, rd: IntReg, rs: IntReg, imm: i64) {
+        self.push(MicroOp::Addi { rd, rs, imm });
+    }
+
+    /// Emits `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) {
+        self.push(MicroOp::Add { rd, rs1, rs2 });
+    }
+
+    /// Emits `fld fd, offset(rs)`.
+    pub fn fld(&mut self, fd: FpReg, rs: IntReg, offset: i64) {
+        self.push(MicroOp::Fld { fd, rs, offset });
+    }
+
+    /// Emits `fsd fs, offset(rs)`.
+    pub fn fsd(&mut self, fs: FpReg, rs: IntReg, offset: i64) {
+        self.push(MicroOp::Fsd { fs, rs, offset });
+    }
+
+    /// Emits a 128-bit paired store.
+    pub fn fsd_pair(&mut self, fs1: FpReg, fs2: FpReg, rs: IntReg, offset: i64) {
+        self.push(MicroOp::FsdPair {
+            fs1,
+            fs2,
+            rs,
+            offset,
+        });
+    }
+
+    /// Emits `fmadd fd, fa, fb, fc` (`fd = fa*fb + fc`).
+    pub fn fmadd(&mut self, fd: FpReg, fa: FpReg, fb: FpReg, fc: FpReg) {
+        self.push(MicroOp::Fmadd { fd, fa, fb, fc });
+    }
+
+    /// Emits `fadd fd, fa, fb`.
+    pub fn fadd(&mut self, fd: FpReg, fa: FpReg, fb: FpReg) {
+        self.push(MicroOp::Fadd { fd, fa, fb });
+    }
+
+    /// Emits `fmul fd, fa, fb`.
+    pub fn fmul(&mut self, fd: FpReg, fa: FpReg, fb: FpReg) {
+        self.push(MicroOp::Fmul { fd, fa, fb });
+    }
+
+    /// Emits `bnez rs, label` (target patched at build time).
+    pub fn bnez(&mut self, rs: IntReg, label: Label) {
+        self.fixups.push((self.ops.len(), label.0));
+        self.push(MicroOp::Bnez { rs, target: 0 });
+    }
+
+    /// Emits an SSR stream configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream >= 3`.
+    pub fn ssr_cfg(&mut self, stream: u8, base: IntReg, stride: i64, count: u64, write: bool) {
+        assert!(stream < 3, "only streams 0-2 exist");
+        self.push(MicroOp::SsrCfg {
+            stream,
+            base,
+            stride,
+            count,
+            write,
+        });
+    }
+
+    /// Emits `ssr.enable`.
+    pub fn ssr_enable(&mut self) {
+        self.push(MicroOp::SsrEnable);
+    }
+
+    /// Emits `ssr.disable`.
+    pub fn ssr_disable(&mut self) {
+        self.push(MicroOp::SsrDisable);
+    }
+
+    /// Emits `frep iterations, body` (hardware loop over the next `body`
+    /// ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` or `body` is zero.
+    pub fn frep(&mut self, iterations: u64, body: u8) {
+        assert!(iterations > 0, "frep needs at least one iteration");
+        assert!(body > 0, "frep body cannot be empty");
+        self.push(MicroOp::Frep { iterations, body });
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) {
+        self.push(MicroOp::Halt);
+    }
+
+    /// Validates and finalizes the program.
+    ///
+    /// # Errors
+    ///
+    /// - [`BuildError::Empty`] for an empty program,
+    /// - [`BuildError::MissingHalt`] when the last op is not `halt`,
+    /// - [`BuildError::UnboundLabel`] when a branch references an unbound
+    ///   label.
+    pub fn build(mut self) -> Result<Program, BuildError> {
+        if self.ops.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        if !matches!(self.ops.last(), Some(MicroOp::Halt)) {
+            return Err(BuildError::MissingHalt);
+        }
+        for &(op_index, label_id) in &self.fixups {
+            let target =
+                self.labels[label_id].ok_or(BuildError::UnboundLabel { label: label_id })?;
+            if let MicroOp::Bnez { target: t, .. } = &mut self.ops[op_index] {
+                *t = target;
+            }
+        }
+        Ok(Program { ops: self.ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_resolves_forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        let x = IntReg::new(0);
+        let skip = b.label(); // forward
+        b.li(x, 1);
+        b.bnez(x, skip);
+        b.addi(x, x, 7); // skipped
+        b.bind(skip);
+        b.halt();
+        let p = b.build().unwrap();
+        match p.ops()[1] {
+            MicroOp::Bnez { target, .. } => assert_eq!(target, 3),
+            ref other => panic!("expected bnez, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(ProgramBuilder::new().build(), Err(BuildError::Empty));
+    }
+
+    #[test]
+    fn missing_halt_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::new(0), 1);
+        assert_eq!(b.build(), Err(BuildError::MissingHalt));
+    }
+
+    #[test]
+    fn unbound_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bnez(IntReg::new(0), l);
+        b.halt();
+        assert_eq!(b.build(), Err(BuildError::UnboundLabel { label: 0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn listing_is_readable() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::new(1), 5);
+        b.halt();
+        let p = b.build().unwrap();
+        let text = p.listing();
+        assert!(text.contains("0: li x1, 5"));
+        assert!(text.contains("1: halt"));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(BuildError::Empty.to_string().contains("empty"));
+        assert!(BuildError::MissingHalt.to_string().contains("halt"));
+        assert!(BuildError::UnboundLabel { label: 3 }
+            .to_string()
+            .contains("3"));
+    }
+}

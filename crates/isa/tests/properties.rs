@@ -1,0 +1,162 @@
+//! Property tests for the micro-op interpreter: determinism, time-shift
+//! invariance and functional integrity under random programs.
+
+use proptest::prelude::*;
+
+use mpsoc_isa::{
+    CoreTiming, FpReg, IntReg, Interpreter, MemoryPort, PortError, ProgramBuilder, VecPort,
+};
+use mpsoc_sim::Cycle;
+
+/// Builds a random but well-formed straight-line program touching the
+/// first `words` words of a TCDM: loads, stores, FP ops, int ops.
+fn random_program(ops: &[u8], words: usize) -> mpsoc_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let base = IntReg::new(1);
+    b.li(base, 0);
+    for (i, &op) in ops.iter().enumerate() {
+        let word = (i * 7 + op as usize) % words;
+        let offset = (word * 8) as i64;
+        let fa = FpReg::new(op % 8);
+        let fb = FpReg::new(op / 8 % 8);
+        match op % 5 {
+            0 => b.fld(fa, base, offset),
+            1 => b.fsd(fa, base, offset),
+            2 => b.fmadd(fa, fb, fa, fb),
+            3 => b.fadd(fa, fa, fb),
+            _ => b.addi(IntReg::new(2), IntReg::new(2), 1),
+        }
+    }
+    b.halt();
+    b.build().expect("well-formed by construction")
+}
+
+proptest! {
+    /// Execution is deterministic: identical runs produce identical
+    /// timing and identical memory.
+    #[test]
+    fn execution_is_deterministic(
+        ops in prop::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let program = random_program(&ops, 32);
+        let run = || {
+            let mut port = VecPort::new(vec![1.5; 32]);
+            let report = Interpreter::new().run(&program, &mut port).expect("run");
+            (report, port.data().to_vec())
+        };
+        let (r1, d1) = run();
+        let (r2, d2) = run();
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// Starting the same program `t` cycles later shifts the finish time
+    /// by exactly `t` and changes nothing else.
+    #[test]
+    fn time_shift_invariance(
+        ops in prop::collection::vec(any::<u8>(), 1..150),
+        shift in 0u64..100_000,
+    ) {
+        let program = random_program(&ops, 16);
+        let mut port_a = VecPort::new(vec![0.25; 16]);
+        let base = Interpreter::new().run(&program, &mut port_a).expect("run");
+        let mut port_b = VecPort::new(vec![0.25; 16]);
+        let shifted = Interpreter::new()
+            .run_from(&program, Cycle::new(shift), &mut port_b)
+            .expect("run");
+        prop_assert_eq!(shifted.finish, base.finish + Cycle::new(shift));
+        prop_assert_eq!(shifted.retired, base.retired);
+        prop_assert_eq!(port_a.data(), port_b.data());
+    }
+
+    /// The retired-op count equals the program length for straight-line
+    /// programs, and op-class counters add up.
+    #[test]
+    fn op_accounting_adds_up(
+        ops in prop::collection::vec(any::<u8>(), 1..150),
+    ) {
+        let program = random_program(&ops, 16);
+        let mut port = VecPort::new(vec![0.0; 16]);
+        let report = Interpreter::new().run(&program, &mut port).expect("run");
+        prop_assert_eq!(report.retired as usize, program.len());
+        // halt is the only Ctrl op; li + addis are Int.
+        prop_assert_eq!(
+            report.mem_ops + report.fp_ops + report.int_ops + report.branches + 1,
+            report.retired
+        );
+    }
+
+    /// Finish time grows monotonically as ops are appended.
+    #[test]
+    fn finish_monotone_in_program_length(
+        ops in prop::collection::vec(any::<u8>(), 2..120),
+    ) {
+        let full = random_program(&ops, 16);
+        let prefix = random_program(&ops[..ops.len() / 2], 16);
+        let mut pa = VecPort::new(vec![0.0; 16]);
+        let mut pb = VecPort::new(vec![0.0; 16]);
+        let t_full = Interpreter::new().run(&full, &mut pa).expect("run").finish;
+        let t_prefix = Interpreter::new().run(&prefix, &mut pb).expect("run").finish;
+        prop_assert!(t_full >= t_prefix);
+    }
+
+    /// A grant hook that delays every memory access by `d` cycles slows
+    /// the program down by at least `d` (if it has any memory op) and by
+    /// at most `d × mem_ops`.
+    #[test]
+    fn grant_delays_bound_the_slowdown(
+        ops in prop::collection::vec(any::<u8>(), 1..100),
+        delay in 1u64..8,
+    ) {
+        struct Delayed {
+            inner: VecPort,
+            delay: u64,
+        }
+        impl MemoryPort for Delayed {
+            fn load(&mut self, addr: u64) -> Result<f64, PortError> {
+                self.inner.load(addr)
+            }
+            fn store(&mut self, addr: u64, value: f64) -> Result<(), PortError> {
+                self.inner.store(addr, value)
+            }
+            fn grant(&mut self, _addr: u64, at: Cycle) -> Cycle {
+                at + Cycle::new(self.delay)
+            }
+        }
+        let program = random_program(&ops, 16);
+        let mut fast = VecPort::new(vec![0.0; 16]);
+        let base = Interpreter::new().run(&program, &mut fast).expect("run");
+        let mut slow = Delayed {
+            inner: VecPort::new(vec![0.0; 16]),
+            delay,
+        };
+        let delayed = Interpreter::new().run(&program, &mut slow).expect("run");
+        // Delays can hide under FP latency, so the lower bound is only
+        // "never faster"; the upper bound is one delay per memory op.
+        prop_assert!(delayed.finish >= base.finish);
+        prop_assert!(
+            delayed.finish <= base.finish + Cycle::new(delay * base.mem_ops)
+        );
+    }
+
+    /// Fuel always terminates loops, never panics.
+    #[test]
+    fn fuel_terminates_any_loop(count in 1i64..1_000_000) {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::new(1), count);
+        let top = b.label();
+        b.bind(top);
+        b.addi(IntReg::new(1), IntReg::new(1), -1);
+        b.bnez(IntReg::new(1), top);
+        b.halt();
+        let program = b.build().unwrap();
+        let mut timing = CoreTiming::snitch();
+        timing.max_steps = 10_000;
+        let mut port = VecPort::new(vec![]);
+        let result = Interpreter::with_timing(timing).run(&program, &mut port);
+        // The loop retires 2 ops/iteration plus `li` and `halt`; it
+        // completes exactly when that fits in the fuel budget.
+        let retires = 2 * (count as u64) + 2;
+        prop_assert_eq!(result.is_ok(), retires <= 10_000);
+    }
+}

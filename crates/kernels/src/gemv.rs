@@ -1,0 +1,216 @@
+//! Dense matrix–vector product (`y = A·v`).
+
+use mpsoc_isa::{BuildError, FpReg, IntReg, Program, ProgramBuilder};
+
+use crate::{CoreSlice, GoldenOutput, Kernel, KernelKind};
+
+/// `y[i] = Σ_j A[i][j] · v[j]` for a row-major `N×K` matrix `A`.
+///
+/// GEMV stresses the offload machinery differently from the vector zoo:
+/// its `x` operand carries `K` words per output element (the matrix row),
+/// so the DMA volume grows `K`-fold while the output stays `N` — a much
+/// higher data-to-output ratio. The small dense vector `v` travels in the
+/// scalar-argument area and is resident in every cluster's TCDM, like a
+/// kernel constant table.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_kernels::{Gemv, Kernel, GoldenOutput};
+///
+/// // 2×3 matrix times v = [1, 10, 100].
+/// let gemv = Gemv::new(vec![1.0, 10.0, 100.0]);
+/// let a = [1.0, 2.0, 3.0, /* row 1 */ 4.0, 5.0, 6.0];
+/// match gemv.golden(&a, &[0.0, 0.0]) {
+///     GoldenOutput::Vector(y) => assert_eq!(y, vec![321.0, 654.0]),
+///     _ => unreachable!(),
+/// }
+/// assert_eq!(gemv.x_words_per_elem(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gemv {
+    v: Vec<f64>,
+}
+
+impl Gemv {
+    /// Creates a GEMV with the dense vector `v` (its length is `K`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is empty.
+    pub fn new(v: Vec<f64>) -> Self {
+        assert!(!v.is_empty(), "gemv vector must be non-empty");
+        Gemv { v }
+    }
+
+    /// The inner dimension `K`.
+    pub fn k(&self) -> usize {
+        self.v.len()
+    }
+
+    /// The dense vector.
+    pub fn v(&self) -> &[f64] {
+        &self.v
+    }
+}
+
+impl Kernel for Gemv {
+    fn name(&self) -> &str {
+        "gemv"
+    }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::Map
+    }
+
+    fn uses_y(&self) -> bool {
+        false // y is pure output
+    }
+
+    fn x_words_per_elem(&self) -> u64 {
+        self.v.len() as u64
+    }
+
+    fn scalar_args(&self) -> Vec<f64> {
+        self.v.clone()
+    }
+
+    fn codegen(&self, slice: &CoreSlice) -> Result<Program, BuildError> {
+        let mut b = ProgramBuilder::new();
+        let a_ptr = IntReg::new(1);
+        let out_ptr = IntReg::new(2);
+        let rows = IntReg::new(3);
+        let args = IntReg::new(4);
+        let v_ptr = IntReg::new(5);
+        let cols = IntReg::new(6);
+        let av = FpReg::new(0);
+        let vv = FpReg::new(1);
+        let acc = FpReg::new(2);
+        let k = self.v.len() as i64;
+
+        b.li(a_ptr, slice.x_base as i64);
+        b.li(out_ptr, slice.y_base as i64);
+        b.li(args, slice.args_base as i64);
+        if slice.elems > 0 {
+            b.li(rows, slice.elems as i64);
+            let row_top = b.label();
+            b.bind(row_top);
+            // acc <- 0.0 (the zero word after the v table).
+            b.fld(acc, args, k * 8);
+            b.addi(v_ptr, args, 0);
+            b.li(cols, k);
+            let col_top = b.label();
+            b.bind(col_top);
+            b.fld(av, a_ptr, 0);
+            b.fld(vv, v_ptr, 0);
+            b.fmadd(acc, av, vv, acc);
+            b.addi(a_ptr, a_ptr, 8);
+            b.addi(v_ptr, v_ptr, 8);
+            b.addi(cols, cols, -1);
+            b.bnez(cols, col_top);
+            b.fsd(acc, out_ptr, 0);
+            b.addi(out_ptr, out_ptr, 8);
+            b.addi(rows, rows, -1);
+            b.bnez(rows, row_top);
+        }
+        b.halt();
+        b.build()
+    }
+
+    fn golden(&self, x: &[f64], y: &[f64]) -> GoldenOutput {
+        let k = self.v.len();
+        let n = y.len();
+        assert_eq!(x.len(), n * k, "matrix shape mismatch");
+        let out = (0..n)
+            .map(|i| {
+                x[i * k..(i + 1) * k]
+                    .iter()
+                    .zip(&self.v)
+                    .fold(0.0, |acc, (&a, &v)| a.mul_add(v, acc))
+            })
+            .collect();
+        GoldenOutput::Vector(out)
+    }
+
+    fn cycles_per_elem_hint(&self) -> f64 {
+        7.0 * self.v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_isa::{Interpreter, VecPort};
+
+    fn run_single_core(gemv: &Gemv, a: &[f64], n: usize) -> Vec<f64> {
+        let k = gemv.k();
+        assert_eq!(a.len(), n * k);
+        // Layout: A at 0, out at n*k, args (v + zero) after.
+        let out_word = n * k;
+        let args_word = out_word + n;
+        let slice = CoreSlice {
+            elems: n as u64,
+            x_base: 0,
+            y_base: (out_word * 8) as u64,
+            out_base: (out_word * 8) as u64,
+            args_base: (args_word * 8) as u64,
+            core_index: 0,
+        };
+        let program = gemv.codegen(&slice).expect("codegen");
+        let mut data = vec![0.0; args_word + k + 1];
+        data[..n * k].copy_from_slice(a);
+        data[args_word..args_word + k].copy_from_slice(gemv.v());
+        let mut port = VecPort::new(data);
+        Interpreter::new().run(&program, &mut port).expect("run");
+        port.data()[out_word..out_word + n].to_vec()
+    }
+
+    #[test]
+    fn small_gemv_matches_golden() {
+        let gemv = Gemv::new(vec![2.0, -1.0, 0.5]);
+        let a = [1.0, 2.0, 4.0, 3.0, 0.0, -2.0];
+        let got = run_single_core(&gemv, &a, 2);
+        let want = gemv.golden(&a, &[0.0, 0.0]).unwrap_vector();
+        assert_eq!(got, want);
+        assert_eq!(got, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn k_equals_one_degenerates_to_scale() {
+        let gemv = Gemv::new(vec![3.0]);
+        let a = [1.0, 2.0, 3.0];
+        let got = run_single_core(&gemv, &a, 3);
+        assert_eq!(got, vec![3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn zero_rows_is_fine() {
+        let gemv = Gemv::new(vec![1.0, 1.0]);
+        let got = run_single_core(&gemv, &[], 0);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn dma_volume_scales_with_k() {
+        let gemv = Gemv::new(vec![0.0; 5]);
+        assert_eq!(gemv.x_words_per_elem(), 5);
+        assert_eq!(gemv.dma_in_words(100), 500); // A only; y not streamed
+        assert_eq!(gemv.dma_out_words(100, 8), 100);
+    }
+
+    #[test]
+    fn accessors() {
+        let gemv = Gemv::new(vec![1.0, 2.0]);
+        assert_eq!(gemv.k(), 2);
+        assert_eq!(gemv.v(), &[1.0, 2.0]);
+        assert_eq!(gemv.name(), "gemv");
+        assert_eq!(gemv.kind(), KernelKind::Map);
+        assert_eq!(gemv.scalar_args(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_vector_panics() {
+        let _ = Gemv::new(vec![]);
+    }
+}

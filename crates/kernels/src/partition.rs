@@ -1,0 +1,204 @@
+//! Work partitioning across clusters and cores.
+//!
+//! A job of `n` elements offloaded to `m` clusters of `c` worker cores is
+//! split into contiguous, balanced chunks: first across clusters, then —
+//! inside each cluster — across cores. Chunk sizes differ by at most one
+//! element, and the union of all chunks tiles `0..n` exactly (an invariant
+//! the property tests pin down).
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous range of job elements, `[start, start + count)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Chunk {
+    /// First element index.
+    pub start: u64,
+    /// Number of elements.
+    pub count: u64,
+}
+
+impl Chunk {
+    /// One-past-the-end element index.
+    pub fn end(&self) -> u64 {
+        self.start + self.count
+    }
+
+    /// `true` when the chunk holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Splits `total` elements into `parts` balanced contiguous chunks.
+///
+/// The first `total % parts` chunks receive one extra element, so sizes
+/// differ by at most one and larger chunks come first.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_kernels::partition::split_even;
+///
+/// let chunks = split_even(10, 3);
+/// let sizes: Vec<u64> = chunks.iter().map(|c| c.count).collect();
+/// assert_eq!(sizes, vec![4, 3, 3]);
+/// assert_eq!(chunks[0].start, 0);
+/// assert_eq!(chunks[2].end(), 10);
+/// ```
+pub fn split_even(total: u64, parts: usize) -> Vec<Chunk> {
+    assert!(parts > 0, "cannot split into zero parts");
+    let parts64 = parts as u64;
+    let base = total / parts64;
+    let extra = total % parts64;
+    let mut chunks = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts64 {
+        let count = base + u64::from(i < extra);
+        chunks.push(Chunk { start, count });
+        start += count;
+    }
+    chunks
+}
+
+/// The full two-level partition of a job: one chunk per cluster, one
+/// chunk per core inside each cluster (core chunks are relative to the
+/// job, not the cluster).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobPartition {
+    clusters: Vec<Chunk>,
+    cores: Vec<Vec<Chunk>>,
+}
+
+impl JobPartition {
+    /// Partitions `total` elements over `clusters` clusters of
+    /// `cores_per_cluster` worker cores each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` or `cores_per_cluster` is zero.
+    pub fn new(total: u64, clusters: usize, cores_per_cluster: usize) -> Self {
+        assert!(cores_per_cluster > 0, "need at least one core per cluster");
+        let cluster_chunks = split_even(total, clusters);
+        let core_chunks = cluster_chunks
+            .iter()
+            .map(|cc| {
+                split_even(cc.count, cores_per_cluster)
+                    .into_iter()
+                    .map(|k| Chunk {
+                        start: cc.start + k.start,
+                        count: k.count,
+                    })
+                    .collect()
+            })
+            .collect();
+        JobPartition {
+            clusters: cluster_chunks,
+            cores: core_chunks,
+        }
+    }
+
+    /// Per-cluster chunks, in cluster order.
+    pub fn clusters(&self) -> &[Chunk] {
+        &self.clusters
+    }
+
+    /// Chunks of the cores of `cluster`, in core order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn cores(&self, cluster: usize) -> &[Chunk] {
+        &self.cores[cluster]
+    }
+
+    /// The largest per-core element count across the whole job — the
+    /// compute-critical path.
+    pub fn max_core_elems(&self) -> u64 {
+        self.cores
+            .iter()
+            .flatten()
+            .map(|c| c.count)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let chunks = split_even(12, 4);
+        assert!(chunks.iter().all(|c| c.count == 3));
+        assert_eq!(chunks[3].end(), 12);
+    }
+
+    #[test]
+    fn remainder_goes_to_leading_chunks() {
+        let chunks = split_even(11, 4);
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.count).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn zero_total_gives_empty_chunks() {
+        let chunks = split_even(0, 3);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(Chunk::is_empty));
+    }
+
+    #[test]
+    fn more_parts_than_elements() {
+        let chunks = split_even(2, 5);
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.count).collect();
+        assert_eq!(sizes, vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn chunks_tile_the_range() {
+        let chunks = split_even(1024, 7);
+        let mut cursor = 0;
+        for c in &chunks {
+            assert_eq!(c.start, cursor);
+            cursor = c.end();
+        }
+        assert_eq!(cursor, 1024);
+    }
+
+    #[test]
+    fn job_partition_two_levels() {
+        let p = JobPartition::new(1024, 4, 8);
+        assert_eq!(p.clusters().len(), 4);
+        // 1024 / 4 = 256 per cluster, 256 / 8 = 32 per core.
+        assert!(p.clusters().iter().all(|c| c.count == 256));
+        for cluster in 0..4 {
+            assert_eq!(p.cores(cluster).len(), 8);
+            assert!(p.cores(cluster).iter().all(|c| c.count == 32));
+        }
+        assert_eq!(p.max_core_elems(), 32);
+    }
+
+    #[test]
+    fn job_partition_core_chunks_are_absolute_and_tile() {
+        let p = JobPartition::new(100, 3, 4);
+        let mut cursor = 0;
+        for cluster in 0..3 {
+            for chunk in p.cores(cluster) {
+                assert_eq!(chunk.start, cursor);
+                cursor = chunk.end();
+            }
+        }
+        assert_eq!(cursor, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_panics() {
+        split_even(4, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! A 3-point stencil kernel with halo exchange.
+
+use mpsoc_isa::{BuildError, FpReg, IntReg, Program, ProgramBuilder};
+
+use crate::{CoreSlice, GoldenOutput, Kernel, KernelKind};
+
+/// `y[i] = a·x[i−1] + b·x[i] + c·x[i+1]` with zero boundaries
+/// (`x[−1] = x[N] = 0`).
+///
+/// Unlike the elementwise zoo, a stencil's slices are *not* independent:
+/// each cluster needs one extra `x` element on either side of its chunk
+/// (the **halo**). The offload runtime fetches the halo words from the
+/// neighbouring slices' data in main memory and zero-fills them at the
+/// job edges, so the kernel exercises a data-decomposition pattern —
+/// ghost cells — that DAXPY and friends never touch.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_kernels::{GoldenOutput, Kernel, Stencil3};
+///
+/// let blur = Stencil3::new(0.25, 0.5, 0.25);
+/// match blur.golden(&[0.0, 4.0, 0.0], &[0.0; 3]) {
+///     GoldenOutput::Vector(y) => assert_eq!(y, vec![1.0, 2.0, 1.0]),
+///     _ => unreachable!(),
+/// }
+/// assert_eq!(blur.x_halo(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stencil3 {
+    a: f64,
+    b: f64,
+    c: f64,
+}
+
+impl Stencil3 {
+    /// Creates the stencil with taps `(a, b, c)` on `(x[i−1], x[i], x[i+1])`.
+    pub fn new(a: f64, b: f64, c: f64) -> Self {
+        Stencil3 { a, b, c }
+    }
+
+    /// The taps.
+    pub fn taps(&self) -> (f64, f64, f64) {
+        (self.a, self.b, self.c)
+    }
+}
+
+impl Kernel for Stencil3 {
+    fn name(&self) -> &str {
+        "stencil3"
+    }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::Map
+    }
+
+    fn uses_y(&self) -> bool {
+        false // y is pure output
+    }
+
+    fn x_halo(&self) -> u64 {
+        1
+    }
+
+    fn scalar_args(&self) -> Vec<f64> {
+        vec![self.a, self.b, self.c]
+    }
+
+    fn codegen(&self, slice: &CoreSlice) -> Result<Program, BuildError> {
+        let mut b = ProgramBuilder::new();
+        let xp = IntReg::new(1); // points at x[i]
+        let yp = IntReg::new(2);
+        let cnt = IntReg::new(3);
+        let args = IntReg::new(4);
+        let (xm1, x0, xp1, acc) = (FpReg::new(3), FpReg::new(4), FpReg::new(5), FpReg::new(6));
+        let (ta, tb, tc) = (FpReg::new(31), FpReg::new(30), FpReg::new(29));
+
+        b.li(xp, slice.x_base as i64);
+        b.li(yp, slice.y_base as i64);
+        b.li(args, slice.args_base as i64);
+        b.fld(ta, args, 0);
+        b.fld(tb, args, 8);
+        b.fld(tc, args, 16);
+        if slice.elems > 0 {
+            b.li(cnt, slice.elems as i64);
+            let top = b.label();
+            b.bind(top);
+            b.fld(xm1, xp, -8); // the halo slot for the first element
+            b.fld(x0, xp, 0);
+            b.fld(xp1, xp, 8);
+            b.fmul(acc, tc, xp1);
+            b.fmadd(acc, tb, x0, acc);
+            b.fmadd(acc, ta, xm1, acc);
+            b.fsd(acc, yp, 0);
+            b.addi(xp, xp, 8);
+            b.addi(yp, yp, 8);
+            b.addi(cnt, cnt, -1);
+            b.bnez(cnt, top);
+        }
+        b.halt();
+        b.build()
+    }
+
+    fn golden(&self, x: &[f64], y: &[f64]) -> GoldenOutput {
+        let n = y.len();
+        assert_eq!(x.len(), n, "stencil operands must have equal length");
+        let at = |i: isize| -> f64 {
+            if i < 0 || i as usize >= n {
+                0.0
+            } else {
+                x[i as usize]
+            }
+        };
+        // Same op order as the codegen: c·x[i+1], then fmadd b, then fmadd a.
+        let out = (0..n as isize)
+            .map(|i| {
+                self.a
+                    .mul_add(at(i - 1), self.b.mul_add(at(i), self.c * at(i + 1)))
+            })
+            .collect();
+        GoldenOutput::Vector(out)
+    }
+
+    fn cycles_per_elem_hint(&self) -> f64 {
+        11.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_isa::{Interpreter, VecPort};
+
+    /// Single-core run with an explicit halo layout: x at words
+    /// `1..n+1` (zeros at 0 and n+1), output after, args after that.
+    fn run_one_core(kernel: &Stencil3, x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        let y_word = n + 2;
+        let args_word = y_word + n;
+        let slice = CoreSlice {
+            elems: n as u64,
+            x_base: 8, // first element, halo at word 0
+            y_base: (y_word * 8) as u64,
+            out_base: (y_word * 8) as u64,
+            args_base: (args_word * 8) as u64,
+            core_index: 0,
+        };
+        let program = kernel.codegen(&slice).expect("codegen");
+        let args = kernel.scalar_args();
+        let mut data = vec![0.0; args_word + args.len() + 1];
+        data[1..1 + n].copy_from_slice(x);
+        data[args_word..args_word + args.len()].copy_from_slice(&args);
+        let mut port = VecPort::new(data);
+        Interpreter::new().run(&program, &mut port).expect("run");
+        port.data()[y_word..y_word + n].to_vec()
+    }
+
+    #[test]
+    fn blur_matches_golden() {
+        let kernel = Stencil3::new(0.25, 0.5, 0.25);
+        let x = [0.0, 4.0, 0.0, 8.0];
+        let got = run_one_core(&kernel, &x);
+        let want = kernel.golden(&x, &[0.0; 4]).unwrap_vector();
+        assert_eq!(got, want);
+        // Hand-checked: y1 = 0.5·4, y2 = 0.25·4 + 0.25·8, y3 = 0.5·8.
+        assert_eq!(got, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn boundaries_read_zero_halo() {
+        // Identity-on-left-neighbour stencil exposes the halo directly.
+        let kernel = Stencil3::new(1.0, 0.0, 0.0);
+        let x = [5.0, 6.0, 7.0];
+        let got = run_one_core(&kernel, &x);
+        assert_eq!(got, vec![0.0, 5.0, 6.0]);
+        // And on the right.
+        let kernel = Stencil3::new(0.0, 0.0, 1.0);
+        let got = run_one_core(&kernel, &x);
+        assert_eq!(got, vec![6.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn single_element_job() {
+        let kernel = Stencil3::new(1.0, 2.0, 3.0);
+        let got = run_one_core(&kernel, &[10.0]);
+        assert_eq!(got, vec![20.0]); // both neighbours are boundary zeros
+    }
+
+    #[test]
+    fn accessors() {
+        let k = Stencil3::new(1.0, 2.0, 3.0);
+        assert_eq!(k.taps(), (1.0, 2.0, 3.0));
+        assert_eq!(k.name(), "stencil3");
+        assert_eq!(k.x_halo(), 1);
+        assert!(!k.uses_y());
+        assert_eq!(k.scalar_args().len(), 3);
+    }
+}

@@ -1,0 +1,501 @@
+//! The rest of the kernel zoo: map and reduce kernels with different
+//! compute intensities and data-movement ratios.
+//!
+//! These kernels share a simple (not software-pipelined) loop shape; they
+//! exist to exercise the offload machinery and the analytic model across
+//! workloads, not to chase peak FPU utilization like [`Daxpy`](crate::Daxpy).
+//!
+//! # Argument-area convention
+//!
+//! Scalar arguments are materialized by the cluster controller at
+//! `args_base`, one word each, **followed by one zero word** that reduce
+//! kernels load to initialize their accumulator.
+
+use mpsoc_isa::{BuildError, FpReg, IntReg, Program, ProgramBuilder};
+
+use crate::{CoreSlice, GoldenOutput, Kernel, KernelKind};
+
+const X_PTR: IntReg = IntReg::new(1);
+const Y_PTR: IntReg = IntReg::new(2);
+const COUNT: IntReg = IntReg::new(3);
+const ARGS: IntReg = IntReg::new(4);
+const OUT_PTR: IntReg = IntReg::new(5);
+
+const XV: FpReg = FpReg::new(0);
+const YV: FpReg = FpReg::new(1);
+const ACC: FpReg = FpReg::new(2);
+const S0: FpReg = FpReg::new(31);
+const S1: FpReg = FpReg::new(30);
+
+/// Emits the shared map-kernel scaffold: pointer setup, the per-element
+/// loop around `body`, and `halt`. `body` sees `XV` (if `load_x`) and
+/// `YV` (if `load_y`) populated and must leave the result in `YV`.
+fn emit_map(
+    slice: &CoreSlice,
+    scalars: usize,
+    load_x: bool,
+    load_y: bool,
+    body: impl Fn(&mut ProgramBuilder),
+) -> Result<Program, BuildError> {
+    let mut b = ProgramBuilder::new();
+    b.li(X_PTR, slice.x_base as i64);
+    b.li(Y_PTR, slice.y_base as i64);
+    b.li(ARGS, slice.args_base as i64);
+    if scalars >= 1 {
+        b.fld(S0, ARGS, 0);
+    }
+    if scalars >= 2 {
+        b.fld(S1, ARGS, 8);
+    }
+    if slice.elems > 0 {
+        b.li(COUNT, slice.elems as i64);
+        let top = b.label();
+        b.bind(top);
+        if load_x {
+            b.fld(XV, X_PTR, 0);
+        }
+        if load_y {
+            b.fld(YV, Y_PTR, 0);
+        }
+        body(&mut b);
+        b.fsd(YV, Y_PTR, 0);
+        if load_x {
+            b.addi(X_PTR, X_PTR, 8);
+        }
+        b.addi(Y_PTR, Y_PTR, 8);
+        b.addi(COUNT, COUNT, -1);
+        b.bnez(COUNT, top);
+    }
+    b.halt();
+    b.build()
+}
+
+/// Emits the shared reduce-kernel scaffold: the accumulator starts from
+/// the zero word after the scalar args, `body` folds one element into
+/// `ACC`, and the final partial is stored to `out_base`.
+fn emit_reduce(
+    slice: &CoreSlice,
+    scalars: usize,
+    load_y: bool,
+    body: impl Fn(&mut ProgramBuilder),
+) -> Result<Program, BuildError> {
+    let mut b = ProgramBuilder::new();
+    b.li(X_PTR, slice.x_base as i64);
+    if load_y {
+        b.li(Y_PTR, slice.y_base as i64);
+    }
+    b.li(ARGS, slice.args_base as i64);
+    b.li(OUT_PTR, slice.out_base as i64);
+    if scalars >= 1 {
+        b.fld(S0, ARGS, 0);
+    }
+    // Accumulator <- the zero word after the scalars.
+    b.fld(ACC, ARGS, (scalars as i64) * 8);
+    if slice.elems > 0 {
+        b.li(COUNT, slice.elems as i64);
+        let top = b.label();
+        b.bind(top);
+        b.fld(XV, X_PTR, 0);
+        if load_y {
+            b.fld(YV, Y_PTR, 0);
+        }
+        body(&mut b);
+        b.addi(X_PTR, X_PTR, 8);
+        if load_y {
+            b.addi(Y_PTR, Y_PTR, 8);
+        }
+        b.addi(COUNT, COUNT, -1);
+        b.bnez(COUNT, top);
+    }
+    b.fsd(ACC, OUT_PTR, 0);
+    b.halt();
+    b.build()
+}
+
+/// `y = a·x + b·y`: DAXPY's two-scalar sibling (one extra FP op per
+/// element).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Axpby {
+    a: f64,
+    b: f64,
+}
+
+impl Axpby {
+    /// Creates the kernel with scale factors `a` (on `x`) and `b` (on `y`).
+    pub fn new(a: f64, b: f64) -> Self {
+        Axpby { a, b }
+    }
+}
+
+impl Kernel for Axpby {
+    fn name(&self) -> &str {
+        "axpby"
+    }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::Map
+    }
+
+    fn scalar_args(&self) -> Vec<f64> {
+        vec![self.a, self.b]
+    }
+
+    fn codegen(&self, slice: &CoreSlice) -> Result<Program, BuildError> {
+        emit_map(slice, 2, true, true, |b| {
+            b.fmul(YV, S1, YV); // y <- b*y
+            b.fmadd(YV, S0, XV, YV); // y <- a*x + b*y
+        })
+    }
+
+    fn golden(&self, x: &[f64], y: &[f64]) -> GoldenOutput {
+        GoldenOutput::Vector(
+            x.iter()
+                .zip(y)
+                .map(|(&xi, &yi)| self.a.mul_add(xi, self.b * yi))
+                .collect(),
+        )
+    }
+
+    fn cycles_per_elem_hint(&self) -> f64 {
+        9.0
+    }
+}
+
+/// `y = a·x`: streams only `x` in (2 words/element of traffic instead of
+/// DAXPY's 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    a: f64,
+}
+
+impl Scale {
+    /// Creates the kernel with scale factor `a`.
+    pub fn new(a: f64) -> Self {
+        Scale { a }
+    }
+}
+
+impl Kernel for Scale {
+    fn name(&self) -> &str {
+        "scale"
+    }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::Map
+    }
+
+    fn uses_y(&self) -> bool {
+        false
+    }
+
+    fn scalar_args(&self) -> Vec<f64> {
+        vec![self.a]
+    }
+
+    fn codegen(&self, slice: &CoreSlice) -> Result<Program, BuildError> {
+        emit_map(slice, 1, true, false, |b| {
+            b.fmul(YV, S0, XV);
+        })
+    }
+
+    fn golden(&self, x: &[f64], _y: &[f64]) -> GoldenOutput {
+        GoldenOutput::Vector(x.iter().map(|&xi| self.a * xi).collect())
+    }
+
+    fn cycles_per_elem_hint(&self) -> f64 {
+        8.0
+    }
+}
+
+/// `y = x + y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VecAdd;
+
+impl VecAdd {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        VecAdd
+    }
+}
+
+impl Kernel for VecAdd {
+    fn name(&self) -> &str {
+        "vecadd"
+    }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::Map
+    }
+
+    fn scalar_args(&self) -> Vec<f64> {
+        vec![]
+    }
+
+    fn codegen(&self, slice: &CoreSlice) -> Result<Program, BuildError> {
+        emit_map(slice, 0, true, true, |b| {
+            b.fadd(YV, XV, YV);
+        })
+    }
+
+    fn golden(&self, x: &[f64], y: &[f64]) -> GoldenOutput {
+        GoldenOutput::Vector(x.iter().zip(y).map(|(&a, &b)| a + b).collect())
+    }
+
+    fn cycles_per_elem_hint(&self) -> f64 {
+        8.0
+    }
+}
+
+/// `y = v`: pure output bandwidth, no input streams at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Memset {
+    value: f64,
+}
+
+impl Memset {
+    /// Creates the kernel writing `value` to every element.
+    pub fn new(value: f64) -> Self {
+        Memset { value }
+    }
+}
+
+impl Kernel for Memset {
+    fn name(&self) -> &str {
+        "memset"
+    }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::Map
+    }
+
+    fn uses_x(&self) -> bool {
+        false
+    }
+
+    fn uses_y(&self) -> bool {
+        false
+    }
+
+    fn scalar_args(&self) -> Vec<f64> {
+        vec![self.value]
+    }
+
+    fn codegen(&self, slice: &CoreSlice) -> Result<Program, BuildError> {
+        // Custom loop: no input streams, just store the scalar.
+        let mut b = ProgramBuilder::new();
+        b.li(Y_PTR, slice.y_base as i64);
+        b.li(ARGS, slice.args_base as i64);
+        b.fld(S0, ARGS, 0);
+        if slice.elems > 0 {
+            b.li(COUNT, slice.elems as i64);
+            let top = b.label();
+            b.bind(top);
+            b.fsd(S0, Y_PTR, 0);
+            b.addi(Y_PTR, Y_PTR, 8);
+            b.addi(COUNT, COUNT, -1);
+            b.bnez(COUNT, top);
+        }
+        b.halt();
+        b.build()
+    }
+
+    fn golden(&self, x: &[f64], _y: &[f64]) -> GoldenOutput {
+        GoldenOutput::Vector(vec![self.value; x.len()])
+    }
+
+    fn cycles_per_elem_hint(&self) -> f64 {
+        5.0
+    }
+}
+
+/// `partials[core] = Σ xᵢ·yᵢ`: dot product with per-core partials,
+/// combined by the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Dot;
+
+impl Dot {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        Dot
+    }
+}
+
+impl Kernel for Dot {
+    fn name(&self) -> &str {
+        "dot"
+    }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::Reduce
+    }
+
+    fn scalar_args(&self) -> Vec<f64> {
+        vec![]
+    }
+
+    fn codegen(&self, slice: &CoreSlice) -> Result<Program, BuildError> {
+        emit_reduce(slice, 0, true, |b| {
+            b.fmadd(ACC, XV, YV, ACC);
+        })
+    }
+
+    fn golden(&self, x: &[f64], y: &[f64]) -> GoldenOutput {
+        GoldenOutput::Scalar(
+            x.iter()
+                .zip(y)
+                .fold(0.0, |acc, (&xi, &yi)| xi.mul_add(yi, acc)),
+        )
+    }
+
+    fn cycles_per_elem_hint(&self) -> f64 {
+        7.0
+    }
+}
+
+/// `partials[core] = Σ xᵢ`: plain sum reduction over `x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sum;
+
+impl Sum {
+    /// Creates the kernel.
+    pub fn new() -> Self {
+        Sum
+    }
+}
+
+impl Kernel for Sum {
+    fn name(&self) -> &str {
+        "sum"
+    }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::Reduce
+    }
+
+    fn uses_y(&self) -> bool {
+        false
+    }
+
+    fn scalar_args(&self) -> Vec<f64> {
+        vec![]
+    }
+
+    fn codegen(&self, slice: &CoreSlice) -> Result<Program, BuildError> {
+        emit_reduce(slice, 0, false, |b| {
+            b.fadd(ACC, ACC, XV);
+        })
+    }
+
+    fn golden(&self, x: &[f64], _y: &[f64]) -> GoldenOutput {
+        GoldenOutput::Scalar(x.iter().sum())
+    }
+
+    fn cycles_per_elem_hint(&self) -> f64 {
+        6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_isa::{Interpreter, VecPort};
+
+    /// Runs a kernel on one core with x at 0, y at n, out right after y,
+    /// args after out (+ trailing zero word).
+    fn run(kernel: &dyn Kernel, x: &[f64], y: &[f64]) -> (Vec<f64>, f64) {
+        let n = x.len();
+        let y_words = n.max(1);
+        let out_word = n + y_words;
+        let args_word = out_word + 1;
+        let slice = CoreSlice {
+            elems: n as u64,
+            x_base: 0,
+            y_base: (n * 8) as u64,
+            out_base: (out_word * 8) as u64,
+            args_base: (args_word * 8) as u64,
+            core_index: 0,
+        };
+        let program = kernel.codegen(&slice).expect("codegen");
+        let args = kernel.scalar_args();
+        let mut data = vec![0.0; args_word + args.len() + 1];
+        data[..n].copy_from_slice(x);
+        data[n..n + y.len()].copy_from_slice(y);
+        data[args_word..args_word + args.len()].copy_from_slice(&args);
+        let mut port = VecPort::new(data);
+        Interpreter::new().run(&program, &mut port).expect("run");
+        (port.data()[n..n + y.len()].to_vec(), port.data()[out_word])
+    }
+
+    #[test]
+    fn axpby_matches_golden() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        let k = Axpby::new(2.0, -1.0);
+        let (got, _) = run(&k, &x, &y);
+        assert_eq!(got, k.golden(&x, &y).unwrap_vector());
+    }
+
+    #[test]
+    fn scale_matches_golden_and_skips_y_input() {
+        let x = [1.5, -2.0, 0.25, 8.0];
+        let y = [0.0; 4];
+        let k = Scale::new(4.0);
+        let (got, _) = run(&k, &x, &y);
+        assert_eq!(got, vec![6.0, -8.0, 1.0, 32.0]);
+        assert!(!k.uses_y());
+        assert_eq!(k.dma_in_words(100), 100);
+    }
+
+    #[test]
+    fn vecadd_matches_golden() {
+        let x = [1.0, 2.0];
+        let y = [10.0, 20.0];
+        let (got, _) = run(&VecAdd::new(), &x, &y);
+        assert_eq!(got, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn memset_fills_with_value() {
+        let x = [0.0; 5];
+        let y = [9.0; 5];
+        let k = Memset::new(3.25);
+        let (got, _) = run(&k, &x, &y);
+        assert_eq!(got, vec![3.25; 5]);
+        assert_eq!(k.dma_in_words(100), 0);
+        assert_eq!(k.dma_out_words(100, 8), 100);
+    }
+
+    #[test]
+    fn dot_partial_matches_sequential_golden() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [5.0, 6.0, 7.0, 8.0];
+        let k = Dot::new();
+        let (_, partial) = run(&k, &x, &y);
+        assert_eq!(partial, k.golden(&x, &y).unwrap_scalar());
+        assert_eq!(partial, 70.0);
+        assert_eq!(k.dma_out_words(100, 8), 8);
+    }
+
+    #[test]
+    fn sum_partial_matches_golden() {
+        let x = [1.0, -2.0, 3.5];
+        let k = Sum::new();
+        let (_, partial) = run(&k, &x, &[0.0; 3]);
+        assert_eq!(partial, 2.5);
+        assert_eq!(k.dma_in_words(10), 10);
+    }
+
+    #[test]
+    fn reductions_write_zero_partial_for_empty_slices() {
+        let k = Dot::new();
+        let (_, partial) = run(&k, &[], &[]);
+        assert_eq!(partial, 0.0);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(Axpby::new(1.0, 1.0).kind(), KernelKind::Map);
+        assert_eq!(Dot::new().kind(), KernelKind::Reduce);
+        assert_eq!(Sum::new().kind(), KernelKind::Reduce);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the kernel zoo: partitioning invariants and
+//! numerical equivalence with the golden references.
+
+use proptest::prelude::*;
+
+use mpsoc_isa::{Interpreter, VecPort};
+use mpsoc_kernels::partition::{split_even, JobPartition};
+use mpsoc_kernels::{Axpby, CoreSlice, Daxpy, GoldenOutput, Kernel, Scale, Sum, VecAdd};
+
+/// Runs a kernel on a single simulated core over a toy TCDM and returns
+/// `(map output, reduce partial)`.
+fn run_single_core(kernel: &dyn Kernel, x: &[f64], y: &[f64]) -> (Vec<f64>, f64) {
+    let n = x.len();
+    let out_word = 2 * n;
+    let args_word = out_word + 1;
+    let slice = CoreSlice {
+        elems: n as u64,
+        x_base: 0,
+        y_base: (n * 8) as u64,
+        out_base: (out_word * 8) as u64,
+        args_base: (args_word * 8) as u64,
+        core_index: 0,
+    };
+    let program = kernel.codegen(&slice).expect("codegen");
+    let args = kernel.scalar_args();
+    let mut data = vec![0.0; args_word + args.len() + 1];
+    data[..n].copy_from_slice(x);
+    data[n..2 * n].copy_from_slice(y);
+    data[args_word..args_word + args.len()].copy_from_slice(&args);
+    let mut port = VecPort::new(data);
+    Interpreter::new().run(&program, &mut port).expect("run");
+    (port.data()[n..2 * n].to_vec(), port.data()[out_word])
+}
+
+proptest! {
+    /// `split_even` tiles `0..total` exactly with balanced chunk sizes.
+    #[test]
+    fn split_even_tiles_exactly(total in 0u64..100_000, parts in 1usize..300) {
+        let chunks = split_even(total, parts);
+        prop_assert_eq!(chunks.len(), parts);
+        let mut cursor = 0;
+        for c in &chunks {
+            prop_assert_eq!(c.start, cursor);
+            cursor = c.end();
+        }
+        prop_assert_eq!(cursor, total);
+        let max = chunks.iter().map(|c| c.count).max().unwrap();
+        let min = chunks.iter().map(|c| c.count).min().unwrap();
+        prop_assert!(max - min <= 1, "chunk sizes must differ by at most one");
+        // Larger chunks come first.
+        prop_assert!(chunks.windows(2).all(|w| w[0].count >= w[1].count));
+    }
+
+    /// The two-level job partition also tiles exactly, and its critical
+    /// path (max core chunk) is within one of the ideal balance.
+    #[test]
+    fn job_partition_tiles_and_balances(
+        total in 0u64..50_000,
+        clusters in 1usize..=64,
+        cores in 1usize..=16,
+    ) {
+        let p = JobPartition::new(total, clusters, cores);
+        let mut cursor = 0;
+        for cluster in 0..clusters {
+            for chunk in p.cores(cluster) {
+                prop_assert_eq!(chunk.start, cursor);
+                cursor = chunk.end();
+            }
+        }
+        prop_assert_eq!(cursor, total);
+        let ideal = total.div_ceil(clusters as u64).div_ceil(cores as u64);
+        prop_assert!(p.max_core_elems() <= ideal + 1);
+    }
+
+    /// DAXPY on the simulated core equals the golden reference bit-for-bit
+    /// for arbitrary sizes and operands.
+    #[test]
+    fn daxpy_matches_reference(
+        a in -100.0f64..100.0,
+        n in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = mpsoc_sim::rng::SplitMix64::new(seed);
+        let mut x = vec![0.0; n];
+        let mut y = vec![0.0; n];
+        rng.fill_f64(&mut x, -50.0, 50.0);
+        rng.fill_f64(&mut y, -50.0, 50.0);
+        let kernel = Daxpy::new(a);
+        let (got, _) = run_single_core(&kernel, &x, &y);
+        let want = Daxpy::reference(a, &x, &y);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Each map kernel in the zoo equals its golden reference.
+    #[test]
+    fn map_zoo_matches_goldens(
+        n in 1usize..120,
+        seed in any::<u64>(),
+        pick in 0u8..3,
+    ) {
+        let mut rng = mpsoc_sim::rng::SplitMix64::new(seed);
+        let mut x = vec![0.0; n];
+        let mut y = vec![0.0; n];
+        rng.fill_f64(&mut x, -10.0, 10.0);
+        rng.fill_f64(&mut y, -10.0, 10.0);
+        let kernel: Box<dyn Kernel> = match pick {
+            0 => Box::new(Axpby::new(0.5, -2.0)),
+            1 => Box::new(Scale::new(-3.0)),
+            _ => Box::new(VecAdd::new()),
+        };
+        let (got, _) = run_single_core(kernel.as_ref(), &x, &y);
+        match kernel.golden(&x, &y) {
+            GoldenOutput::Vector(want) => prop_assert_eq!(got, want),
+            GoldenOutput::Scalar(_) => prop_assert!(false, "map kernel produced scalar"),
+        }
+    }
+
+    /// Sum's single-core partial equals sequential summation exactly
+    /// (same association order on one core).
+    #[test]
+    fn sum_single_core_partial_is_exact(
+        values in prop::collection::vec(-100.0f64..100.0, 0..150),
+    ) {
+        let y = vec![0.0; values.len()];
+        let (_, partial) = run_single_core(&Sum::new(), &values, &y);
+        let expected: f64 = values.iter().sum();
+        prop_assert_eq!(partial, expected);
+    }
+
+    /// DAXPY compute time is linear in the element count: marginal cost
+    /// per element stays within [2.4, 3.4] cycles once past the prologue.
+    #[test]
+    fn daxpy_cost_is_linear(n in 20usize..400) {
+        let cost = |n: usize| {
+            let x = vec![1.0; n];
+            let y = vec![2.0; n];
+            let kernel = Daxpy::new(2.0);
+            let slice = CoreSlice {
+                elems: n as u64,
+                x_base: 0,
+                y_base: (n * 8) as u64,
+                out_base: (n * 8) as u64,
+                args_base: (2 * n * 8) as u64,
+                core_index: 0,
+            };
+            let program = kernel.codegen(&slice).unwrap();
+            let mut data = Vec::new();
+            data.extend_from_slice(&x);
+            data.extend_from_slice(&y);
+            data.push(2.0);
+            let mut port = VecPort::new(data);
+            Interpreter::new().run(&program, &mut port).unwrap().finish.as_u64()
+        };
+        let t0 = cost(n);
+        let t1 = cost(n + 10);
+        let marginal = (t1 as f64 - t0 as f64) / 10.0;
+        prop_assert!((2.4..=3.4).contains(&marginal),
+            "marginal cost {marginal} cycles/element at n={n}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the streaming kernels (SSR DAXPY and GEMV):
+//! numerical equivalence with their scalar counterparts and linearity of
+//! their cost models.
+
+use proptest::prelude::*;
+
+use mpsoc_isa::{Interpreter, VecPort};
+use mpsoc_kernels::{CoreSlice, Daxpy, DaxpySsr, Gemv, GoldenOutput, Kernel};
+use mpsoc_sim::rng::SplitMix64;
+
+/// Runs a map kernel on one simulated core; returns `(y_out, cycles)`.
+fn run_map(kernel: &dyn Kernel, x: &[f64], y: &[f64]) -> (Vec<f64>, u64) {
+    let n = y.len();
+    let x_words = x.len();
+    let args_word = x_words + n;
+    let slice = CoreSlice {
+        elems: n as u64,
+        x_base: 0,
+        y_base: (x_words * 8) as u64,
+        out_base: (x_words * 8) as u64,
+        args_base: (args_word * 8) as u64,
+        core_index: 0,
+    };
+    let program = kernel.codegen(&slice).expect("codegen");
+    let args = kernel.scalar_args();
+    let mut data = vec![0.0; args_word + args.len() + 1];
+    data[..x_words].copy_from_slice(x);
+    data[x_words..x_words + n].copy_from_slice(y);
+    data[args_word..args_word + args.len()].copy_from_slice(&args);
+    let mut port = VecPort::new(data);
+    let report = Interpreter::new().run(&program, &mut port).expect("run");
+    (
+        port.data()[x_words..x_words + n].to_vec(),
+        report.finish.as_u64(),
+    )
+}
+
+proptest! {
+    /// The SSR codegen and the scalar codegen compute bit-identical
+    /// results for any operands.
+    #[test]
+    fn ssr_equals_scalar_daxpy(
+        a in -50.0f64..50.0,
+        n in 0usize..300,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let mut x = vec![0.0; n];
+        let mut y = vec![0.0; n];
+        rng.fill_f64(&mut x, -20.0, 20.0);
+        rng.fill_f64(&mut y, -20.0, 20.0);
+        let (scalar, _) = run_map(&Daxpy::new(a), &x, &y);
+        let (ssr, _) = run_map(&DaxpySsr::new(a), &x, &y);
+        prop_assert_eq!(scalar, ssr);
+    }
+
+    /// SSR cost is exactly linear: elems + constant.
+    #[test]
+    fn ssr_cost_is_exactly_linear(n in 10usize..400, delta in 1usize..100) {
+        let cost = |n: usize| {
+            let x = vec![1.0; n];
+            let y = vec![0.5; n];
+            run_map(&DaxpySsr::new(2.0), &x, &y).1
+        };
+        prop_assert_eq!(cost(n + delta) - cost(n), delta as u64);
+    }
+
+    /// GEMV matches the golden reference for arbitrary shapes.
+    #[test]
+    fn gemv_matches_golden(
+        n in 0usize..60,
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let mut v = vec![0.0; k];
+        rng.fill_f64(&mut v, -3.0, 3.0);
+        let mut a = vec![0.0; n * k];
+        rng.fill_f64(&mut a, -3.0, 3.0);
+        let y = vec![0.0; n];
+        let kernel = Gemv::new(v);
+        let (got, _) = run_map(&kernel, &a, &y);
+        match kernel.golden(&a, &y) {
+            GoldenOutput::Vector(want) => prop_assert_eq!(got, want),
+            GoldenOutput::Scalar(_) => prop_assert!(false, "gemv is a map kernel"),
+        }
+    }
+
+    /// GEMV cost grows linearly in rows for fixed K.
+    #[test]
+    fn gemv_cost_linear_in_rows(k in 1usize..6) {
+        let cost = |n: usize, k: usize| {
+            let a = vec![1.0; n * k];
+            let y = vec![0.0; n];
+            run_map(&Gemv::new(vec![1.0; k]), &a, &y).1
+        };
+        let t20 = cost(20, k);
+        let t40 = cost(40, k);
+        let t60 = cost(60, k);
+        // Equal marginal cost per 20 rows.
+        prop_assert_eq!(t40 - t20, t60 - t40);
+    }
+}

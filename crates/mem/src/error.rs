@@ -1,0 +1,78 @@
+//! Memory access errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Addr;
+
+/// An error produced by the memory models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemoryError {
+    /// The address falls outside the target region.
+    OutOfBounds {
+        /// The offending address.
+        addr: Addr,
+        /// Base of the region that was addressed.
+        base: Addr,
+        /// Size of the region in words.
+        words: u64,
+    },
+    /// The address is not aligned to the native word size.
+    Misaligned {
+        /// The offending address.
+        addr: Addr,
+    },
+    /// The address does not decode to any mapped device.
+    Unmapped {
+        /// The offending address.
+        addr: Addr,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfBounds { addr, base, words } => write!(
+                f,
+                "address {addr} outside region [{base}, {})",
+                base.add_words(*words)
+            ),
+            MemoryError::Misaligned { addr } => {
+                write!(f, "address {addr} is not 8-byte aligned")
+            }
+            MemoryError::Unmapped { addr } => {
+                write!(f, "address {addr} does not decode to any device")
+            }
+        }
+    }
+}
+
+impl Error for MemoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MemoryError::OutOfBounds {
+            addr: Addr::new(0x100),
+            base: Addr::new(0x0),
+            words: 4,
+        };
+        assert!(e.to_string().contains("outside region"));
+        assert!(MemoryError::Misaligned { addr: Addr::new(3) }
+            .to_string()
+            .contains("aligned"));
+        assert!(MemoryError::Unmapped { addr: Addr::new(3) }
+            .to_string()
+            .contains("decode"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Error>() {}
+        assert_send_sync::<MemoryError>();
+    }
+}

@@ -1,0 +1,35 @@
+//! # mpsoc-mem
+//!
+//! Memory substrate for the `mpsoc-offload` MPSoC simulator:
+//!
+//! - [`Addr`]: a typed 64-bit physical byte address,
+//! - [`WordStore`]: a flat, bounds-checked backing store of 64-bit words
+//!   (all data in this system is `f64`/`u64`-sized, matching the
+//!   double-precision DAXPY workloads of the paper),
+//! - [`MainMemory`]: the shared HBM-class main-memory system with an
+//!   aggregate-bandwidth timing model and a serializing atomic unit (the
+//!   baseline software barrier increments a counter here),
+//! - [`Tcdm`]: a cluster's tightly-coupled data memory with per-bank
+//!   cycle-accurate port arbitration,
+//! - [`MemoryMap`]: the SoC physical address map and its decoder.
+//!
+//! Timing and data are deliberately carried by the *same* objects: a DMA
+//! transfer both moves real `f64` values and consumes modeled bandwidth,
+//! so every experiment doubles as an end-to-end correctness check.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod error;
+mod main_mem;
+mod map;
+mod store;
+mod tcdm;
+
+pub use addr::{Addr, WORD_BYTES};
+pub use error::MemoryError;
+pub use main_mem::MainMemory;
+pub use map::{ClusterReg, CreditReg, MemoryMap, Target};
+pub use store::WordStore;
+pub use tcdm::{BankMode, Tcdm};

@@ -1,0 +1,393 @@
+//! The SoC physical address map.
+//!
+//! Layout (Manticore-inspired, simplified to the devices this study needs):
+//!
+//! | Region                | Base                                    | Notes |
+//! |-----------------------|-----------------------------------------|-------|
+//! | Credit-counter unit   | `0x0200_0000`                           | the paper's dedicated synchronization unit |
+//! | Cluster TCDMs         | `0x1000_0000 + cluster * 0x0008_0000`   | 256 KiB each (stride leaves room to grow) |
+//! | Cluster mailboxes     | `0x1900_0000 + cluster * 0x0000_1000`   | job pointer + wakeup doorbell |
+//! | Main memory (HBM)     | `0x8000_0000`                           | shared by host and all clusters |
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Addr, MemoryError};
+
+/// Base address of the credit-counter unit.
+pub const CREDIT_BASE: u64 = 0x0200_0000;
+/// Base address of cluster 0's TCDM.
+pub const TCDM_BASE: u64 = 0x1000_0000;
+/// Address stride between consecutive clusters' TCDMs.
+pub const TCDM_STRIDE: u64 = 0x0008_0000;
+/// Default TCDM capacity in 64-bit words (256 KiB).
+pub const TCDM_WORDS_DEFAULT: u64 = 256 * 1024 / 8;
+/// Base address of cluster 0's mailbox.
+pub const MAILBOX_BASE: u64 = 0x1900_0000;
+/// Address stride between consecutive clusters' mailboxes.
+pub const MAILBOX_STRIDE: u64 = 0x1000;
+/// Base address of main memory.
+pub const MAIN_BASE: u64 = 0x8000_0000;
+
+/// Memory-mapped registers of a cluster mailbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClusterReg {
+    /// Pointer to the job descriptor in main memory (offset `0x0`).
+    JobPtr,
+    /// Doorbell: writing wakes the cluster controller (offset `0x8`).
+    Wakeup,
+}
+
+impl ClusterReg {
+    /// Byte offset of the register within the mailbox page.
+    pub fn offset(self) -> u64 {
+        match self {
+            ClusterReg::JobPtr => 0x0,
+            ClusterReg::Wakeup => 0x8,
+        }
+    }
+
+    fn decode(offset: u64) -> Option<Self> {
+        match offset {
+            0x0 => Some(ClusterReg::JobPtr),
+            0x8 => Some(ClusterReg::Wakeup),
+            _ => None,
+        }
+    }
+}
+
+/// Memory-mapped registers of the credit-counter unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CreditReg {
+    /// Threshold at which the completion interrupt fires (offset `0x0`).
+    Threshold,
+    /// Current credit count, read-only from software (offset `0x8`).
+    Count,
+    /// Write-to-increment register; the write value is ignored and the
+    /// counter bumps by one as a side effect (offset `0x10`).
+    Increment,
+    /// Writing any value re-arms the unit: clears count and threshold
+    /// (offset `0x18`).
+    Reset,
+}
+
+impl CreditReg {
+    /// Byte offset of the register within the unit's page.
+    pub fn offset(self) -> u64 {
+        match self {
+            CreditReg::Threshold => 0x0,
+            CreditReg::Count => 0x8,
+            CreditReg::Increment => 0x10,
+            CreditReg::Reset => 0x18,
+        }
+    }
+
+    fn decode(offset: u64) -> Option<Self> {
+        match offset {
+            0x0 => Some(CreditReg::Threshold),
+            0x8 => Some(CreditReg::Count),
+            0x10 => Some(CreditReg::Increment),
+            0x18 => Some(CreditReg::Reset),
+            _ => None,
+        }
+    }
+}
+
+/// The device a physical address decodes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Main memory, with the word offset from its base.
+    Main {
+        /// Word offset from the main-memory base.
+        word: u64,
+    },
+    /// A cluster's TCDM.
+    Tcdm {
+        /// Cluster index.
+        cluster: usize,
+        /// Word offset within that TCDM.
+        word: u64,
+    },
+    /// A cluster's mailbox register.
+    Mailbox {
+        /// Cluster index.
+        cluster: usize,
+        /// Which register.
+        reg: ClusterReg,
+    },
+    /// A credit-counter unit register.
+    Credit {
+        /// Which register.
+        reg: CreditReg,
+    },
+}
+
+/// The address map: knows the SoC geometry and decodes addresses.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_mem::{MemoryMap, Target, ClusterReg};
+///
+/// # fn main() -> Result<(), mpsoc_mem::MemoryError> {
+/// let map = MemoryMap::new(32, 1 << 20);
+/// let doorbell = map.mailbox_reg(3, ClusterReg::Wakeup);
+/// assert_eq!(
+///     map.decode(doorbell)?,
+///     Target::Mailbox { cluster: 3, reg: ClusterReg::Wakeup }
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryMap {
+    clusters: usize,
+    main_words: u64,
+    tcdm_words: u64,
+}
+
+impl MemoryMap {
+    /// Creates a map for `clusters` clusters and `main_words` words of main
+    /// memory, with the default TCDM size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero or exceeds the mailbox/TCDM stride
+    /// capacity (max 128), or if `main_words` is zero.
+    pub fn new(clusters: usize, main_words: u64) -> Self {
+        Self::with_tcdm_words(clusters, main_words, TCDM_WORDS_DEFAULT)
+    }
+
+    /// Creates a map with an explicit per-cluster TCDM capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero/oversized geometry (see [`MemoryMap::new`]) or if
+    /// the TCDM capacity exceeds the address stride.
+    pub fn with_tcdm_words(clusters: usize, main_words: u64, tcdm_words: u64) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        assert!(clusters <= 128, "address map supports at most 128 clusters");
+        assert!(main_words > 0, "main memory cannot be empty");
+        assert!(
+            tcdm_words * crate::WORD_BYTES <= TCDM_STRIDE,
+            "TCDM capacity exceeds its address stride"
+        );
+        MemoryMap {
+            clusters,
+            main_words,
+            tcdm_words,
+        }
+    }
+
+    /// Number of clusters in the map.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// Main memory capacity in words.
+    pub fn main_words(&self) -> u64 {
+        self.main_words
+    }
+
+    /// Per-cluster TCDM capacity in words.
+    pub fn tcdm_words(&self) -> u64 {
+        self.tcdm_words
+    }
+
+    /// Base address of main memory.
+    pub fn main_base(&self) -> Addr {
+        Addr::new(MAIN_BASE)
+    }
+
+    /// Base address of `cluster`'s TCDM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn tcdm_base(&self, cluster: usize) -> Addr {
+        assert!(cluster < self.clusters, "cluster {cluster} out of range");
+        Addr::new(TCDM_BASE + cluster as u64 * TCDM_STRIDE)
+    }
+
+    /// Address of a mailbox register of `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn mailbox_reg(&self, cluster: usize, reg: ClusterReg) -> Addr {
+        assert!(cluster < self.clusters, "cluster {cluster} out of range");
+        Addr::new(MAILBOX_BASE + cluster as u64 * MAILBOX_STRIDE + reg.offset())
+    }
+
+    /// Address of a credit-counter register.
+    pub fn credit_reg(&self, reg: CreditReg) -> Addr {
+        Addr::new(CREDIT_BASE + reg.offset())
+    }
+
+    /// Decodes a physical address to its target device.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::Misaligned`] for non-word-aligned addresses and
+    /// [`MemoryError::Unmapped`] for holes in the map.
+    pub fn decode(&self, addr: Addr) -> Result<Target, MemoryError> {
+        if !addr.is_word_aligned() {
+            return Err(MemoryError::Misaligned { addr });
+        }
+        let a = addr.as_u64();
+        if a >= MAIN_BASE {
+            let word = (a - MAIN_BASE) / crate::WORD_BYTES;
+            if word < self.main_words {
+                return Ok(Target::Main { word });
+            }
+            return Err(MemoryError::Unmapped { addr });
+        }
+        if a >= MAILBOX_BASE {
+            let cluster = ((a - MAILBOX_BASE) / MAILBOX_STRIDE) as usize;
+            let offset = (a - MAILBOX_BASE) % MAILBOX_STRIDE;
+            if cluster < self.clusters {
+                if let Some(reg) = ClusterReg::decode(offset) {
+                    return Ok(Target::Mailbox { cluster, reg });
+                }
+            }
+            return Err(MemoryError::Unmapped { addr });
+        }
+        if a >= TCDM_BASE {
+            let cluster = ((a - TCDM_BASE) / TCDM_STRIDE) as usize;
+            let offset = (a - TCDM_BASE) % TCDM_STRIDE;
+            let word = offset / crate::WORD_BYTES;
+            if cluster < self.clusters && word < self.tcdm_words {
+                return Ok(Target::Tcdm { cluster, word });
+            }
+            return Err(MemoryError::Unmapped { addr });
+        }
+        if a >= CREDIT_BASE {
+            if let Some(reg) = CreditReg::decode(a - CREDIT_BASE) {
+                return Ok(Target::Credit { reg });
+            }
+        }
+        Err(MemoryError::Unmapped { addr })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> MemoryMap {
+        MemoryMap::new(4, 1024)
+    }
+
+    #[test]
+    fn decode_main_memory() {
+        let m = map();
+        assert_eq!(
+            m.decode(Addr::new(MAIN_BASE)).unwrap(),
+            Target::Main { word: 0 }
+        );
+        assert_eq!(
+            m.decode(m.main_base().add_words(1023)).unwrap(),
+            Target::Main { word: 1023 }
+        );
+        assert!(m.decode(m.main_base().add_words(1024)).is_err());
+    }
+
+    #[test]
+    fn decode_tcdm() {
+        let m = map();
+        assert_eq!(
+            m.decode(m.tcdm_base(2)).unwrap(),
+            Target::Tcdm {
+                cluster: 2,
+                word: 0
+            }
+        );
+        assert_eq!(
+            m.decode(m.tcdm_base(2).add_words(5)).unwrap(),
+            Target::Tcdm {
+                cluster: 2,
+                word: 5
+            }
+        );
+        // Beyond the TCDM capacity but within the stride: unmapped.
+        let past = m.tcdm_base(0).add_words(m.tcdm_words());
+        assert!(m.decode(past).is_err());
+        // Cluster out of range: unmapped.
+        assert!(m.decode(Addr::new(TCDM_BASE + 4 * TCDM_STRIDE)).is_err());
+    }
+
+    #[test]
+    fn decode_mailbox_registers() {
+        let m = map();
+        for cluster in 0..4 {
+            assert_eq!(
+                m.decode(m.mailbox_reg(cluster, ClusterReg::JobPtr))
+                    .unwrap(),
+                Target::Mailbox {
+                    cluster,
+                    reg: ClusterReg::JobPtr
+                }
+            );
+            assert_eq!(
+                m.decode(m.mailbox_reg(cluster, ClusterReg::Wakeup))
+                    .unwrap(),
+                Target::Mailbox {
+                    cluster,
+                    reg: ClusterReg::Wakeup
+                }
+            );
+        }
+        // Unknown register offset.
+        assert!(m.decode(Addr::new(MAILBOX_BASE + 0x10)).is_err());
+    }
+
+    #[test]
+    fn decode_credit_registers() {
+        let m = map();
+        for reg in [
+            CreditReg::Threshold,
+            CreditReg::Count,
+            CreditReg::Increment,
+            CreditReg::Reset,
+        ] {
+            assert_eq!(m.decode(m.credit_reg(reg)).unwrap(), Target::Credit { reg });
+        }
+        assert!(m.decode(Addr::new(CREDIT_BASE + 0x20)).is_err());
+    }
+
+    #[test]
+    fn misaligned_and_holes() {
+        let m = map();
+        assert!(matches!(
+            m.decode(Addr::new(MAIN_BASE + 4)),
+            Err(MemoryError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            m.decode(Addr::new(0x0)),
+            Err(MemoryError::Unmapped { .. })
+        ));
+        assert!(matches!(
+            m.decode(Addr::new(0x0300_0000)),
+            Err(MemoryError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let m = map();
+        assert_eq!(m.clusters(), 4);
+        assert_eq!(m.main_words(), 1024);
+        assert_eq!(m.tcdm_words(), TCDM_WORDS_DEFAULT);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tcdm_base_out_of_range_panics() {
+        map().tcdm_base(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 128")]
+    fn too_many_clusters_panics() {
+        let _ = MemoryMap::new(129, 1024);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the memory substrate: data round-trips and the
+//! address map's encode/decode inverse.
+
+use proptest::prelude::*;
+
+use mpsoc_mem::{Addr, ClusterReg, CreditReg, MemoryMap, Target, WordStore};
+
+proptest! {
+    /// Random sequences of writes read back the last value written.
+    #[test]
+    fn store_reads_last_write(
+        writes in prop::collection::vec((0u64..64, any::<u64>()), 1..200),
+    ) {
+        let base = Addr::new(0x8000_0000);
+        let mut store = WordStore::new(base, 64);
+        let mut shadow = [0u64; 64];
+        for &(word, value) in &writes {
+            store.write_u64(base.add_words(word), value).unwrap();
+            shadow[word as usize] = value;
+        }
+        for (word, &expected) in shadow.iter().enumerate() {
+            prop_assert_eq!(store.read_u64(base.add_words(word as u64)).unwrap(), expected);
+        }
+    }
+
+    /// f64 values round-trip bit-exactly, including NaN payloads.
+    #[test]
+    fn f64_round_trip_is_bit_exact(bits in any::<u64>()) {
+        let base = Addr::new(0);
+        let mut store = WordStore::new(base, 1);
+        let value = f64::from_bits(bits);
+        store.write_f64(base, value).unwrap();
+        prop_assert_eq!(store.read_f64(base).unwrap().to_bits(), bits);
+    }
+
+    /// Slice writes followed by slice reads are the identity.
+    #[test]
+    fn slice_round_trip(
+        values in prop::collection::vec(-1e12f64..1e12, 1..64),
+        offset in 0u64..32,
+    ) {
+        let base = Addr::new(0x1000);
+        let mut store = WordStore::new(base, 128);
+        let at = base.add_words(offset);
+        store.write_f64_slice(at, &values).unwrap();
+        let back = store.read_f64_slice(at, values.len() as u64).unwrap();
+        prop_assert_eq!(back, values);
+    }
+
+    /// Every address constructed from the map decodes back to its device.
+    #[test]
+    fn map_decode_inverts_encode(
+        clusters in 1usize..=64,
+        cluster_pick in 0usize..64,
+        word in 0u64..1024,
+    ) {
+        let map = MemoryMap::new(clusters, 1 << 16);
+        let cluster = cluster_pick % clusters;
+
+        prop_assert_eq!(
+            map.decode(map.main_base().add_words(word)).unwrap(),
+            Target::Main { word }
+        );
+        prop_assert_eq!(
+            map.decode(map.tcdm_base(cluster).add_words(word % map.tcdm_words())).unwrap(),
+            Target::Tcdm { cluster, word: word % map.tcdm_words() }
+        );
+        for reg in [ClusterReg::JobPtr, ClusterReg::Wakeup] {
+            prop_assert_eq!(
+                map.decode(map.mailbox_reg(cluster, reg)).unwrap(),
+                Target::Mailbox { cluster, reg }
+            );
+        }
+        for reg in [CreditReg::Threshold, CreditReg::Count, CreditReg::Increment, CreditReg::Reset] {
+            prop_assert_eq!(
+                map.decode(map.credit_reg(reg)).unwrap(),
+                Target::Credit { reg }
+            );
+        }
+    }
+
+    /// Fetch-add sequences match a shadow accumulator.
+    #[test]
+    fn fetch_add_matches_shadow(deltas in prop::collection::vec(0u64..1000, 1..100)) {
+        let base = Addr::new(0);
+        let mut store = WordStore::new(base, 1);
+        let mut shadow = 0u64;
+        for &d in &deltas {
+            shadow = shadow.wrapping_add(d);
+            prop_assert_eq!(store.fetch_add_u64(base, d).unwrap(), shadow);
+        }
+    }
+
+    /// Out-of-range accesses never panic — they error.
+    #[test]
+    fn out_of_range_is_an_error_not_a_panic(word in 64u64..10_000) {
+        let base = Addr::new(0);
+        let store = WordStore::new(base, 64);
+        prop_assert!(store.read_u64(base.add_words(word)).is_err());
+    }
+}

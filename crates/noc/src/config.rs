@@ -1,0 +1,130 @@
+//! Interconnect configuration.
+
+use mpsoc_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Latency and topology parameters of the host↔cluster interconnect.
+///
+/// The defaults are the calibrated Manticore-class values used by every
+/// experiment in this reproduction (see `DESIGN.md`, "Calibration
+/// targets"). With radix 4 and 32 clusters the tree has 3 levels, so a
+/// posted store reaches a cluster `inject + 3 × hop` cycles after issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Fan-out of each switch level (≥ 2).
+    pub radix: usize,
+    /// Latency of one switch traversal (one tree level).
+    pub hop_latency: Cycle,
+    /// Cycles the host's injection port is occupied per posted store.
+    pub inject_cycles: Cycle,
+    /// Extra cycles per level for multicast replication in a switch.
+    pub replicate_cycles: Cycle,
+    /// Cycles a destination ingress port is occupied per delivery
+    /// (serializes simultaneous arrivals at one device).
+    pub ingress_cycles: Cycle,
+}
+
+impl NocConfig {
+    /// The calibrated Manticore-class configuration.
+    pub fn manticore() -> Self {
+        NocConfig {
+            radix: 4,
+            hop_latency: Cycle::new(3),
+            inject_cycles: Cycle::new(2),
+            replicate_cycles: Cycle::new(1),
+            ingress_cycles: Cycle::new(1),
+        }
+    }
+
+    /// Number of switch levels needed to reach `clusters` endpoints.
+    ///
+    /// Always at least 1 (even a single cluster goes through the system
+    /// crossbar).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero or `radix < 2`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpsoc_noc::NocConfig;
+    ///
+    /// let cfg = NocConfig::manticore();
+    /// assert_eq!(cfg.levels(1), 1);
+    /// assert_eq!(cfg.levels(4), 1);
+    /// assert_eq!(cfg.levels(16), 2);
+    /// assert_eq!(cfg.levels(32), 3);
+    /// ```
+    pub fn levels(&self, clusters: usize) -> u32 {
+        assert!(clusters > 0, "need at least one cluster");
+        assert!(self.radix >= 2, "radix must be at least 2");
+        let mut levels = 1u32;
+        let mut reach = self.radix;
+        while reach < clusters {
+            reach *= self.radix;
+            levels += 1;
+        }
+        levels
+    }
+
+    /// One-way latency through `levels(clusters)` switch hops.
+    pub fn one_way(&self, clusters: usize) -> Cycle {
+        self.hop_latency * u64::from(self.levels(clusters))
+    }
+
+    /// Round-trip latency for a non-posted access (request + response).
+    pub fn round_trip(&self, clusters: usize) -> Cycle {
+        self.one_way(clusters) * 2
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig::manticore()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manticore_defaults() {
+        let cfg = NocConfig::default();
+        assert_eq!(cfg.radix, 4);
+        assert_eq!(cfg.hop_latency, Cycle::new(3));
+    }
+
+    #[test]
+    fn levels_cover_radix_powers() {
+        let cfg = NocConfig::manticore();
+        assert_eq!(cfg.levels(2), 1);
+        assert_eq!(cfg.levels(5), 2);
+        assert_eq!(cfg.levels(17), 3);
+        assert_eq!(cfg.levels(64), 3);
+        assert_eq!(cfg.levels(65), 4);
+    }
+
+    #[test]
+    fn latency_helpers() {
+        let cfg = NocConfig::manticore();
+        assert_eq!(cfg.one_way(32), Cycle::new(9));
+        assert_eq!(cfg.round_trip(32), Cycle::new(18));
+        assert_eq!(cfg.one_way(1), Cycle::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        NocConfig::manticore().levels(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radix")]
+    fn bad_radix_panics() {
+        let mut cfg = NocConfig::manticore();
+        cfg.radix = 1;
+        cfg.levels(4);
+    }
+}

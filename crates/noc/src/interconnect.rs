@@ -1,0 +1,322 @@
+//! The interconnect timing engine.
+
+use mpsoc_sim::stats::StatsRegistry;
+use mpsoc_sim::{Cycle, UnitResource};
+
+use crate::{ClusterMask, NocConfig};
+
+/// Outcome of a unicast posted store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the initiator's injection port is free again (a posted store
+    /// releases the initiator here, before delivery).
+    pub injected: Cycle,
+    /// When the payload is visible at the destination.
+    pub delivered: Cycle,
+}
+
+/// Outcome of a multicast posted store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticastDelivery {
+    /// When the initiator's injection port is free again.
+    pub injected: Cycle,
+    /// Per-target delivery times, ascending by cluster index.
+    pub delivered: Vec<(usize, Cycle)>,
+}
+
+impl MulticastDelivery {
+    /// The latest delivery time across all targets (offload-critical path).
+    pub fn last_delivery(&self) -> Option<Cycle> {
+        self.delivered.iter().map(|&(_, t)| t).max()
+    }
+}
+
+/// The host↔cluster interconnect: a fan-out tree with per-port FCFS
+/// arbitration and an optional multicast capability.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_noc::{ClusterMask, Interconnect, NocConfig};
+/// use mpsoc_sim::Cycle;
+///
+/// let mut noc = Interconnect::new(NocConfig::manticore(), 32);
+///
+/// // Baseline: two sequential unicasts occupy the host port back-to-back.
+/// let a = noc.host_unicast(Cycle::ZERO, 0);
+/// let b = noc.host_unicast(Cycle::ZERO, 1);
+/// assert!(b.injected > a.injected);
+///
+/// // Extension: one multicast reaches all 32 clusters with one injection.
+/// let mc = noc.host_multicast(Cycle::new(100), ClusterMask::first(32));
+/// assert_eq!(mc.delivered.len(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    cfg: NocConfig,
+    clusters: usize,
+    levels: u32,
+    host_inject: UnitResource,
+    cluster_ingress: Vec<UnitResource>,
+    host_ingress: UnitResource,
+    stats: StatsRegistry,
+}
+
+impl Interconnect {
+    /// Creates an interconnect spanning `clusters` endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero or exceeds 64 (the multicast mask
+    /// width).
+    pub fn new(cfg: NocConfig, clusters: usize) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        assert!(clusters <= 64, "at most 64 clusters are supported");
+        let levels = cfg.levels(clusters);
+        Interconnect {
+            cfg,
+            clusters,
+            levels,
+            host_inject: UnitResource::new(),
+            cluster_ingress: vec![UnitResource::new(); clusters],
+            host_ingress: UnitResource::new(),
+            stats: StatsRegistry::new(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Number of endpoints.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// Tree depth in switch levels.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    fn one_way(&self) -> Cycle {
+        self.cfg.hop_latency * u64::from(self.levels)
+    }
+
+    /// Issues a posted store from the host to one cluster.
+    ///
+    /// The host's injection port serializes stores, so a dispatch loop
+    /// over `M` clusters pays `M × inject_cycles` at the source alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn host_unicast(&mut self, at: Cycle, cluster: usize) -> Delivery {
+        assert!(cluster < self.clusters, "cluster {cluster} out of range");
+        let start = self.host_inject.acquire(at, self.cfg.inject_cycles);
+        let injected = start + self.cfg.inject_cycles;
+        let arrival = injected + self.one_way();
+        let granted = self.cluster_ingress[cluster].acquire(arrival, self.cfg.ingress_cycles);
+        let delivered = granted + self.cfg.ingress_cycles;
+        self.stats.incr("noc.unicast_stores");
+        Delivery {
+            injected,
+            delivered,
+        }
+    }
+
+    /// Issues a single posted store replicated to every cluster in `mask`.
+    ///
+    /// The host pays one injection; switches replicate the flit downward
+    /// in parallel, adding `replicate_cycles` per level. The cost is
+    /// therefore constant in the number of selected clusters — this is the
+    /// multicast extension of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` selects a cluster outside this interconnect or is
+    /// empty.
+    pub fn host_multicast(&mut self, at: Cycle, mask: ClusterMask) -> MulticastDelivery {
+        assert!(!mask.is_empty(), "multicast mask must select a cluster");
+        assert!(
+            mask.highest().expect("non-empty") < self.clusters,
+            "mask selects cluster outside the interconnect"
+        );
+        let start = self.host_inject.acquire(at, self.cfg.inject_cycles);
+        let injected = start + self.cfg.inject_cycles;
+        let arrival =
+            injected + self.one_way() + self.cfg.replicate_cycles * u64::from(self.levels);
+        let mut delivered = Vec::with_capacity(mask.count());
+        for cluster in mask.iter() {
+            let granted = self.cluster_ingress[cluster].acquire(arrival, self.cfg.ingress_cycles);
+            delivered.push((cluster, granted + self.cfg.ingress_cycles));
+        }
+        self.stats.incr("noc.multicast_stores");
+        self.stats
+            .observe("noc.multicast_fanout", mask.count() as f64);
+        MulticastDelivery {
+            injected,
+            delivered,
+        }
+    }
+
+    /// Issues a posted store from a cluster toward a shared device at the
+    /// root of the tree (credit unit, main-memory controller). Returns the
+    /// arrival time at the device's ingress, where simultaneous arrivals
+    /// from different clusters serialize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn cluster_upstream(&mut self, at: Cycle, cluster: usize) -> Cycle {
+        assert!(cluster < self.clusters, "cluster {cluster} out of range");
+        let arrival = at + self.one_way();
+        let granted = self.host_ingress.acquire(arrival, self.cfg.ingress_cycles);
+        self.stats.incr("noc.upstream_stores");
+        granted + self.cfg.ingress_cycles
+    }
+
+    /// Latency of a non-posted host read of a shared device at the tree
+    /// root (e.g. the software-barrier counter in main memory), excluding
+    /// the device's own service time: request down, response up.
+    pub fn host_read_latency(&self) -> Cycle {
+        self.one_way() * 2
+    }
+
+    /// Issues a completion credit from a cluster to the dedicated
+    /// synchronization unit over its sideband. Unlike
+    /// [`Interconnect::cluster_upstream`], concurrent credits do **not**
+    /// serialize: the unit's increment logic is an adder tree that
+    /// absorbs one credit per cluster per cycle, so the cost is constant
+    /// in the number of clusters — part of the paper's credit-counter
+    /// co-design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn credit_upstream(&mut self, at: Cycle, cluster: usize) -> Cycle {
+        assert!(cluster < self.clusters, "cluster {cluster} out of range");
+        self.stats.incr("noc.credit_stores");
+        at + self.one_way() + self.cfg.ingress_cycles
+    }
+
+    /// Resets all port reservations and statistics (between experiments).
+    pub fn reset(&mut self) {
+        self.host_inject.reset();
+        self.host_ingress.reset();
+        for port in &mut self.cluster_ingress {
+            port.reset();
+        }
+        self.stats.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noc() -> Interconnect {
+        Interconnect::new(NocConfig::manticore(), 32)
+    }
+
+    #[test]
+    fn unicast_latency_decomposition() {
+        let mut n = noc();
+        // inject 2 + 3 levels × hop 3 + ingress 1 = 12.
+        let d = n.host_unicast(Cycle::ZERO, 7);
+        assert_eq!(d.injected, Cycle::new(2));
+        assert_eq!(d.delivered, Cycle::new(12));
+    }
+
+    #[test]
+    fn sequential_unicasts_serialize_at_injection() {
+        let mut n = noc();
+        let times: Vec<Delivery> = (0..4).map(|c| n.host_unicast(Cycle::ZERO, c)).collect();
+        // Injection port frees at 2, 4, 6, 8.
+        let injected: Vec<u64> = times.iter().map(|d| d.injected.as_u64()).collect();
+        assert_eq!(injected, vec![2, 4, 6, 8]);
+        // Deliveries to distinct clusters do not contend at the edge.
+        let delivered: Vec<u64> = times.iter().map(|d| d.delivered.as_u64()).collect();
+        assert_eq!(delivered, vec![12, 14, 16, 18]);
+    }
+
+    #[test]
+    fn multicast_cost_is_constant_in_fanout() {
+        for m in [1usize, 2, 8, 32] {
+            let mut n = noc();
+            let d = n.host_multicast(Cycle::ZERO, ClusterMask::first(m));
+            assert_eq!(d.injected, Cycle::new(2), "fanout {m}");
+            // inject 2 + 3×3 hops + 3×1 replication + 1 ingress = 15.
+            assert_eq!(d.last_delivery(), Some(Cycle::new(15)), "fanout {m}");
+            assert_eq!(d.delivered.len(), m);
+        }
+    }
+
+    #[test]
+    fn multicast_targets_match_mask() {
+        let mut n = noc();
+        let mask: ClusterMask = [3usize, 9, 20].into_iter().collect();
+        let d = n.host_multicast(Cycle::ZERO, mask);
+        let targets: Vec<usize> = d.delivered.iter().map(|&(c, _)| c).collect();
+        assert_eq!(targets, vec![3, 9, 20]);
+    }
+
+    #[test]
+    fn upstream_stores_serialize_at_device_ingress() {
+        let mut n = noc();
+        let t0 = n.cluster_upstream(Cycle::ZERO, 0);
+        let t1 = n.cluster_upstream(Cycle::ZERO, 1);
+        let t2 = n.cluster_upstream(Cycle::ZERO, 2);
+        // All arrive at cycle 9; ingress grants 1/cycle.
+        assert_eq!(t0, Cycle::new(10));
+        assert_eq!(t1, Cycle::new(11));
+        assert_eq!(t2, Cycle::new(12));
+    }
+
+    #[test]
+    fn small_socs_have_shallower_trees() {
+        let mut small = Interconnect::new(NocConfig::manticore(), 4);
+        assert_eq!(small.levels(), 1);
+        let d = small.host_unicast(Cycle::ZERO, 0);
+        // inject 2 + 1×3 + 1 = 6.
+        assert_eq!(d.delivered, Cycle::new(6));
+        assert_eq!(small.host_read_latency(), Cycle::new(6));
+    }
+
+    #[test]
+    fn stats_are_collected() {
+        let mut n = noc();
+        n.host_unicast(Cycle::ZERO, 0);
+        n.host_multicast(Cycle::ZERO, ClusterMask::first(8));
+        n.cluster_upstream(Cycle::ZERO, 1);
+        assert_eq!(n.stats().counter("noc.unicast_stores"), 1);
+        assert_eq!(n.stats().counter("noc.multicast_stores"), 1);
+        assert_eq!(n.stats().counter("noc.upstream_stores"), 1);
+        assert_eq!(n.stats().summary("noc.multicast_fanout").mean(), Some(8.0));
+        n.reset();
+        assert_eq!(n.stats().counter("noc.unicast_stores"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unicast_out_of_range_panics() {
+        noc().host_unicast(Cycle::ZERO, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the interconnect")]
+    fn multicast_outside_panics() {
+        noc().host_multicast(Cycle::ZERO, ClusterMask::single(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "must select")]
+    fn empty_multicast_panics() {
+        noc().host_multicast(Cycle::ZERO, ClusterMask::EMPTY);
+    }
+}

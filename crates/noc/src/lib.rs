@@ -1,0 +1,32 @@
+//! # mpsoc-noc
+//!
+//! Host↔cluster interconnect model for the `mpsoc-offload` MPSoC
+//! simulator, including the paper's key hardware extension: **multicast**
+//! from the host to a set of accelerator clusters.
+//!
+//! The interconnect is a fan-out tree (system crossbar → quadrant
+//! switches → clusters, as in Manticore). Two dispatch primitives are
+//! offered:
+//!
+//! - [`Interconnect::host_unicast`]: one posted store to one cluster. The
+//!   host's injection port is occupied per store, so dispatching a job to
+//!   `M` clusters costs `M` injections — the linear overhead of the
+//!   baseline runtime.
+//! - [`Interconnect::host_multicast`]: one posted store replicated by the
+//!   switches toward every cluster in a [`ClusterMask`]. The host pays a
+//!   single injection and the replication happens in parallel in the
+//!   fabric, so the cost is constant in `M` — the paper's extension.
+//!
+//! Completion traffic (cluster → credit unit / main memory) and host
+//! round-trip reads (the baseline's polling loop) are also modeled here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod interconnect;
+mod mask;
+
+pub use config::NocConfig;
+pub use interconnect::{Delivery, Interconnect, MulticastDelivery};
+pub use mask::ClusterMask;

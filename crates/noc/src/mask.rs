@@ -1,0 +1,231 @@
+//! Cluster selection masks for multicast.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A set of accelerator clusters, as a bitmask (bit `i` = cluster `i`).
+///
+/// This is the value the host writes to the multicast address decoder to
+/// select the offload targets. Up to 64 clusters are supported — twice the
+/// largest configuration in the paper (32 clusters / 288 cores).
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_noc::ClusterMask;
+///
+/// let first_four = ClusterMask::first(4);
+/// assert_eq!(first_four.count(), 4);
+/// assert!(first_four.contains(3));
+/// assert!(!first_four.contains(4));
+///
+/// let custom: ClusterMask = [0, 2, 5].into_iter().collect();
+/// assert_eq!(custom.iter().collect::<Vec<_>>(), vec![0, 2, 5]);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ClusterMask(u64);
+
+impl ClusterMask {
+    /// The empty set.
+    pub const EMPTY: ClusterMask = ClusterMask(0);
+
+    /// Creates a mask from raw bits.
+    pub const fn from_bits(bits: u64) -> Self {
+        ClusterMask(bits)
+    }
+
+    /// The raw bits.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// A mask selecting clusters `0..count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn first(count: usize) -> Self {
+        assert!(count <= 64, "at most 64 clusters are supported");
+        if count == 64 {
+            ClusterMask(u64::MAX)
+        } else {
+            ClusterMask((1u64 << count) - 1)
+        }
+    }
+
+    /// A mask selecting only `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster >= 64`.
+    pub fn single(cluster: usize) -> Self {
+        assert!(cluster < 64, "cluster index out of range");
+        ClusterMask(1u64 << cluster)
+    }
+
+    /// Whether `cluster` is selected.
+    pub fn contains(self, cluster: usize) -> bool {
+        cluster < 64 && (self.0 >> cluster) & 1 == 1
+    }
+
+    /// Adds `cluster` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster >= 64`.
+    pub fn insert(&mut self, cluster: usize) {
+        assert!(cluster < 64, "cluster index out of range");
+        self.0 |= 1u64 << cluster;
+    }
+
+    /// Removes `cluster` from the set.
+    pub fn remove(&mut self, cluster: usize) {
+        if cluster < 64 {
+            self.0 &= !(1u64 << cluster);
+        }
+    }
+
+    /// Number of selected clusters.
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` when no cluster is selected.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index of the highest selected cluster, `None` when empty.
+    pub fn highest(self) -> Option<usize> {
+        (!self.is_empty()).then(|| 63 - self.0.leading_zeros() as usize)
+    }
+
+    /// Iterates over the selected cluster indices in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let idx = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(idx)
+            }
+        })
+    }
+
+    /// Set union.
+    pub fn union(self, other: ClusterMask) -> ClusterMask {
+        ClusterMask(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: ClusterMask) -> ClusterMask {
+        ClusterMask(self.0 & other.0)
+    }
+}
+
+impl FromIterator<usize> for ClusterMask {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut mask = ClusterMask::EMPTY;
+        for cluster in iter {
+            mask.insert(cluster);
+        }
+        mask
+    }
+}
+
+impl Extend<usize> for ClusterMask {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for cluster in iter {
+            self.insert(cluster);
+        }
+    }
+}
+
+impl fmt::Display for ClusterMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, cluster) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{cluster}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Binary for ClusterMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_builds_prefix_masks() {
+        assert_eq!(ClusterMask::first(0), ClusterMask::EMPTY);
+        assert_eq!(ClusterMask::first(1).bits(), 0b1);
+        assert_eq!(ClusterMask::first(4).bits(), 0b1111);
+        assert_eq!(ClusterMask::first(64).bits(), u64::MAX);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut m = ClusterMask::EMPTY;
+        m.insert(5);
+        m.insert(0);
+        assert!(m.contains(0));
+        assert!(m.contains(5));
+        assert!(!m.contains(1));
+        m.remove(5);
+        assert!(!m.contains(5));
+        m.remove(63); // no-op, doesn't panic
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let m: ClusterMask = [7, 1, 31].into_iter().collect();
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![1, 7, 31]);
+        assert_eq!(m.highest(), Some(31));
+        assert_eq!(ClusterMask::EMPTY.highest(), None);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = ClusterMask::first(4);
+        let b: ClusterMask = [2, 3, 4, 5].into_iter().collect();
+        assert_eq!(a.union(b).count(), 6);
+        assert_eq!(a.intersection(b).iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn extend_and_display() {
+        let mut m = ClusterMask::single(2);
+        m.extend([4usize, 6]);
+        assert_eq!(m.to_string(), "{2,4,6}");
+        assert_eq!(format!("{m:b}"), "1010100");
+        assert_eq!(ClusterMask::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_out_of_range_panics() {
+        let _ = ClusterMask::single(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn first_too_large_panics() {
+        let _ = ClusterMask::first(65);
+    }
+}

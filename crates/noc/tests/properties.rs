@@ -1,0 +1,97 @@
+//! Property tests for the interconnect: mask algebra, multicast
+//! constancy and unicast serialization.
+
+use proptest::prelude::*;
+
+use mpsoc_noc::{ClusterMask, Interconnect, NocConfig};
+use mpsoc_sim::Cycle;
+
+proptest! {
+    /// Collecting indices into a mask and iterating back is the identity
+    /// (after dedup/sort).
+    #[test]
+    fn mask_collect_iter_round_trip(indices in prop::collection::vec(0usize..64, 0..64)) {
+        let mask: ClusterMask = indices.iter().copied().collect();
+        let mut expected = indices.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(mask.iter().collect::<Vec<_>>(), expected.clone());
+        prop_assert_eq!(mask.count(), expected.len());
+        for &i in &expected {
+            prop_assert!(mask.contains(i));
+        }
+    }
+
+    /// Mask set algebra behaves like sets.
+    #[test]
+    fn mask_set_algebra(
+        a in prop::collection::vec(0usize..64, 0..32),
+        b in prop::collection::vec(0usize..64, 0..32),
+    ) {
+        use std::collections::BTreeSet;
+        let ma: ClusterMask = a.iter().copied().collect();
+        let mb: ClusterMask = b.iter().copied().collect();
+        let sa: BTreeSet<usize> = a.into_iter().collect();
+        let sb: BTreeSet<usize> = b.into_iter().collect();
+        let union: Vec<usize> = sa.union(&sb).copied().collect();
+        let inter: Vec<usize> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(ma.union(mb).iter().collect::<Vec<_>>(), union);
+        prop_assert_eq!(ma.intersection(mb).iter().collect::<Vec<_>>(), inter);
+    }
+
+    /// Multicast delivery time is the same no matter how many clusters
+    /// are selected — the central claim of the hardware extension.
+    #[test]
+    fn multicast_cost_is_constant_in_fanout(
+        clusters in 2usize..=64,
+        pick in prop::collection::vec(0usize..64, 1..64),
+    ) {
+        let mask: ClusterMask = pick.into_iter().map(|p| p % clusters).collect();
+        let mut single = Interconnect::new(NocConfig::manticore(), clusters);
+        let mut multi = Interconnect::new(NocConfig::manticore(), clusters);
+        let one = single.host_multicast(Cycle::ZERO, ClusterMask::single(mask.iter().next().unwrap()));
+        let many = multi.host_multicast(Cycle::ZERO, mask);
+        prop_assert_eq!(one.injected, many.injected);
+        prop_assert_eq!(one.last_delivery(), many.last_delivery());
+        prop_assert_eq!(many.delivered.len(), mask.count());
+    }
+
+    /// Sequential unicast dispatch cost grows linearly: the k-th store is
+    /// injected exactly k×inject_cycles after the first.
+    #[test]
+    fn unicast_injection_is_linear(clusters in 2usize..=64) {
+        let cfg = NocConfig::manticore();
+        let mut noc = Interconnect::new(cfg, clusters);
+        let inject = cfg.inject_cycles.as_u64();
+        for k in 0..clusters {
+            let d = noc.host_unicast(Cycle::ZERO, k);
+            prop_assert_eq!(d.injected.as_u64(), (k as u64 + 1) * inject);
+        }
+    }
+
+    /// Upstream completion stores to a shared device serialize at its
+    /// ingress: the k-th simultaneous arrival is delayed k cycles.
+    #[test]
+    fn upstream_ingress_serializes(clusters in 2usize..=64) {
+        let cfg = NocConfig::manticore();
+        let mut noc = Interconnect::new(cfg, clusters);
+        let mut last = Cycle::ZERO;
+        for k in 0..clusters {
+            let t = noc.cluster_upstream(Cycle::ZERO, k);
+            if k > 0 {
+                prop_assert_eq!(t, last + cfg.ingress_cycles);
+            }
+            last = t;
+        }
+    }
+
+    /// The credit sideband does NOT serialize simultaneous arrivals.
+    #[test]
+    fn credit_sideband_is_contention_free(clusters in 2usize..=64) {
+        let mut noc = Interconnect::new(NocConfig::manticore(), clusters);
+        let times: Vec<Cycle> = (0..clusters)
+            .map(|k| noc.credit_upstream(Cycle::ZERO, k))
+            .collect();
+        prop_assert!(times.windows(2).all(|w| w[0] == w[1]));
+    }
+}

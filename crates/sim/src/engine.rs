@@ -1,0 +1,446 @@
+//! The discrete-event simulation loop.
+
+use std::fmt;
+
+use crate::{Cycle, EventQueue};
+
+/// Behaviour of a simulated system: a state type plus an event handler.
+///
+/// The engine owns a value of the implementing type and delivers events to
+/// it in deterministic timestamp/FIFO order. Handlers schedule follow-up
+/// events through the [`Scheduler`] they are given.
+///
+/// This "one state struct + one event enum" design (rather than a
+/// trait-object component graph) keeps cross-component interactions — e.g.
+/// a DMA engine querying the memory controller's bandwidth tracker — plain
+/// borrow-checker-friendly method calls.
+pub trait Simulate {
+    /// The event payload type delivered to [`Simulate::handle`].
+    type Event;
+
+    /// Handles one event at simulation time `now`.
+    fn handle(&mut self, sched: &mut Scheduler<Self::Event>, now: Cycle, event: Self::Event);
+
+    /// Invoked when the event queue drains; may schedule more events to
+    /// keep the simulation alive (e.g. a polling loop). The default does
+    /// nothing, ending the simulation.
+    fn on_quiescent(&mut self, _sched: &mut Scheduler<Self::Event>, _now: Cycle) {}
+}
+
+impl<S: Simulate + ?Sized> Simulate for &mut S {
+    type Event = S::Event;
+
+    fn handle(&mut self, sched: &mut Scheduler<Self::Event>, now: Cycle, event: Self::Event) {
+        (**self).handle(sched, now, event);
+    }
+
+    fn on_quiescent(&mut self, sched: &mut Scheduler<Self::Event>, now: Cycle) {
+        (**self).on_quiescent(sched, now);
+    }
+}
+
+/// Handle through which event handlers schedule future events.
+///
+/// Scheduling into the past is a logic error; see [`Scheduler::schedule_at`].
+#[derive(Debug)]
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: Cycle,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// The current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time: the engine's clock
+    /// only moves forward, and an event in the past would silently corrupt
+    /// causality.
+    pub fn schedule_at(&mut self, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` to fire `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: Cycle, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` to fire this very cycle, after all events already
+    /// queued for this cycle (FIFO order).
+    pub fn schedule_now(&mut self, event: E) {
+        self.queue.push(self.now, event);
+    }
+}
+
+/// Why [`Engine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunResult {
+    /// The event queue drained and `on_quiescent` scheduled nothing.
+    Quiescent,
+    /// The step budget was exhausted before the queue drained.
+    BudgetExhausted,
+    /// The time horizon was reached before the queue drained.
+    HorizonReached,
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RunResult::Quiescent => "quiescent",
+            RunResult::BudgetExhausted => "budget exhausted",
+            RunResult::HorizonReached => "horizon reached",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Limits for a single [`Engine::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepBudget {
+    /// Maximum number of events to deliver. `u64::MAX` means unlimited.
+    pub max_events: u64,
+    /// Do not deliver events scheduled after this time.
+    pub horizon: Cycle,
+}
+
+impl StepBudget {
+    /// No limits: run until quiescent.
+    pub const UNLIMITED: StepBudget = StepBudget {
+        max_events: u64::MAX,
+        horizon: Cycle::MAX,
+    };
+
+    /// Limits only the number of delivered events.
+    pub fn events(max_events: u64) -> Self {
+        StepBudget {
+            max_events,
+            horizon: Cycle::MAX,
+        }
+    }
+
+    /// Limits only the simulated time horizon.
+    pub fn until(horizon: Cycle) -> Self {
+        StepBudget {
+            max_events: u64::MAX,
+            horizon,
+        }
+    }
+}
+
+impl Default for StepBudget {
+    fn default() -> Self {
+        StepBudget::UNLIMITED
+    }
+}
+
+/// The event loop: owns the simulated state, the queue and the clock.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_sim::{Cycle, Engine, Scheduler, Simulate};
+///
+/// struct PingPong { bounces: u32 }
+///
+/// #[derive(Debug)]
+/// enum Ev { Ping, Pong }
+///
+/// impl Simulate for PingPong {
+///     type Event = Ev;
+///     fn handle(&mut self, sched: &mut Scheduler<Ev>, _now: Cycle, ev: Ev) {
+///         self.bounces += 1;
+///         if self.bounces < 6 {
+///             match ev {
+///                 Ev::Ping => sched.schedule_in(Cycle::new(1), Ev::Pong),
+///                 Ev::Pong => sched.schedule_in(Cycle::new(2), Ev::Ping),
+///             }
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new(PingPong { bounces: 0 });
+/// engine.schedule_at(Cycle::ZERO, Ev::Ping);
+/// engine.run_to_completion();
+/// assert_eq!(engine.state().bounces, 6);
+/// ```
+#[derive(Debug)]
+pub struct Engine<S: Simulate> {
+    state: S,
+    queue: EventQueue<S::Event>,
+    now: Cycle,
+    delivered: u64,
+}
+
+impl<S: Simulate> Engine<S> {
+    /// Creates an engine at time zero wrapping `state`.
+    pub fn new(state: S) -> Self {
+        Engine {
+            state,
+            queue: EventQueue::new(),
+            now: Cycle::ZERO,
+            delivered: 0,
+        }
+    }
+
+    /// The current simulation time (the timestamp of the last delivered
+    /// event, or zero before any delivery).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn events_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared access to the simulated state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the simulated state.
+    ///
+    /// Mutating state between runs is how a test bench injects stimuli.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the engine, returning the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Schedules an event from outside the simulation (test benches,
+    /// experiment drivers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time.
+    pub fn schedule_at(&mut self, at: Cycle, event: S::Event) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Delivers a single event, advancing the clock. Returns `false` if the
+    /// queue was empty (after giving `on_quiescent` one chance to refill it).
+    pub fn step(&mut self) -> bool {
+        if self.queue.is_empty() {
+            let mut sched = Scheduler {
+                queue: &mut self.queue,
+                now: self.now,
+            };
+            self.state.on_quiescent(&mut sched, self.now);
+            if self.queue.is_empty() {
+                return false;
+            }
+        }
+        let ev = self.queue.pop().expect("non-empty checked above");
+        let (time, payload) = ev.into_parts();
+        debug_assert!(time >= self.now, "event queue returned a past event");
+        self.now = time;
+        self.delivered += 1;
+        let mut sched = Scheduler {
+            queue: &mut self.queue,
+            now: self.now,
+        };
+        self.state.handle(&mut sched, time, payload);
+        true
+    }
+
+    /// Runs until the queue is quiescent or the `budget` is exhausted.
+    pub fn run(&mut self, budget: StepBudget) -> RunResult {
+        let mut steps = 0u64;
+        loop {
+            if steps >= budget.max_events {
+                return RunResult::BudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                Some(t) if t > budget.horizon => return RunResult::HorizonReached,
+                _ => {}
+            }
+            if !self.step() {
+                return RunResult::Quiescent;
+            }
+            steps += 1;
+        }
+    }
+
+    /// Runs until quiescent with no limits.
+    pub fn run_to_completion(&mut self) -> RunResult {
+        self.run(StepBudget::UNLIMITED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        log: Vec<(u64, u32)>,
+        chain: u32,
+    }
+
+    impl Simulate for Recorder {
+        type Event = u32;
+        fn handle(&mut self, sched: &mut Scheduler<u32>, now: Cycle, ev: u32) {
+            self.log.push((now.as_u64(), ev));
+            if ev == 100 && self.chain > 0 {
+                self.chain -= 1;
+                sched.schedule_in(Cycle::new(5), 100);
+            }
+        }
+    }
+
+    fn recorder() -> Engine<Recorder> {
+        Engine::new(Recorder {
+            log: Vec::new(),
+            chain: 0,
+        })
+    }
+
+    #[test]
+    fn delivers_in_order_with_fifo_ties() {
+        let mut e = recorder();
+        e.schedule_at(Cycle::new(10), 1);
+        e.schedule_at(Cycle::new(5), 2);
+        e.schedule_at(Cycle::new(10), 3);
+        assert_eq!(e.run_to_completion(), RunResult::Quiescent);
+        assert_eq!(e.state().log, vec![(5, 2), (10, 1), (10, 3)]);
+        assert_eq!(e.now(), Cycle::new(10));
+        assert_eq!(e.events_delivered(), 3);
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut e = recorder();
+        e.state_mut().chain = 4;
+        e.schedule_at(Cycle::ZERO, 100);
+        e.run_to_completion();
+        assert_eq!(
+            e.state().log,
+            vec![(0, 100), (5, 100), (10, 100), (15, 100), (20, 100)]
+        );
+    }
+
+    #[test]
+    fn budget_limits_event_count() {
+        let mut e = recorder();
+        e.state_mut().chain = 1000;
+        e.schedule_at(Cycle::ZERO, 100);
+        assert_eq!(e.run(StepBudget::events(10)), RunResult::BudgetExhausted);
+        assert_eq!(e.events_delivered(), 10);
+        // Continue to completion afterwards.
+        assert_eq!(e.run_to_completion(), RunResult::Quiescent);
+        assert_eq!(e.events_delivered(), 1001);
+    }
+
+    #[test]
+    fn horizon_stops_before_future_events() {
+        let mut e = recorder();
+        e.schedule_at(Cycle::new(10), 1);
+        e.schedule_at(Cycle::new(100), 2);
+        assert_eq!(
+            e.run(StepBudget::until(Cycle::new(50))),
+            RunResult::HorizonReached
+        );
+        assert_eq!(e.state().log, vec![(10, 1)]);
+        assert_eq!(e.events_pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut e = recorder();
+        e.schedule_at(Cycle::new(10), 1);
+        e.run_to_completion();
+        e.schedule_at(Cycle::new(5), 2);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_cycle_fifo() {
+        struct NowChainer {
+            seen: Vec<u32>,
+        }
+        impl Simulate for NowChainer {
+            type Event = u32;
+            fn handle(&mut self, sched: &mut Scheduler<u32>, _now: Cycle, ev: u32) {
+                self.seen.push(ev);
+                if ev == 0 {
+                    sched.schedule_now(1);
+                }
+            }
+        }
+        let mut e = Engine::new(NowChainer { seen: vec![] });
+        e.schedule_at(Cycle::new(3), 0);
+        e.schedule_at(Cycle::new(3), 2);
+        e.run_to_completion();
+        // Event 1 was scheduled during delivery of 0, so it fires after 2.
+        assert_eq!(e.state().seen, vec![0, 2, 1]);
+        assert_eq!(e.now(), Cycle::new(3));
+    }
+
+    #[test]
+    fn quiescent_hook_can_extend_the_run() {
+        struct Refiller {
+            refills: u32,
+            fired: u32,
+        }
+        impl Simulate for Refiller {
+            type Event = ();
+            fn handle(&mut self, _s: &mut Scheduler<()>, _n: Cycle, _e: ()) {
+                self.fired += 1;
+            }
+            fn on_quiescent(&mut self, sched: &mut Scheduler<()>, _now: Cycle) {
+                if self.refills > 0 {
+                    self.refills -= 1;
+                    sched.schedule_in(Cycle::new(1), ());
+                }
+            }
+        }
+        let mut e = Engine::new(Refiller {
+            refills: 3,
+            fired: 0,
+        });
+        e.schedule_at(Cycle::ZERO, ());
+        e.run_to_completion();
+        assert_eq!(e.state().fired, 4);
+        assert_eq!(e.now(), Cycle::new(3));
+    }
+
+    #[test]
+    fn into_state_returns_final_state() {
+        let mut e = recorder();
+        e.schedule_at(Cycle::new(1), 9);
+        e.run_to_completion();
+        let s = e.into_state();
+        assert_eq!(s.log, vec![(1, 9)]);
+    }
+
+    #[test]
+    fn run_result_display() {
+        assert_eq!(RunResult::Quiescent.to_string(), "quiescent");
+        assert_eq!(RunResult::BudgetExhausted.to_string(), "budget exhausted");
+        assert_eq!(RunResult::HorizonReached.to_string(), "horizon reached");
+    }
+}

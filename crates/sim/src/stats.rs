@@ -1,0 +1,309 @@
+//! Lightweight instrumentation: named counters and streaming summaries.
+//!
+//! Every hardware model in the workspace records what it did (events
+//! delivered, bytes moved, conflicts suffered) into a [`StatsRegistry`] so
+//! experiments can report utilization breakdowns next to raw runtimes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A streaming summary of an observed quantity: count, sum, min, max and
+/// mean, without storing samples.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_sim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [2.0, 4.0, 6.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), Some(4.0));
+/// assert_eq!(s.min(), Some(2.0));
+/// assert_eq!(s.max(), Some(6.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            if value < self.min {
+                self.min = value;
+            }
+            if value > self.max {
+                self.max = value;
+            }
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples, `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest recorded sample, `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={:.3} min={:.3} max={:.3}",
+                self.count, mean, self.min, self.max
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+/// A registry of named `u64` counters and named [`Summary`] series.
+///
+/// Names are ordinary `&str` keys stored in sorted order so reports are
+/// stable across runs.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_sim::stats::StatsRegistry;
+///
+/// let mut stats = StatsRegistry::new();
+/// stats.add("noc.multicast_stores", 1);
+/// stats.add("noc.multicast_stores", 1);
+/// stats.observe("dma.burst_cycles", 12.0);
+/// assert_eq!(stats.counter("noc.multicast_stores"), 2);
+/// assert_eq!(stats.counter("unknown"), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatsRegistry {
+    counters: BTreeMap<String, u64>,
+    summaries: BTreeMap<String, Summary>,
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        StatsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter; absent counters read as zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into the summary `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.summaries
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// Reads a summary; absent summaries read as empty.
+    pub fn summary(&self, name: &str) -> Summary {
+        self.summaries.get(name).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(name, value)` counter pairs in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over `(name, summary)` pairs in name order.
+    pub fn summaries(&self) -> impl Iterator<Item = (&str, &Summary)> {
+        self.summaries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one (counters add, summaries merge).
+    pub fn merge(&mut self, other: &StatsRegistry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, summary) in &other.summaries {
+            self.summaries
+                .entry(name.clone())
+                .or_default()
+                .merge(summary);
+        }
+    }
+
+    /// Removes all counters and summaries.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.summaries.clear();
+    }
+}
+
+impl fmt::Display for StatsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in &self.counters {
+            writeln!(f, "{name}: {value}")?;
+        }
+        for (name, summary) in &self.summaries {
+            writeln!(f, "{name}: {summary}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_empty_behaviour() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let mut s = Summary::new();
+        s.record(-3.5);
+        assert_eq!(s.mean(), Some(-3.5));
+        assert_eq!(s.min(), Some(-3.5));
+        assert_eq!(s.max(), Some(-3.5));
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a = Summary::new();
+        a.record(1.0);
+        a.record(2.0);
+        let mut b = Summary::new();
+        b.record(10.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), Some(10.0));
+        assert_eq!(a.min(), Some(1.0));
+
+        let mut empty = Summary::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 3);
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn registry_counters() {
+        let mut r = StatsRegistry::new();
+        r.incr("a");
+        r.add("a", 4);
+        r.add("b", 1);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("b"), 1);
+        assert_eq!(r.counter("missing"), 0);
+        let names: Vec<&str> = r.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn registry_summaries() {
+        let mut r = StatsRegistry::new();
+        r.observe("lat", 5.0);
+        r.observe("lat", 15.0);
+        assert_eq!(r.summary("lat").mean(), Some(10.0));
+        assert_eq!(r.summary("missing").count(), 0);
+    }
+
+    #[test]
+    fn registry_merge_and_clear() {
+        let mut a = StatsRegistry::new();
+        a.add("x", 2);
+        a.observe("s", 1.0);
+        let mut b = StatsRegistry::new();
+        b.add("x", 3);
+        b.add("y", 1);
+        b.observe("s", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.summary("s").count(), 2);
+        a.clear();
+        assert_eq!(a.counter("x"), 0);
+        assert_eq!(a.counters().count(), 0);
+    }
+
+    #[test]
+    fn registry_display_lists_everything() {
+        let mut r = StatsRegistry::new();
+        r.add("events", 7);
+        r.observe("lat", 2.0);
+        let text = r.to_string();
+        assert!(text.contains("events: 7"));
+        assert!(text.contains("lat: n=1"));
+    }
+}

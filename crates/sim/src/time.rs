@@ -1,0 +1,272 @@
+//! Strongly-typed simulation time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in (or duration of) simulated time, measured in clock cycles.
+///
+/// The paper's testbench drives all clocks at 1 GHz, so one [`Cycle`] is
+/// also one nanosecond; all runtimes reported by the experiment harness are
+/// therefore directly comparable with the paper's nanosecond axes.
+///
+/// `Cycle` is used both as an absolute timestamp and as a duration; the
+/// arithmetic impls (`Add`, `Sub`, scalar `Mul`/`Div`) cover both uses.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_sim::Cycle;
+///
+/// let start = Cycle::new(100);
+/// let latency = Cycle::new(25);
+/// assert_eq!(start + latency, Cycle::new(125));
+/// assert_eq!((start + latency).as_u64(), 125);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero / the zero duration.
+    pub const ZERO: Cycle = Cycle(0);
+    /// The largest representable time; useful as an "infinitely far" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle count from a raw `u64`.
+    ///
+    /// ```
+    /// # use mpsoc_sim::Cycle;
+    /// assert_eq!(Cycle::new(7).as_u64(), 7);
+    /// ```
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cycle count as `f64`, convenient for model fitting.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Saturating subtraction: returns `self - rhs`, or [`Cycle::ZERO`] if
+    /// `rhs > self`.
+    ///
+    /// ```
+    /// # use mpsoc_sim::Cycle;
+    /// assert_eq!(Cycle::new(3).saturating_sub(Cycle::new(10)), Cycle::ZERO);
+    /// ```
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, rhs: Cycle) -> Option<Cycle> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Cycle(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the later of two timestamps.
+    ///
+    /// ```
+    /// # use mpsoc_sim::Cycle;
+    /// assert_eq!(Cycle::new(3).max(Cycle::new(10)), Cycle::new(10));
+    /// ```
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(value: u64) -> Self {
+        Cycle(value)
+    }
+}
+
+impl From<u32> for Cycle {
+    fn from(value: u32) -> Self {
+        Cycle(u64::from(value))
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(value: Cycle) -> Self {
+        value.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (time underflow). Use
+    /// [`Cycle::saturating_sub`] when underflow is expected.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycle {
+        Cycle(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycle {
+    type Output = Cycle;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[inline]
+    fn div(self, rhs: u64) -> Cycle {
+        Cycle(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = Cycle::new(42);
+        assert_eq!(c.as_u64(), 42);
+        assert_eq!(c.as_f64(), 42.0);
+        assert_eq!(u64::from(c), 42);
+        assert_eq!(Cycle::from(42u64), c);
+        assert_eq!(Cycle::from(42u32), c);
+    }
+
+    #[test]
+    fn zero_and_default_agree() {
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+        assert_eq!(Cycle::ZERO.as_u64(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(4);
+        assert_eq!(a + b, Cycle::new(14));
+        assert_eq!(a - b, Cycle::new(6));
+        assert_eq!(a * 3, Cycle::new(30));
+        assert_eq!(a / 2, Cycle::new(5));
+
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycle::new(14));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        assert_eq!(Cycle::new(3).saturating_sub(Cycle::new(7)), Cycle::ZERO);
+        assert_eq!(Cycle::new(7).saturating_sub(Cycle::new(3)), Cycle::new(4));
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(Cycle::MAX.checked_add(Cycle::new(1)), None);
+        assert_eq!(
+            Cycle::new(1).checked_add(Cycle::new(2)),
+            Some(Cycle::new(3))
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Cycle::new(5);
+        let b = Cycle::new(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(a), a);
+    }
+
+    #[test]
+    fn ordering_and_sum() {
+        let mut v = vec![Cycle::new(3), Cycle::new(1), Cycle::new(2)];
+        v.sort();
+        assert_eq!(v, vec![Cycle::new(1), Cycle::new(2), Cycle::new(3)]);
+        let total: Cycle = v.into_iter().sum();
+        assert_eq!(total, Cycle::new(6));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle::new(12).to_string(), "12 cyc");
+    }
+
+    #[test]
+    fn max_is_a_usable_sentinel() {
+        assert!(Cycle::new(u64::MAX - 1) < Cycle::MAX);
+        assert_eq!(Cycle::MAX.saturating_sub(Cycle::ZERO), Cycle::MAX);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the simulation kernel: total event order, FIFO
+//! stability, and resource-accounting conservation laws.
+
+use proptest::prelude::*;
+
+use mpsoc_sim::{BankedResource, Cycle, EventQueue, ThroughputResource, UnitResource};
+
+proptest! {
+    /// Popping returns events in non-decreasing time order, and events
+    /// with equal timestamps come out in insertion order.
+    #[test]
+    fn event_queue_is_totally_ordered_and_stable(
+        times in prop::collection::vec(0u64..50, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Cycle::new(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push(ev.into_parts());
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        // Non-decreasing time, FIFO within equal time.
+        for w in popped.windows(2) {
+            let ((t0, i0), (t1, i1)) = (w[0], w[1]);
+            prop_assert!(t0 <= t1);
+            if t0 == t1 {
+                prop_assert!(i0 < i1, "same-cycle events must stay FIFO");
+            }
+        }
+        // And it is a permutation: every payload appears once.
+        let mut seen = vec![false; times.len()];
+        for (_, i) in popped {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+    }
+
+    /// A unit resource serves every request exactly once, never
+    /// overlapping grants and never before the request time.
+    #[test]
+    fn unit_resource_grants_are_serial(
+        requests in prop::collection::vec((0u64..100, 1u64..10), 1..50),
+    ) {
+        let mut r = UnitResource::new();
+        let mut sorted = requests.clone();
+        sorted.sort();
+        let mut prev_end = 0u64;
+        for &(at, dur) in &sorted {
+            let start = r.acquire(Cycle::new(at), Cycle::new(dur));
+            prop_assert!(start.as_u64() >= at, "grant before request");
+            prop_assert!(start.as_u64() >= prev_end, "grants overlap");
+            prev_end = start.as_u64() + dur;
+        }
+        let total: u64 = sorted.iter().map(|&(_, d)| d).sum();
+        prop_assert_eq!(r.busy_cycles(), total);
+        prop_assert_eq!(r.grants(), sorted.len() as u64);
+    }
+
+    /// Bandwidth accounting conserves work: total items served divided by
+    /// the rate bounds the completion time from below.
+    #[test]
+    fn throughput_conserves_work(
+        rate in 1u64..64,
+        bursts in prop::collection::vec(1u64..100, 1..100),
+    ) {
+        let mut r = ThroughputResource::new(rate);
+        let mut last_done = Cycle::ZERO;
+        for &b in &bursts {
+            last_done = last_done.max(r.acquire(Cycle::ZERO, b));
+        }
+        let total: u64 = bursts.iter().sum();
+        prop_assert_eq!(r.items_served(), total);
+        // Lower bound: can't finish faster than the rate allows.
+        prop_assert!(last_done.as_u64() >= total / rate);
+        // Upper bound: FIFO from time zero wastes nothing.
+        prop_assert!(last_done.as_u64() <= total.div_ceil(rate));
+    }
+
+    /// Slot-continuation chains from time zero are exactly rate-limited.
+    #[test]
+    fn slot_chaining_is_exact(
+        rate in 1u64..64,
+        bursts in prop::collection::vec(1u64..64, 1..80),
+    ) {
+        let mut r = ThroughputResource::new(rate);
+        let mut slot = r.slot_of(Cycle::ZERO);
+        let mut done = Cycle::ZERO;
+        for &b in &bursts {
+            let (end, d) = r.acquire_from_slot(slot, b);
+            prop_assert_eq!(end, slot + b, "chained bursts must be gapless");
+            slot = end;
+            done = d;
+        }
+        let total: u64 = bursts.iter().sum();
+        prop_assert_eq!(done, Cycle::new(total.div_ceil(rate)));
+    }
+
+    /// Same-cycle accesses to one bank serialize; to distinct banks they
+    /// do not.
+    #[test]
+    fn banked_resource_serializes_per_bank(
+        banks in 1usize..16,
+        accesses in prop::collection::vec(0usize..16, 1..100),
+    ) {
+        let mut r = BankedResource::new(banks, Cycle::new(1));
+        let mut per_bank_count = vec![0u64; banks];
+        for &a in &accesses {
+            let bank = a % banks;
+            let grant = r.acquire(bank, Cycle::ZERO);
+            // k-th same-cycle access to one bank is granted at cycle k.
+            prop_assert_eq!(grant, Cycle::new(per_bank_count[bank]));
+            per_bank_count[bank] += 1;
+        }
+        let conflicts_expected: u64 = per_bank_count
+            .iter()
+            .map(|&c| c.saturating_sub(1))
+            .sum();
+        prop_assert_eq!(r.conflicts(), conflicts_expected);
+    }
+}

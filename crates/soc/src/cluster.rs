@@ -1,0 +1,191 @@
+//! Accelerator cluster state: job bindings, phases and timing records.
+
+use mpsoc_isa::{ExecReport, Program};
+use mpsoc_mem::Addr;
+use mpsoc_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// One bulk DMA transfer between main memory and a cluster's TCDM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Source/destination address in main memory.
+    pub main_addr: Addr,
+    /// Destination/source word index in the cluster's TCDM.
+    pub local_word: u64,
+    /// Number of 64-bit words.
+    pub words: u64,
+}
+
+/// How a cluster announces job completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionSignal {
+    /// Post a write to the credit-counter unit (the paper's extension).
+    Credit,
+    /// Atomically increment a software-barrier counter in main memory
+    /// (the baseline runtime); the host polls it.
+    Barrier {
+        /// Address of the barrier counter word.
+        addr: Addr,
+    },
+}
+
+/// One pipeline stage of a cluster's job: data in, compute, data out.
+#[derive(Debug, Clone)]
+pub struct JobStage {
+    /// DMA-in transfers (main → TCDM), performed before this stage's
+    /// compute.
+    pub dma_in: Vec<Transfer>,
+    /// One micro-op program per worker core, in core order.
+    pub programs: Vec<Program>,
+    /// DMA-out transfers (TCDM → main), performed after this stage's
+    /// compute.
+    pub dma_out: Vec<Transfer>,
+}
+
+/// Everything a cluster needs to execute its share of an offloaded job.
+///
+/// The offload runtime builds one `ClusterJob` per selected cluster from
+/// the kernel, the partition and the SoC memory layout, and installs it
+/// with [`Soc::bind_job`](crate::Soc::bind_job). In hardware these
+/// parameters travel inside the job descriptor; pre-binding them keeps
+/// the simulator's descriptor *fetch* (which is what costs cycles) simple
+/// while the *contents* stay faithful.
+///
+/// A job consists of one or more [`JobStage`]s. With a single stage the
+/// cluster behaves as in the paper: DMA-in → compute → DMA-out. With
+/// multiple stages the cluster's DMA engine and worker cores form a
+/// pipeline — stage `k+1`'s DMA-in overlaps stage `k`'s compute (double
+/// buffering), hiding data movement behind arithmetic.
+#[derive(Debug, Clone)]
+pub struct ClusterJob {
+    /// The pipeline stages, executed in order with overlap.
+    pub stages: Vec<JobStage>,
+    /// Scalar kernel arguments staged into the TCDM argument area
+    /// (followed by one zero word, per the kernel ABI).
+    pub args: Vec<f64>,
+    /// TCDM word index of the argument area.
+    pub args_local_word: u64,
+    /// Completion mechanism.
+    pub completion: CompletionSignal,
+}
+
+impl ClusterJob {
+    /// Builds the classic single-stage job of the paper's runtimes.
+    pub fn single(
+        programs: Vec<Program>,
+        dma_in: Vec<Transfer>,
+        dma_out: Vec<Transfer>,
+        args: Vec<f64>,
+        args_local_word: u64,
+        completion: CompletionSignal,
+    ) -> Self {
+        ClusterJob {
+            stages: vec![JobStage {
+                dma_in,
+                programs,
+                dma_out,
+            }],
+            args,
+            args_local_word,
+            completion,
+        }
+    }
+}
+
+/// Execution progress of one [`JobStage`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StageProgress {
+    pub in_started: bool,
+    pub in_done: bool,
+    pub compute_started: bool,
+    pub compute_done: bool,
+    pub out_started: bool,
+    pub out_done: bool,
+}
+
+/// Where a cluster currently is in the offload pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterPhase {
+    /// No job in flight.
+    #[default]
+    Idle,
+    /// Doorbell received, controller waking.
+    Waking,
+    /// Fetching the job descriptor from main memory.
+    Fetching,
+    /// DMA-in in flight.
+    DmaIn,
+    /// Worker cores running.
+    Computing,
+    /// DMA-out in flight.
+    DmaOut,
+    /// Completion signal posted.
+    Done,
+}
+
+/// Per-cluster phase timestamps for one offload, all absolute cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClusterTiming {
+    /// Doorbell delivery.
+    pub woken_at: Cycle,
+    /// Descriptor fetched and decoded.
+    pub desc_at: Cycle,
+    /// DMA-in complete.
+    pub dma_in_at: Cycle,
+    /// All worker cores halted.
+    pub compute_at: Cycle,
+    /// DMA-out complete.
+    pub dma_out_at: Cycle,
+    /// Completion signal arrived at its destination.
+    pub complete_at: Cycle,
+}
+
+/// Internal per-cluster simulation state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClusterState {
+    pub job: Option<ClusterJob>,
+    pub phase: ClusterPhase,
+    pub timing: ClusterTiming,
+    pub core_reports: Vec<ExecReport>,
+    pub mailbox_job_ptr: u64,
+    /// Per-stage pipeline progress (sized to the job's stage count when
+    /// the descriptor arrives).
+    pub stages: Vec<StageProgress>,
+    /// `true` while the cluster DMA engine is busy with a task.
+    pub dma_busy: bool,
+    /// `true` while the worker cores are running a stage.
+    pub compute_busy: bool,
+    /// Guards against posting the completion signal twice.
+    pub completed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_default_is_idle() {
+        assert_eq!(ClusterPhase::default(), ClusterPhase::Idle);
+    }
+
+    #[test]
+    fn transfer_and_signal_are_plain_data() {
+        let t = Transfer {
+            main_addr: Addr::new(0x8000_0000),
+            local_word: 4,
+            words: 128,
+        };
+        assert_eq!(t.words, 128);
+        let c = CompletionSignal::Barrier {
+            addr: Addr::new(0x8000_1000),
+        };
+        assert_ne!(c, CompletionSignal::Credit);
+    }
+
+    #[test]
+    fn timing_defaults_to_zero() {
+        let t = ClusterTiming::default();
+        assert_eq!(t.woken_at, Cycle::ZERO);
+        assert_eq!(t.complete_at, Cycle::ZERO);
+    }
+}

@@ -1,0 +1,202 @@
+//! SoC configuration and presets.
+
+use mpsoc_isa::CoreTiming;
+use mpsoc_mem::BankMode;
+use mpsoc_noc::NocConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::EnergyModel;
+
+/// Full parameterization of the simulated MPSoC.
+///
+/// The [`SocConfig::manticore`] preset is the calibrated configuration
+/// every experiment uses: 32 clusters × 8 worker cores (+1 DMA/controller
+/// core each, matching the paper's 288-core accelerator at 9 cores per
+/// cluster), 12 words/cycle of serial host operand preparation (the
+/// paper's `N/4` term for DAXPY's 3·N words), width-bound per-cluster DMA
+/// engines, and the dispatch/synchronization latencies that land the
+/// multicast offload constant near the paper's 367 cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocConfig {
+    /// Number of accelerator clusters (1–64).
+    pub clusters: usize,
+    /// Worker cores per cluster (the controller/DMA core is additional).
+    pub cores_per_cluster: usize,
+    /// Per-cluster TCDM capacity in 64-bit words.
+    pub tcdm_words: u64,
+    /// TCDM banks per cluster.
+    pub tcdm_banks: usize,
+    /// TCDM bank-conflict model.
+    pub bank_mode: BankMode,
+    /// Main-memory capacity in words.
+    pub main_words: u64,
+    /// Aggregate main-memory bandwidth in words per cycle (the HBM
+    /// system; sized so concurrent cluster DMA engines are width-bound,
+    /// not contention-bound, up to the full 32-cluster configuration).
+    pub mem_words_per_cycle: u64,
+    /// Host operand-preparation throughput in words per cycle: the rate
+    /// at which the host flushes/copies operands to accelerator-visible
+    /// memory before dispatch. This is the *serial* data term of the
+    /// paper's Eq. 1: DAXPY moves 3·N words at 12 words/cycle → `N/4`.
+    pub host_prep_words_per_cycle: u64,
+    /// Main-memory fixed access latency in cycles.
+    pub mem_latency: u64,
+    /// Atomic-unit service time per AMO, in cycles.
+    pub amo_service: u64,
+    /// Interconnect parameters.
+    pub noc: NocConfig,
+    /// Worker-core pipeline timing.
+    pub core_timing: CoreTiming,
+    /// Per-cluster DMA engine width in words per cycle.
+    pub dma_words_per_cycle: u64,
+    /// Cluster controller wake-up time from the doorbell, in cycles.
+    pub cluster_wake_cycles: u64,
+    /// Cluster-side job setup after the descriptor arrives (decode,
+    /// partition arithmetic, argument staging), in cycles.
+    pub cluster_setup_cycles: u64,
+    /// Cost of starting the worker cores, in cycles.
+    pub core_start_cycles: u64,
+    /// Job descriptor size in words (fetched by each cluster).
+    pub descriptor_words: u64,
+    /// Credit-unit interrupt wire latency to the host, in cycles.
+    pub irq_latency: u64,
+    /// Energy coefficients.
+    pub energy: EnergyModel,
+}
+
+impl SocConfig {
+    /// The calibrated Manticore-class configuration (32 clusters,
+    /// 256 + 1 + 32 cores counting host and controllers).
+    pub fn manticore() -> Self {
+        SocConfig {
+            clusters: 32,
+            cores_per_cluster: 8,
+            tcdm_words: 256 * 1024 / 8,
+            tcdm_banks: 32,
+            bank_mode: BankMode::Ideal,
+            main_words: 1 << 22, // 32 MiB
+            mem_words_per_cycle: 512,
+            host_prep_words_per_cycle: 12,
+            mem_latency: 20,
+            amo_service: 4,
+            noc: NocConfig::manticore(),
+            core_timing: CoreTiming::snitch(),
+            dma_words_per_cycle: 16,
+            cluster_wake_cycles: 30,
+            cluster_setup_cycles: 44,
+            core_start_cycles: 10,
+            descriptor_words: 8,
+            irq_latency: 4,
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// The Manticore preset resized to `clusters` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero or exceeds 64.
+    pub fn with_clusters(clusters: usize) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        assert!(clusters <= 64, "at most 64 clusters are supported");
+        SocConfig {
+            clusters,
+            ..SocConfig::manticore()
+        }
+    }
+
+    /// Total worker cores in the accelerator.
+    pub fn total_worker_cores(&self) -> usize {
+        self.clusters * self.cores_per_cluster
+    }
+
+    /// Total accelerator cores counting each cluster's controller/DMA
+    /// core, as the paper counts them (9 per cluster).
+    pub fn total_accelerator_cores(&self) -> usize {
+        self.clusters * (self.cores_per_cluster + 1)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.clusters == 0 || self.clusters > 64 {
+            return Err(format!("clusters must be in 1..=64, got {}", self.clusters));
+        }
+        if self.cores_per_cluster == 0 {
+            return Err("cores_per_cluster must be positive".to_owned());
+        }
+        if self.mem_words_per_cycle == 0 {
+            return Err("mem_words_per_cycle must be positive".to_owned());
+        }
+        if self.host_prep_words_per_cycle == 0 {
+            return Err("host_prep_words_per_cycle must be positive".to_owned());
+        }
+        if self.dma_words_per_cycle == 0 {
+            return Err("dma_words_per_cycle must be positive".to_owned());
+        }
+        if self.tcdm_words == 0 {
+            return Err("tcdm_words must be positive".to_owned());
+        }
+        if self.descriptor_words == 0 {
+            return Err("descriptor_words must be positive".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig::manticore()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manticore_matches_paper_geometry() {
+        let cfg = SocConfig::manticore();
+        assert_eq!(cfg.clusters, 32);
+        assert_eq!(cfg.cores_per_cluster, 8);
+        // 32 × 9 = 288 accelerator cores, "up to 288 in our experiments".
+        assert_eq!(cfg.total_accelerator_cores(), 288);
+        assert_eq!(cfg.total_worker_cores(), 256);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn with_clusters_resizes() {
+        let cfg = SocConfig::with_clusters(4);
+        assert_eq!(cfg.clusters, 4);
+        assert_eq!(cfg.cores_per_cluster, 8);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_bad_values() {
+        let mut cfg = SocConfig::manticore();
+        cfg.mem_words_per_cycle = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SocConfig::manticore();
+        cfg.clusters = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SocConfig::manticore();
+        cfg.cores_per_cluster = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn with_too_many_clusters_panics() {
+        let _ = SocConfig::with_clusters(65);
+    }
+
+    #[test]
+    fn default_is_manticore() {
+        assert_eq!(SocConfig::default(), SocConfig::manticore());
+    }
+}

@@ -1,0 +1,135 @@
+//! The dedicated accelerator→host synchronization unit.
+
+use mpsoc_sim::Cycle;
+
+/// The paper's centralized credit counter.
+///
+/// Before an offload, the host (CVA6) programs the number of selected
+/// clusters as the `threshold`. When a cluster finishes its share of the
+/// job it posts a write to the unit's increment register, which bumps the
+/// counter as a side effect. The moment the counter reaches the
+/// threshold, the unit fires an interrupt toward the host — no software
+/// polling, no shared-memory contention.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_soc::CreditCounter;
+/// use mpsoc_sim::Cycle;
+///
+/// let mut unit = CreditCounter::new();
+/// unit.arm(2);
+/// assert_eq!(unit.increment(Cycle::new(100)), None);
+/// assert_eq!(unit.increment(Cycle::new(105)), Some(Cycle::new(105)));
+/// assert_eq!(unit.count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CreditCounter {
+    threshold: u64,
+    count: u64,
+    armed: bool,
+    fired: bool,
+}
+
+impl CreditCounter {
+    /// Creates a disarmed unit.
+    pub fn new() -> Self {
+        CreditCounter::default()
+    }
+
+    /// Programs `threshold` and arms the unit, clearing the count.
+    pub fn arm(&mut self, threshold: u64) {
+        self.threshold = threshold;
+        self.count = 0;
+        self.armed = true;
+        self.fired = false;
+    }
+
+    /// Disarms and clears the unit (the memory-mapped `Reset` register).
+    pub fn reset(&mut self) {
+        *self = CreditCounter::default();
+    }
+
+    /// Current credit count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Programmed threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// `true` while armed and not yet fired.
+    pub fn is_armed(&self) -> bool {
+        self.armed && !self.fired
+    }
+
+    /// Registers one completion credit arriving at time `at`. Returns
+    /// `Some(at)` exactly once: when the count reaches the threshold on an
+    /// armed unit (the moment the interrupt wire is raised).
+    pub fn increment(&mut self, at: Cycle) -> Option<Cycle> {
+        self.count += 1;
+        if self.armed && !self.fired && self.count >= self.threshold {
+            self.fired = true;
+            return Some(at);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_at_threshold() {
+        let mut unit = CreditCounter::new();
+        unit.arm(3);
+        assert!(unit.is_armed());
+        assert_eq!(unit.increment(Cycle::new(1)), None);
+        assert_eq!(unit.increment(Cycle::new(2)), None);
+        assert_eq!(unit.increment(Cycle::new(3)), Some(Cycle::new(3)));
+        // A late (spurious) extra credit does not re-fire.
+        assert_eq!(unit.increment(Cycle::new(4)), None);
+        assert_eq!(unit.count(), 4);
+        assert!(!unit.is_armed());
+    }
+
+    #[test]
+    fn disarmed_unit_counts_but_never_fires() {
+        let mut unit = CreditCounter::new();
+        assert_eq!(unit.increment(Cycle::new(1)), None);
+        assert_eq!(unit.count(), 1);
+    }
+
+    #[test]
+    fn rearming_clears_count() {
+        let mut unit = CreditCounter::new();
+        unit.arm(1);
+        assert!(unit.increment(Cycle::new(5)).is_some());
+        unit.arm(2);
+        assert_eq!(unit.count(), 0);
+        assert_eq!(unit.threshold(), 2);
+        assert_eq!(unit.increment(Cycle::new(6)), None);
+        assert_eq!(unit.increment(Cycle::new(7)), Some(Cycle::new(7)));
+    }
+
+    #[test]
+    fn threshold_one_fires_immediately() {
+        let mut unit = CreditCounter::new();
+        unit.arm(1);
+        assert_eq!(unit.increment(Cycle::new(9)), Some(Cycle::new(9)));
+    }
+
+    #[test]
+    fn reset_disarms() {
+        let mut unit = CreditCounter::new();
+        unit.arm(5);
+        unit.increment(Cycle::new(1));
+        unit.reset();
+        assert_eq!(unit.count(), 0);
+        assert_eq!(unit.threshold(), 0);
+        assert!(!unit.is_armed());
+    }
+}

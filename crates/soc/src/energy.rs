@@ -1,0 +1,148 @@
+//! A first-order energy model.
+//!
+//! The paper motivates heterogeneous MPSoCs by energy efficiency and
+//! notes that offload overheads "add up to the runtime *and energy
+//! consumption*" of a job. This model turns the simulator's activity
+//! counters into a picojoule estimate so experiments can report energy
+//! next to runtime (e.g. the energy-constrained offload decision in
+//! `mpsoc-offload::decision`). Coefficients are order-of-magnitude values
+//! for a 22 nm-class node, not calibrated against silicon.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy coefficients in picojoules, plus idle power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per host busy cycle.
+    pub host_cycle_pj: f64,
+    /// Energy per retired worker-core micro-op.
+    pub core_op_pj: f64,
+    /// Energy per word moved by DMA (incl. the memory access).
+    pub dma_word_pj: f64,
+    /// Energy per word of main-memory traffic from the host.
+    pub mem_word_pj: f64,
+    /// Energy per NoC store (unicast or per-target multicast delivery).
+    pub noc_store_pj: f64,
+    /// Energy per credit-counter or barrier operation.
+    pub sync_op_pj: f64,
+    /// Idle/leakage power per cluster, in picojoules per cycle.
+    pub cluster_idle_pj_per_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            host_cycle_pj: 20.0,
+            core_op_pj: 2.0,
+            dma_word_pj: 6.0,
+            mem_word_pj: 8.0,
+            noc_store_pj: 3.0,
+            sync_op_pj: 2.0,
+            cluster_idle_pj_per_cycle: 1.5,
+        }
+    }
+}
+
+/// Activity totals for one offload, filled by the SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyActivity {
+    /// Host busy cycles.
+    pub host_cycles: u64,
+    /// Retired worker-core micro-ops across all clusters.
+    pub core_ops: u64,
+    /// Words moved by cluster DMA engines (both directions).
+    pub dma_words: u64,
+    /// Words of host-initiated main-memory traffic.
+    pub mem_words: u64,
+    /// NoC stores (dispatch + completion traffic).
+    pub noc_stores: u64,
+    /// Synchronization operations (credits, AMOs, polls).
+    pub sync_ops: u64,
+    /// Cluster-cycles of the whole offload (clusters × total runtime).
+    pub cluster_cycles: u64,
+}
+
+/// The energy estimate for one offload.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Host contribution, pJ.
+    pub host_pj: f64,
+    /// Worker-core compute contribution, pJ.
+    pub compute_pj: f64,
+    /// Data-movement contribution (DMA + host memory traffic), pJ.
+    pub data_pj: f64,
+    /// Dispatch/synchronization contribution, pJ.
+    pub sync_pj: f64,
+    /// Idle/leakage contribution, pJ.
+    pub idle_pj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.host_pj + self.compute_pj + self.data_pj + self.sync_pj + self.idle_pj
+    }
+}
+
+impl EnergyModel {
+    /// Evaluates the model on measured activity.
+    pub fn evaluate(&self, activity: &EnergyActivity) -> EnergyReport {
+        EnergyReport {
+            host_pj: activity.host_cycles as f64 * self.host_cycle_pj,
+            compute_pj: activity.core_ops as f64 * self.core_op_pj,
+            data_pj: activity.dma_words as f64 * self.dma_word_pj
+                + activity.mem_words as f64 * self.mem_word_pj,
+            sync_pj: activity.noc_stores as f64 * self.noc_store_pj
+                + activity.sync_ops as f64 * self.sync_op_pj,
+            idle_pj: activity.cluster_cycles as f64 * self.cluster_idle_pj_per_cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_activity_zero_energy() {
+        let report = EnergyModel::default().evaluate(&EnergyActivity::default());
+        assert_eq!(report.total_pj(), 0.0);
+    }
+
+    #[test]
+    fn contributions_add_up() {
+        let model = EnergyModel::default();
+        let activity = EnergyActivity {
+            host_cycles: 100,
+            core_ops: 1000,
+            dma_words: 300,
+            mem_words: 10,
+            noc_stores: 5,
+            sync_ops: 4,
+            cluster_cycles: 2000,
+        };
+        let report = model.evaluate(&activity);
+        assert_eq!(report.host_pj, 2000.0);
+        assert_eq!(report.compute_pj, 2000.0);
+        assert_eq!(report.data_pj, 300.0 * 6.0 + 80.0);
+        assert_eq!(report.sync_pj, 15.0 + 8.0);
+        assert_eq!(report.idle_pj, 3000.0);
+        let sum =
+            report.host_pj + report.compute_pj + report.data_pj + report.sync_pj + report.idle_pj;
+        assert_eq!(report.total_pj(), sum);
+    }
+
+    #[test]
+    fn more_activity_more_energy() {
+        let model = EnergyModel::default();
+        let small = EnergyActivity {
+            core_ops: 10,
+            ..Default::default()
+        };
+        let large = EnergyActivity {
+            core_ops: 1000,
+            ..Default::default()
+        };
+        assert!(model.evaluate(&large).total_pj() > model.evaluate(&small).total_pj());
+    }
+}

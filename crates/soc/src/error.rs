@@ -1,0 +1,115 @@
+//! SoC-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+use mpsoc_isa::ExecError;
+use mpsoc_mem::MemoryError;
+
+/// An error raised while assembling or running the SoC.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// The configuration failed validation.
+    Config {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A memory access failed (bad descriptor, DMA range, ...).
+    Memory(MemoryError),
+    /// A worker core faulted while executing its program.
+    Core {
+        /// Cluster index.
+        cluster: usize,
+        /// Worker-core index within the cluster.
+        core: usize,
+        /// The underlying execution error.
+        error: ExecError,
+    },
+    /// A cluster was selected for offload but has no job bound.
+    MissingJob {
+        /// Cluster index.
+        cluster: usize,
+    },
+    /// A job was bound with the wrong number of core programs.
+    ProgramCount {
+        /// Cluster index.
+        cluster: usize,
+        /// Programs provided.
+        got: usize,
+        /// Worker cores in the cluster.
+        want: usize,
+    },
+    /// The simulation ended without the host program completing.
+    HostStalled {
+        /// The host-program op index it stopped at.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            SocError::Memory(e) => write!(f, "memory error: {e}"),
+            SocError::Core {
+                cluster,
+                core,
+                error,
+            } => write!(f, "core {core} of cluster {cluster} faulted: {error}"),
+            SocError::MissingJob { cluster } => {
+                write!(f, "cluster {cluster} selected for offload but has no job bound")
+            }
+            SocError::ProgramCount { cluster, got, want } => write!(
+                f,
+                "cluster {cluster} job has {got} core programs, expected {want}"
+            ),
+            SocError::HostStalled { pc } => write!(
+                f,
+                "simulation went quiescent with the host stalled at op {pc} (missing completion signal?)"
+            ),
+        }
+    }
+}
+
+impl Error for SocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SocError::Memory(e) => Some(e),
+            SocError::Core { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemoryError> for SocError {
+    fn from(e: MemoryError) -> Self {
+        SocError::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_mem::Addr;
+
+    #[test]
+    fn display_and_source() {
+        let e = SocError::Memory(MemoryError::Misaligned { addr: Addr::new(3) });
+        assert!(e.to_string().contains("memory error"));
+        assert!(e.source().is_some());
+
+        let e = SocError::MissingJob { cluster: 5 };
+        assert!(e.to_string().contains("cluster 5"));
+        assert!(e.source().is_none());
+
+        let e = SocError::HostStalled { pc: 2 };
+        assert!(e.to_string().contains("op 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SocError>();
+    }
+}

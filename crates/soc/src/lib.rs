@@ -1,0 +1,81 @@
+//! # mpsoc-soc
+//!
+//! The assembled heterogeneous MPSoC: a Manticore-class system with a
+//! CVA6-class host core, up to 32 accelerator clusters of 8 worker cores
+//! each, per-cluster DMA engines and TCDMs, a shared main-memory system,
+//! the host↔cluster interconnect (with multicast), and the paper's
+//! dedicated **credit-counter synchronization unit** with its completion
+//! interrupt.
+//!
+//! The SoC executes *offloads*: the host runs a [`HostProgram`] (built by
+//! the `mpsoc-offload` runtime) that marshals a job descriptor,
+//! dispatches it to a set of clusters (sequentially or by multicast) and
+//! waits for completion (software polling barrier or credit-counter
+//! interrupt). Each selected cluster executes its [`ClusterJob`]: wake →
+//! fetch descriptor → DMA-in → run worker cores (real micro-op programs
+//! over real `f64` data) → DMA-out → signal completion.
+//!
+//! Everything is simulated on the deterministic event kernel of
+//! [`mpsoc_sim`]; an offload returns an [`OffloadOutcome`] with the
+//! end-to-end runtime (what the paper's Fig. 1 plots), a per-phase
+//! breakdown, per-cluster/per-core reports, statistics and an energy
+//! estimate.
+//!
+//! # Example
+//!
+//! A minimal hand-built offload (the `mpsoc-offload` crate automates all
+//! of this):
+//!
+//! ```
+//! use mpsoc_soc::{ClusterJob, CompletionSignal, HostOp, HostProgram, Soc, SocConfig, Transfer};
+//! use mpsoc_mem::ClusterReg;
+//! use mpsoc_noc::ClusterMask;
+//! use mpsoc_isa::ProgramBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut config = SocConfig::with_clusters(2);
+//! config.cores_per_cluster = 1;
+//! let mut soc = Soc::new(config)?;
+//!
+//! // A do-nothing core program for cluster 0.
+//! let mut b = ProgramBuilder::new();
+//! b.halt();
+//! let nop = b.build()?;
+//!
+//! let job = ClusterJob::single(vec![nop], vec![], vec![], vec![], 0, CompletionSignal::Credit);
+//! soc.bind_job(0, job);
+//!
+//! let program = HostProgram::new(vec![
+//!     HostOp::Compute(10),
+//!     HostOp::CreditArm { threshold: 1 },
+//!     HostOp::StoreMailbox { cluster: 0, reg: ClusterReg::Wakeup, value: 1 },
+//!     HostOp::WaitIrq,
+//!     HostOp::End,
+//! ]);
+//!
+//! let outcome = soc.run_offload(program, ClusterMask::single(0))?;
+//! assert!(outcome.total.as_u64() > 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod config;
+mod credit;
+mod energy;
+mod error;
+mod host;
+mod outcome;
+mod soc;
+
+pub use cluster::{ClusterJob, ClusterPhase, ClusterTiming, CompletionSignal, JobStage, Transfer};
+pub use config::SocConfig;
+pub use credit::CreditCounter;
+pub use energy::{EnergyModel, EnergyReport};
+pub use error::SocError;
+pub use host::{HostOp, HostProgram};
+pub use outcome::{OffloadOutcome, PhaseBreakdown};
+pub use soc::{DmaDirection, Soc, SocEvent};

@@ -1,0 +1,200 @@
+//! Results of one offload run.
+
+use mpsoc_isa::ExecReport;
+use mpsoc_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::{ClusterTiming, EnergyReport};
+
+/// Aggregate phase timestamps of one offload (absolute cycles from the
+/// offload start at cycle 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Host finished issuing all dispatch-side ops (began waiting).
+    pub host_issue_done: Cycle,
+    /// Last doorbell delivered to a selected cluster.
+    pub last_dispatch: Cycle,
+    /// Last cluster finished DMA-in.
+    pub last_dma_in: Cycle,
+    /// Last cluster's worker cores halted.
+    pub last_compute: Cycle,
+    /// Last cluster finished DMA-out.
+    pub last_dma_out: Cycle,
+    /// Completion observed by the host (IRQ delivered / poll hit).
+    pub sync_done: Cycle,
+}
+
+/// Everything measured during one offload.
+#[derive(Debug, Clone, Default)]
+pub struct OffloadOutcome {
+    /// End-to-end offload runtime: host start to host notified. This is
+    /// the quantity plotted in the paper's Fig. 1 (at 1 GHz, cycles == ns).
+    pub total: Cycle,
+    /// Aggregate phase timestamps.
+    pub phases: PhaseBreakdown,
+    /// Per-selected-cluster timing, as `(cluster_index, timing)` pairs in
+    /// ascending cluster order.
+    pub clusters: Vec<(usize, ClusterTiming)>,
+    /// Per-selected-cluster worker-core execution reports (same order as
+    /// [`OffloadOutcome::clusters`]).
+    pub core_reports: Vec<Vec<ExecReport>>,
+    /// Energy estimate.
+    pub energy: EnergyReport,
+    /// Host busy (non-waiting) cycles.
+    pub host_busy_cycles: u64,
+    /// Software-barrier polling iterations (0 with the credit counter).
+    pub poll_iterations: u64,
+    /// TCDM bank conflicts suffered across all clusters (always 0 in
+    /// [`BankMode::Ideal`](mpsoc_mem::BankMode)).
+    pub tcdm_conflicts: u64,
+    /// Simulation events delivered (simulator health metric).
+    pub events_delivered: u64,
+}
+
+impl OffloadOutcome {
+    /// The offload overhead: total runtime minus the pure-compute span of
+    /// the slowest cluster (a diagnostic, not a paper metric).
+    pub fn overhead(&self) -> Cycle {
+        let compute_span: Cycle = self
+            .clusters
+            .iter()
+            .map(|(_, t)| t.compute_at.saturating_sub(t.dma_in_at))
+            .max()
+            .unwrap_or(Cycle::ZERO);
+        self.total.saturating_sub(compute_span)
+    }
+
+    /// Total retired micro-ops across all worker cores.
+    pub fn total_core_ops(&self) -> u64 {
+        self.core_reports.iter().flatten().map(|r| r.retired).sum()
+    }
+
+    /// Renders a per-cluster ASCII timeline (Gantt-style) of the offload,
+    /// `width` characters wide:
+    ///
+    /// ```text
+    /// cluster  0 |..wwFFIIIICCCCCCOOs.........|
+    /// ```
+    ///
+    /// Legend: `.` idle, `w` waking, `F` descriptor fetch + setup,
+    /// `I` DMA-in, `C` compute, `O` DMA-out, `s` completion signaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn render_timeline(&self, width: usize) -> String {
+        assert!(width > 0, "timeline width must be positive");
+        let total = self.total.as_u64().max(1);
+        let bucket = |t: Cycle| -> usize {
+            ((t.as_u64().min(total)) as usize * width) / (total as usize + 1)
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "offload timeline: 1 column ≈ {:.1} cycles, total {} cycles\n",
+            total as f64 / width as f64,
+            total
+        ));
+        for &(cluster, t) in &self.clusters {
+            let mut row = vec!['.'; width];
+            let mut paint = |from: Cycle, to: Cycle, ch: char| {
+                let (a, b) = (bucket(from), bucket(to));
+                for cell in row
+                    .iter_mut()
+                    .take(b.max(a + usize::from(to > from)).min(width))
+                    .skip(a)
+                {
+                    *cell = ch;
+                }
+            };
+            paint(t.woken_at, t.desc_at, 'w');
+            // Fetch+setup ends where DMA-in begins; we approximate the
+            // boundary with desc_at (setup is folded into 'F').
+            paint(t.desc_at, t.dma_in_at, 'I');
+            paint(t.dma_in_at, t.compute_at, 'C');
+            paint(t.compute_at, t.dma_out_at, 'O');
+            paint(t.dma_out_at, t.complete_at, 's');
+            out.push_str(&format!("cluster {cluster:>2} |"));
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_outcome_is_empty() {
+        let o = OffloadOutcome::default();
+        assert_eq!(o.total, Cycle::ZERO);
+        assert_eq!(o.overhead(), Cycle::ZERO);
+        assert_eq!(o.total_core_ops(), 0);
+    }
+
+    #[test]
+    fn overhead_subtracts_compute_span() {
+        let mut o = OffloadOutcome {
+            total: Cycle::new(1000),
+            ..Default::default()
+        };
+        let timing = ClusterTiming {
+            dma_in_at: Cycle::new(300),
+            compute_at: Cycle::new(700),
+            ..Default::default()
+        };
+        o.clusters.push((0, timing));
+        assert_eq!(o.overhead(), Cycle::new(600));
+    }
+
+    #[test]
+    fn total_core_ops_sums_reports() {
+        let mut o = OffloadOutcome::default();
+        let r = ExecReport {
+            retired: 10,
+            ..Default::default()
+        };
+        o.core_reports.push(vec![r, r]);
+        o.core_reports.push(vec![r]);
+        assert_eq!(o.total_core_ops(), 30);
+    }
+
+    #[test]
+    fn timeline_renders_phases_in_order() {
+        let mut o = OffloadOutcome {
+            total: Cycle::new(1000),
+            ..Default::default()
+        };
+        o.clusters.push((
+            3,
+            ClusterTiming {
+                woken_at: Cycle::new(100),
+                desc_at: Cycle::new(200),
+                dma_in_at: Cycle::new(400),
+                compute_at: Cycle::new(700),
+                dma_out_at: Cycle::new(850),
+                complete_at: Cycle::new(900),
+            },
+        ));
+        let text = o.render_timeline(50);
+        assert!(text.contains("cluster  3"));
+        // Phases appear in chronological order.
+        let line = text.lines().nth(1).expect("one cluster row");
+        let row = &line[line.find('|').expect("bar") + 1..];
+        let pos = |c: char| {
+            row.find(c)
+                .unwrap_or_else(|| panic!("missing {c} in {row}"))
+        };
+        assert!(pos('w') < pos('I'));
+        assert!(pos('I') < pos('C'));
+        assert!(pos('C') < pos('O'));
+        assert!(pos('O') < pos('s'));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn timeline_zero_width_panics() {
+        OffloadOutcome::default().render_timeline(0);
+    }
+}

@@ -1,0 +1,1162 @@
+//! The assembled SoC and its event-driven offload execution.
+
+use mpsoc_isa::{Interpreter, MemoryPort, PortError};
+use mpsoc_mem::{Addr, ClusterReg, MainMemory, MemoryMap, Tcdm};
+use mpsoc_noc::{ClusterMask, Interconnect};
+use mpsoc_sim::stats::StatsRegistry;
+use mpsoc_sim::trace::Tracer;
+use mpsoc_sim::{Cycle, Engine, RunResult, Scheduler, Simulate, StepBudget};
+
+use crate::cluster::ClusterState;
+use crate::energy::EnergyActivity;
+use crate::host::{HostOp, HostState, HostStatus};
+use crate::{
+    ClusterJob, ClusterPhase, HostProgram, OffloadOutcome, PhaseBreakdown, SocConfig, SocError,
+};
+
+/// Simulation events of the SoC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SocEvent {
+    /// The host executes its next runtime op.
+    HostStep,
+    /// One iteration of the host's software-barrier polling loop.
+    HostPoll,
+    /// The credit-counter completion interrupt reaches the host.
+    HostIrq,
+    /// A posted store arrives at a cluster mailbox register.
+    MailboxWrite {
+        /// Target cluster.
+        cluster: usize,
+        /// Target register.
+        reg: ClusterReg,
+        /// Stored value.
+        value: u64,
+    },
+    /// The cluster controller finished waking from the doorbell.
+    ClusterWake {
+        /// Cluster index.
+        cluster: usize,
+    },
+    /// The cluster fetched and decoded the job descriptor.
+    ClusterDesc {
+        /// Cluster index.
+        cluster: usize,
+    },
+    /// The cluster's DMA engine pumps its next burst.
+    DmaBurst {
+        /// Cluster index.
+        cluster: usize,
+    },
+    /// A cluster DMA task (one stage, one direction) finished.
+    ClusterDmaTaskDone {
+        /// Cluster index.
+        cluster: usize,
+        /// Pipeline stage index.
+        stage: usize,
+        /// Transfer direction.
+        dir: DmaDirection,
+    },
+    /// All worker cores of the cluster halted for one stage.
+    ClusterComputeDone {
+        /// Cluster index.
+        cluster: usize,
+        /// Pipeline stage index.
+        stage: usize,
+    },
+    /// A completion credit arrives at the credit-counter unit.
+    CreditArrive {
+        /// Originating cluster.
+        cluster: usize,
+    },
+    /// A completion AMO arrives at the main-memory atomic unit.
+    BarrierArrive {
+        /// Originating cluster.
+        cluster: usize,
+        /// Barrier counter address.
+        addr: Addr,
+    },
+}
+
+/// Adapts a cluster TCDM to the core interpreter's [`MemoryPort`].
+struct TcdmPort<'a> {
+    tcdm: &'a mut Tcdm,
+}
+
+impl MemoryPort for TcdmPort<'_> {
+    fn load(&mut self, addr: u64) -> Result<f64, PortError> {
+        if addr % 8 != 0 {
+            return Err(PortError { addr });
+        }
+        self.tcdm.read_f64(addr / 8).map_err(|_| PortError { addr })
+    }
+
+    fn store(&mut self, addr: u64, value: f64) -> Result<(), PortError> {
+        if addr % 8 != 0 {
+            return Err(PortError { addr });
+        }
+        self.tcdm
+            .write_f64(addr / 8, value)
+            .map_err(|_| PortError { addr })
+    }
+
+    fn grant(&mut self, addr: u64, at: Cycle) -> Cycle {
+        self.tcdm.access(addr / 8, at)
+    }
+}
+
+/// Direction of a cluster DMA task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaDirection {
+    /// Main memory → TCDM.
+    In,
+    /// TCDM → main memory.
+    Out,
+}
+
+/// Per-cluster DMA chain state.
+#[derive(Debug, Clone, Copy)]
+struct DmaChain {
+    stage: usize,
+    dir: DmaDirection,
+    remaining: u64,
+    resume_slot: u64,
+}
+
+/// The simulated heterogeneous MPSoC.
+///
+/// Construct with [`Soc::new`], load operand data through
+/// [`Soc::main_mut`], bind one [`ClusterJob`] per selected cluster with
+/// [`Soc::bind_job`], then execute a [`HostProgram`] with
+/// [`Soc::run_offload`]. See the crate-level example.
+#[derive(Debug)]
+pub struct Soc {
+    config: SocConfig,
+    map: MemoryMap,
+    main: MainMemory,
+    noc: Interconnect,
+    credit: crate::CreditCounter,
+    clusters: Vec<ClusterState>,
+    tcdms: Vec<Tcdm>,
+    dma: Vec<Option<DmaChain>>,
+    host: Option<HostState>,
+    irq_pending: bool,
+    phases: PhaseBreakdown,
+    activity: EnergyActivity,
+    stats: StatsRegistry,
+    tracer: Tracer,
+    fatal: Option<SocError>,
+}
+
+impl Soc {
+    /// Builds a SoC from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::Config`] if the configuration is inconsistent.
+    pub fn new(config: SocConfig) -> Result<Self, SocError> {
+        config
+            .validate()
+            .map_err(|reason| SocError::Config { reason })?;
+        let map = MemoryMap::with_tcdm_words(config.clusters, config.main_words, config.tcdm_words);
+        let main = MainMemory::new(
+            map.main_base(),
+            config.main_words,
+            config.mem_words_per_cycle,
+            Cycle::new(config.mem_latency),
+            Cycle::new(config.amo_service),
+        );
+        let noc = Interconnect::new(config.noc, config.clusters);
+        let tcdms = (0..config.clusters)
+            .map(|_| Tcdm::new(config.tcdm_words, config.tcdm_banks, config.bank_mode))
+            .collect();
+        let clusters = vec![ClusterState::default(); config.clusters];
+        let dma = vec![None; config.clusters];
+        Ok(Soc {
+            config,
+            map,
+            main,
+            noc,
+            credit: crate::CreditCounter::new(),
+            clusters,
+            tcdms,
+            dma,
+            host: None,
+            irq_pending: false,
+            phases: PhaseBreakdown::default(),
+            activity: EnergyActivity::default(),
+            stats: StatsRegistry::new(),
+            tracer: Tracer::disabled(),
+            fatal: None,
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// The SoC address map.
+    pub fn map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    /// Shared access to main memory (inspect results after an offload).
+    pub fn main(&self) -> &MainMemory {
+        &self.main
+    }
+
+    /// Mutable access to main memory (load operands before an offload).
+    pub fn main_mut(&mut self) -> &mut MainMemory {
+        &mut self.main
+    }
+
+    /// Collected statistics of the last offload.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// Enables event tracing with the given record capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Tracer::enabled(capacity);
+    }
+
+    /// The trace collected during the last offload.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Installs the job `cluster` will execute when its doorbell rings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn bind_job(&mut self, cluster: usize, job: ClusterJob) {
+        self.clusters[cluster].job = Some(job);
+    }
+
+    fn desc_fetch_cycles(&self) -> u64 {
+        // Descriptor reads are small and served by a shared cache at the
+        // tree root: constant latency, no bandwidth-queue serialization
+        // (see DESIGN.md, "Calibration targets").
+        self.noc.config().hop_latency.as_u64() * u64::from(self.noc.levels()) * 2
+            + self.config.mem_latency
+            + self
+                .config
+                .descriptor_words
+                .div_ceil(self.config.mem_words_per_cycle)
+    }
+
+    fn trace(&mut self, at: Cycle, unit: &str, msg: impl Into<String>) {
+        self.tracer.record(at, unit, msg);
+    }
+
+    fn fail(&mut self, error: SocError) {
+        if self.fatal.is_none() {
+            self.fatal = Some(error);
+        }
+    }
+
+    /// Starts one DMA task (one stage, one direction) on `cluster`'s
+    /// engine; data is moved eagerly (the timing model alone decides
+    /// *when* it completes).
+    fn start_dma_task(
+        &mut self,
+        sched: &mut Scheduler<SocEvent>,
+        at: Cycle,
+        cluster: usize,
+        stage: usize,
+        dir: DmaDirection,
+    ) -> Result<(), SocError> {
+        let job = self.clusters[cluster].job.as_ref().expect("job bound");
+        let transfers = match dir {
+            DmaDirection::In => job.stages[stage].dma_in.clone(),
+            DmaDirection::Out => job.stages[stage].dma_out.clone(),
+        };
+        let mut total = 0;
+        for t in &transfers {
+            match dir {
+                DmaDirection::In => {
+                    self.tcdms[cluster].dma_in(
+                        self.main.store(),
+                        t.main_addr,
+                        t.local_word,
+                        t.words,
+                    )?;
+                }
+                DmaDirection::Out => {
+                    let tcdm = &self.tcdms[cluster];
+                    tcdm.dma_out(self.main.store_mut(), t.local_word, t.main_addr, t.words)?;
+                }
+            }
+            total += t.words;
+        }
+        self.activity.dma_words += total;
+        if total == 0 {
+            sched.schedule_at(
+                at,
+                SocEvent::ClusterDmaTaskDone {
+                    cluster,
+                    stage,
+                    dir,
+                },
+            );
+            return Ok(());
+        }
+        self.dma[cluster] = Some(DmaChain {
+            stage,
+            dir,
+            remaining: total,
+            resume_slot: 0, // initialized on the first burst
+        });
+        sched.schedule_at(at, SocEvent::DmaBurst { cluster });
+        Ok(())
+    }
+
+    fn handle_dma_burst(&mut self, sched: &mut Scheduler<SocEvent>, now: Cycle, cluster: usize) {
+        let Some(mut chain) = self.dma[cluster] else {
+            return;
+        };
+        let width = self.config.dma_words_per_cycle;
+        let burst = chain.remaining.min(width);
+        let min_slot = if chain.resume_slot == 0 {
+            self.main.bandwidth_slot_of(now)
+        } else {
+            chain.resume_slot.max(self.main.bandwidth_slot_of(now))
+        };
+        let (end_slot, done) = self.main.acquire_bandwidth_slots(min_slot, burst);
+        chain.resume_slot = end_slot;
+        chain.remaining -= burst;
+        if chain.remaining > 0 {
+            self.dma[cluster] = Some(chain);
+            sched.schedule_at(
+                done.max(now + Cycle::new(1)),
+                SocEvent::DmaBurst { cluster },
+            );
+        } else {
+            self.dma[cluster] = None;
+            let finish = done + Cycle::new(self.config.mem_latency);
+            sched.schedule_at(
+                finish,
+                SocEvent::ClusterDmaTaskDone {
+                    cluster,
+                    stage: chain.stage,
+                    dir: chain.dir,
+                },
+            );
+        }
+    }
+
+    /// Runs every worker core of `cluster` over `stage`'s programs from
+    /// `start`; returns the latest finish time.
+    fn run_cores(&mut self, start: Cycle, cluster: usize, stage: usize) -> Result<Cycle, SocError> {
+        let job = self.clusters[cluster].job.clone().expect("job bound");
+        let interpreter = Interpreter::with_timing(self.config.core_timing);
+        let mut latest = start;
+        for (core, program) in job.stages[stage].programs.iter().enumerate() {
+            let mut port = TcdmPort {
+                tcdm: &mut self.tcdms[cluster],
+            };
+            let report = interpreter
+                .run_from(program, start, &mut port)
+                .map_err(|error| SocError::Core {
+                    cluster,
+                    core,
+                    error,
+                })?;
+            latest = latest.max(report.finish);
+            self.activity.core_ops += report.retired;
+            self.clusters[cluster].core_reports.push(report);
+        }
+        Ok(latest)
+    }
+
+    /// The cluster pipeline scheduler: starts whatever DMA task and
+    /// compute stage are ready, and posts the completion signal once
+    /// every stage has drained.
+    ///
+    /// DMA policy: one engine, FCFS over ready tasks, earliest stage
+    /// first; a ready DMA-out wins a tie against a later stage's DMA-in
+    /// (draining frees the stage buffer).
+    fn cluster_dispatch(&mut self, sched: &mut Scheduler<SocEvent>, at: Cycle, cluster: usize) {
+        let stage_count = self.clusters[cluster].stages.len();
+
+        // 1. DMA engine.
+        if !self.clusters[cluster].dma_busy {
+            // In(k) may only start once the buffer it writes (parity
+            // k mod 2) is fully drained: stage k−2 computed *and* wrote
+            // back. This is the double-buffering hazard gate.
+            let stages = &self.clusters[cluster].stages;
+            let next_in = stages.iter().enumerate().position(|(k, s)| {
+                !s.in_started && (k < 2 || (stages[k - 2].compute_done && stages[k - 2].out_done))
+            });
+            let next_out = stages.iter().position(|s| s.compute_done && !s.out_started);
+            let choice = match (next_in, next_out) {
+                (Some(i), Some(o)) => Some(if o <= i {
+                    (o, DmaDirection::Out)
+                } else {
+                    (i, DmaDirection::In)
+                }),
+                (Some(i), None) => Some((i, DmaDirection::In)),
+                (None, Some(o)) => Some((o, DmaDirection::Out)),
+                (None, None) => None,
+            };
+            if let Some((stage, dir)) = choice {
+                {
+                    let progress = &mut self.clusters[cluster].stages[stage];
+                    match dir {
+                        DmaDirection::In => progress.in_started = true,
+                        DmaDirection::Out => progress.out_started = true,
+                    }
+                }
+                self.clusters[cluster].dma_busy = true;
+                if let Err(e) = self.start_dma_task(sched, at, cluster, stage, dir) {
+                    self.fail(e);
+                    return;
+                }
+            }
+        }
+
+        // 2. Worker cores: stages compute in order, each gated on its
+        //    DMA-in.
+        if !self.clusters[cluster].compute_busy {
+            let next = self.clusters[cluster]
+                .stages
+                .iter()
+                .position(|s| !s.compute_started);
+            if let Some(stage) = next {
+                if self.clusters[cluster].stages[stage].in_done {
+                    self.clusters[cluster].stages[stage].compute_started = true;
+                    self.clusters[cluster].compute_busy = true;
+                    self.clusters[cluster].phase = ClusterPhase::Computing;
+                    let start = at + Cycle::new(self.config.core_start_cycles);
+                    match self.run_cores(start, cluster, stage) {
+                        Ok(finish) => sched
+                            .schedule_at(finish, SocEvent::ClusterComputeDone { cluster, stage }),
+                        Err(e) => {
+                            self.fail(e);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Completion.
+        let all_done = stage_count > 0 && self.clusters[cluster].stages.iter().all(|s| s.out_done);
+        if all_done && !self.clusters[cluster].completed {
+            self.clusters[cluster].completed = true;
+            self.clusters[cluster].phase = ClusterPhase::Done;
+            let job = self.clusters[cluster].job.as_ref().expect("job bound");
+            match job.completion {
+                crate::CompletionSignal::Credit => {
+                    let arrive = self.noc.credit_upstream(at, cluster);
+                    sched.schedule_at(arrive, SocEvent::CreditArrive { cluster });
+                }
+                crate::CompletionSignal::Barrier { addr } => {
+                    let arrive = self.noc.cluster_upstream(at, cluster);
+                    sched.schedule_at(arrive, SocEvent::BarrierArrive { cluster, addr });
+                }
+            }
+        }
+    }
+
+    fn host_step(&mut self, sched: &mut Scheduler<SocEvent>, now: Cycle) {
+        let Some(host) = &mut self.host else {
+            return;
+        };
+        let Some(op) = host.current().cloned() else {
+            self.fail(SocError::HostStalled {
+                pc: self.host.as_ref().map_or(0, |h| h.pc),
+            });
+            return;
+        };
+        match op {
+            HostOp::Compute(cycles) => {
+                host.pc += 1;
+                host.busy_cycles += cycles;
+                sched.schedule_at(now + Cycle::new(cycles), SocEvent::HostStep);
+            }
+            HostOp::WriteWords { addr, values } => {
+                host.pc += 1;
+                host.busy_cycles += values.len() as u64;
+                let count = values.len() as u64;
+                let next = now + Cycle::new(count);
+                for (i, v) in values.iter().enumerate() {
+                    if let Err(e) = self
+                        .main
+                        .store_mut()
+                        .write_u64(addr.add_words(i as u64), *v)
+                    {
+                        self.fail(e.into());
+                        return;
+                    }
+                }
+                self.main.transfer(now, count);
+                self.activity.mem_words += count;
+                sched.schedule_at(next, SocEvent::HostStep);
+            }
+            HostOp::PrepareOperands { words } => {
+                host.pc += 1;
+                let cycles = words.div_ceil(self.config.host_prep_words_per_cycle);
+                host.busy_cycles += cycles;
+                self.main.transfer(now, words);
+                self.activity.mem_words += words;
+                sched.schedule_at(now + Cycle::new(cycles), SocEvent::HostStep);
+            }
+            HostOp::StoreMailbox {
+                cluster,
+                reg,
+                value,
+            } => {
+                host.pc += 1;
+                let d = self.noc.host_unicast(now, cluster);
+                self.activity.noc_stores += 1;
+                sched.schedule_at(
+                    d.delivered,
+                    SocEvent::MailboxWrite {
+                        cluster,
+                        reg,
+                        value,
+                    },
+                );
+                sched.schedule_at(d.injected, SocEvent::HostStep);
+            }
+            HostOp::MulticastMailbox { mask, reg, value } => {
+                host.pc += 1;
+                let mc = self.noc.host_multicast(now, mask);
+                self.activity.noc_stores += mc.delivered.len() as u64;
+                for (cluster, at) in &mc.delivered {
+                    sched.schedule_at(
+                        *at,
+                        SocEvent::MailboxWrite {
+                            cluster: *cluster,
+                            reg,
+                            value,
+                        },
+                    );
+                }
+                sched.schedule_at(mc.injected, SocEvent::HostStep);
+            }
+            HostOp::CreditArm { threshold } => {
+                host.pc += 1;
+                self.credit.arm(threshold);
+                self.irq_pending = false;
+                self.activity.sync_ops += 1;
+                let injected = now + self.noc.config().inject_cycles;
+                sched.schedule_at(injected, SocEvent::HostStep);
+            }
+            HostOp::StoreUncachedMain { addr, value } => {
+                host.pc += 1;
+                if let Err(e) = self.main.store_mut().write_u64(addr, value) {
+                    self.fail(e.into());
+                    return;
+                }
+                self.main.transfer(now, 1);
+                self.activity.mem_words += 1;
+                let injected = now + self.noc.config().inject_cycles;
+                sched.schedule_at(injected, SocEvent::HostStep);
+            }
+            HostOp::PollUntilEq { .. } => {
+                host.status = HostStatus::Polling;
+                sched.schedule_at(now, SocEvent::HostPoll);
+            }
+            HostOp::WaitIrq => {
+                if self.irq_pending {
+                    self.irq_pending = false;
+                    host.pc += 1;
+                    sched.schedule_at(now, SocEvent::HostStep);
+                } else {
+                    host.status = HostStatus::WaitingIrq;
+                }
+            }
+            HostOp::End => {
+                host.status = HostStatus::Done(now);
+            }
+        }
+    }
+
+    fn host_poll(&mut self, sched: &mut Scheduler<SocEvent>, now: Cycle) {
+        let Some(host) = &self.host else { return };
+        let Some(HostOp::PollUntilEq {
+            addr,
+            value,
+            spin_cycles,
+        }) = host.current().cloned()
+        else {
+            return;
+        };
+        // The poll is a single-word uncached read on the configuration
+        // sideband: it pays the full NoC round trip plus the memory
+        // latency but does not contend with bulk DMA bandwidth (one word
+        // against a 512-word/cycle HBM system).
+        let one_way = self.noc.config().hop_latency * u64::from(self.noc.levels());
+        let observed = match self.main.store().read_u64(addr) {
+            Ok(v) => v,
+            Err(e) => {
+                self.fail(e.into());
+                return;
+            }
+        };
+        let arrival = now + one_way * 2 + Cycle::new(self.config.mem_latency);
+        self.activity.sync_ops += 1;
+        let host = self.host.as_mut().expect("host present");
+        host.poll_iterations += 1;
+        host.busy_cycles += spin_cycles;
+        if observed == value {
+            self.phases.sync_done = arrival;
+            host.pc += 1;
+            host.status = HostStatus::Running;
+            sched.schedule_at(arrival, SocEvent::HostStep);
+        } else {
+            sched.schedule_at(arrival + Cycle::new(spin_cycles), SocEvent::HostPoll);
+        }
+    }
+}
+
+impl Simulate for Soc {
+    type Event = SocEvent;
+
+    fn handle(&mut self, sched: &mut Scheduler<SocEvent>, now: Cycle, event: SocEvent) {
+        if self.fatal.is_some() {
+            return;
+        }
+        match event {
+            SocEvent::HostStep => self.host_step(sched, now),
+            SocEvent::HostPoll => self.host_poll(sched, now),
+            SocEvent::HostIrq => {
+                self.phases.sync_done = now;
+                let Some(host) = &mut self.host else { return };
+                match host.status {
+                    HostStatus::WaitingIrq => {
+                        host.status = HostStatus::Running;
+                        host.pc += 1;
+                        sched.schedule_at(now, SocEvent::HostStep);
+                    }
+                    _ => {
+                        // IRQ raced ahead of WaitIrq; latch it.
+                        self.irq_pending = true;
+                    }
+                }
+            }
+            SocEvent::MailboxWrite {
+                cluster,
+                reg,
+                value,
+            } => {
+                self.trace(
+                    now,
+                    "noc",
+                    format!("mailbox[{cluster}].{reg:?} <- {value:#x}"),
+                );
+                match reg {
+                    ClusterReg::JobPtr => {
+                        self.clusters[cluster].mailbox_job_ptr = value;
+                    }
+                    ClusterReg::Wakeup => {
+                        self.phases.last_dispatch = self.phases.last_dispatch.max(now);
+                        if self.clusters[cluster].phase == ClusterPhase::Idle {
+                            if self.clusters[cluster].job.is_none() {
+                                self.fail(SocError::MissingJob { cluster });
+                                return;
+                            }
+                            self.clusters[cluster].phase = ClusterPhase::Waking;
+                            self.clusters[cluster].timing.woken_at = now;
+                            sched.schedule_at(
+                                now + Cycle::new(self.config.cluster_wake_cycles),
+                                SocEvent::ClusterWake { cluster },
+                            );
+                        }
+                    }
+                }
+            }
+            SocEvent::ClusterWake { cluster } => {
+                self.clusters[cluster].phase = ClusterPhase::Fetching;
+                let fetched = now + Cycle::new(self.desc_fetch_cycles());
+                self.activity.mem_words += self.config.descriptor_words;
+                sched.schedule_at(fetched, SocEvent::ClusterDesc { cluster });
+            }
+            SocEvent::ClusterDesc { cluster } => {
+                self.clusters[cluster].timing.desc_at = now;
+                self.clusters[cluster].phase = ClusterPhase::DmaIn;
+                // Stage scalar args (plus the trailing zero word of the
+                // kernel ABI) into the TCDM argument area.
+                let job = self.clusters[cluster].job.clone().expect("job bound");
+                let base = job.args_local_word;
+                for (i, arg) in job.args.iter().enumerate() {
+                    if let Err(e) = self.tcdms[cluster].write_f64(base + i as u64, *arg) {
+                        self.fail(e.into());
+                        return;
+                    }
+                }
+                if let Err(e) = self.tcdms[cluster].write_f64(base + job.args.len() as u64, 0.0) {
+                    self.fail(e.into());
+                    return;
+                }
+                // Arm the pipeline and kick off the first stage.
+                self.clusters[cluster].stages =
+                    vec![crate::cluster::StageProgress::default(); job.stages.len()];
+                self.clusters[cluster].dma_busy = false;
+                self.clusters[cluster].compute_busy = false;
+                self.clusters[cluster].completed = false;
+                let t0 = now + Cycle::new(self.config.cluster_setup_cycles);
+                self.cluster_dispatch(sched, t0, cluster);
+            }
+            SocEvent::DmaBurst { cluster } => self.handle_dma_burst(sched, now, cluster),
+            SocEvent::ClusterDmaTaskDone {
+                cluster,
+                stage,
+                dir,
+            } => {
+                self.clusters[cluster].dma_busy = false;
+                match dir {
+                    DmaDirection::In => {
+                        self.clusters[cluster].stages[stage].in_done = true;
+                        self.clusters[cluster].timing.dma_in_at =
+                            self.clusters[cluster].timing.dma_in_at.max(now);
+                        if self.clusters[cluster].stages.iter().all(|s| s.in_done) {
+                            self.phases.last_dma_in = self.phases.last_dma_in.max(now);
+                        }
+                    }
+                    DmaDirection::Out => {
+                        self.clusters[cluster].stages[stage].out_done = true;
+                        self.clusters[cluster].timing.dma_out_at =
+                            self.clusters[cluster].timing.dma_out_at.max(now);
+                        if self.clusters[cluster].stages.iter().all(|s| s.out_done) {
+                            self.phases.last_dma_out = self.phases.last_dma_out.max(now);
+                        }
+                    }
+                }
+                self.cluster_dispatch(sched, now, cluster);
+            }
+            SocEvent::ClusterComputeDone { cluster, stage } => {
+                self.clusters[cluster].compute_busy = false;
+                self.clusters[cluster].stages[stage].compute_done = true;
+                self.clusters[cluster].timing.compute_at =
+                    self.clusters[cluster].timing.compute_at.max(now);
+                if self.clusters[cluster].stages.iter().all(|s| s.compute_done) {
+                    self.phases.last_compute = self.phases.last_compute.max(now);
+                }
+                self.cluster_dispatch(sched, now, cluster);
+            }
+            SocEvent::CreditArrive { cluster } => {
+                self.clusters[cluster].timing.complete_at = now;
+                self.activity.sync_ops += 1;
+                self.stats.incr("credit.increments");
+                if let Some(fire_at) = self.credit.increment(now) {
+                    sched.schedule_at(
+                        fire_at + Cycle::new(self.config.irq_latency),
+                        SocEvent::HostIrq,
+                    );
+                }
+            }
+            SocEvent::BarrierArrive { cluster, addr } => {
+                self.clusters[cluster].timing.complete_at = now;
+                self.activity.sync_ops += 1;
+                self.stats.incr("barrier.amos");
+                if let Err(e) = self.main.amo_add(now, addr, 1) {
+                    self.fail(e.into());
+                }
+            }
+        }
+    }
+}
+
+impl Soc {
+    /// Runs one offload: executes `program` on the host against the jobs
+    /// bound to the clusters in `mask`, from cycle 0 to host completion.
+    ///
+    /// # Errors
+    ///
+    /// - [`SocError::MissingJob`] / [`SocError::ProgramCount`] for
+    ///   inconsistent bindings,
+    /// - [`SocError::Core`] / [`SocError::Memory`] for faults during
+    ///   execution,
+    /// - [`SocError::HostStalled`] if the simulation ends without the
+    ///   host program reaching [`HostOp::End`] (e.g. a completion signal
+    ///   that can never fire).
+    pub fn run_offload(
+        &mut self,
+        program: HostProgram,
+        mask: ClusterMask,
+    ) -> Result<OffloadOutcome, SocError> {
+        for cluster in mask.iter() {
+            let state = &self.clusters[cluster];
+            let Some(job) = &state.job else {
+                return Err(SocError::MissingJob { cluster });
+            };
+            if job.stages.is_empty() {
+                return Err(SocError::ProgramCount {
+                    cluster,
+                    got: 0,
+                    want: self.config.cores_per_cluster,
+                });
+            }
+            for stage in &job.stages {
+                if stage.programs.len() != self.config.cores_per_cluster {
+                    return Err(SocError::ProgramCount {
+                        cluster,
+                        got: stage.programs.len(),
+                        want: self.config.cores_per_cluster,
+                    });
+                }
+            }
+        }
+
+        // Reset per-offload state (data in main memory persists).
+        self.host = Some(HostState::new(program));
+        self.irq_pending = false;
+        self.phases = PhaseBreakdown::default();
+        self.activity = EnergyActivity::default();
+        self.stats.clear();
+        self.fatal = None;
+        self.credit.reset();
+        self.main.reset_timing();
+        self.noc.reset();
+        for cluster in &mut self.clusters {
+            cluster.phase = ClusterPhase::Idle;
+            cluster.timing = Default::default();
+            cluster.core_reports.clear();
+            cluster.stages.clear();
+            cluster.dma_busy = false;
+            cluster.compute_busy = false;
+            cluster.completed = false;
+        }
+        for tcdm in &mut self.tcdms {
+            tcdm.reset_timing();
+        }
+        self.dma.fill(None);
+
+        let mut engine = Engine::new(&mut *self);
+        engine.schedule_at(Cycle::ZERO, SocEvent::HostStep);
+        // 50M events is far beyond any legitimate offload in this study;
+        // hitting it means a stuck polling loop.
+        let result = engine.run(StepBudget::events(50_000_000));
+        let events_delivered = engine.events_delivered();
+        drop(engine);
+
+        if let Some(error) = self.fatal.take() {
+            return Err(error);
+        }
+        let host = self.host.take().expect("host installed above");
+        let total = match host.status {
+            HostStatus::Done(at) => at,
+            _ => {
+                let _ = result; // quiescent or budget-exhausted: either way the host hung
+                return Err(SocError::HostStalled { pc: host.pc });
+            }
+        };
+        debug_assert_eq!(result, RunResult::Quiescent);
+
+        self.phases.host_issue_done = self.phases.host_issue_done.max(self.phases.last_dispatch);
+        self.activity.host_cycles = host.busy_cycles;
+        self.activity.cluster_cycles = mask.count() as u64 * total.as_u64();
+        let energy = self.config.energy.evaluate(&self.activity);
+
+        let mut clusters = Vec::new();
+        let mut core_reports = Vec::new();
+        let mut tcdm_conflicts = 0;
+        for cluster in mask.iter() {
+            clusters.push((cluster, self.clusters[cluster].timing));
+            core_reports.push(self.clusters[cluster].core_reports.clone());
+            tcdm_conflicts += self.tcdms[cluster].conflicts();
+        }
+        Ok(OffloadOutcome {
+            total,
+            phases: self.phases,
+            clusters,
+            core_reports,
+            energy,
+            host_busy_cycles: host.busy_cycles,
+            poll_iterations: host.poll_iterations,
+            tcdm_conflicts,
+            events_delivered,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterJob, CompletionSignal, Transfer};
+    use mpsoc_isa::{FpReg, IntReg, Program, ProgramBuilder};
+
+    fn nop_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn nop_job(completion: CompletionSignal, cores: usize) -> ClusterJob {
+        ClusterJob::single(
+            vec![nop_program(); cores],
+            vec![],
+            vec![],
+            vec![],
+            0,
+            completion,
+        )
+    }
+
+    fn small_soc(clusters: usize) -> Soc {
+        let mut cfg = SocConfig::with_clusters(clusters);
+        cfg.cores_per_cluster = 2;
+        Soc::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn credit_offload_round_trip() {
+        let mut soc = small_soc(2);
+        for c in 0..2 {
+            soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+        }
+        let program = HostProgram::new(vec![
+            HostOp::Compute(50),
+            HostOp::CreditArm { threshold: 2 },
+            HostOp::MulticastMailbox {
+                mask: ClusterMask::first(2),
+                reg: ClusterReg::Wakeup,
+                value: 1,
+            },
+            HostOp::WaitIrq,
+            HostOp::Compute(60),
+            HostOp::End,
+        ]);
+        let outcome = soc.run_offload(program, ClusterMask::first(2)).unwrap();
+        assert!(outcome.total > Cycle::new(110));
+        assert_eq!(outcome.clusters.len(), 2);
+        assert_eq!(outcome.poll_iterations, 0);
+        assert!(outcome.phases.sync_done > outcome.phases.last_dispatch);
+        assert!(outcome.energy.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn barrier_offload_round_trip() {
+        let mut soc = small_soc(2);
+        let barrier = soc.map().main_base().add_words(100);
+        for c in 0..2 {
+            soc.bind_job(c, nop_job(CompletionSignal::Barrier { addr: barrier }, 2));
+        }
+        let program = HostProgram::new(vec![
+            HostOp::StoreUncachedMain {
+                addr: barrier,
+                value: 0,
+            },
+            HostOp::StoreMailbox {
+                cluster: 0,
+                reg: ClusterReg::Wakeup,
+                value: 1,
+            },
+            HostOp::StoreMailbox {
+                cluster: 1,
+                reg: ClusterReg::Wakeup,
+                value: 1,
+            },
+            HostOp::PollUntilEq {
+                addr: barrier,
+                value: 2,
+                spin_cycles: 4,
+            },
+            HostOp::End,
+        ]);
+        let outcome = soc.run_offload(program, ClusterMask::first(2)).unwrap();
+        assert!(outcome.poll_iterations >= 1);
+        assert_eq!(soc.main().store().read_u64(barrier).unwrap(), 2);
+        assert!(outcome.total > Cycle::ZERO);
+    }
+
+    #[test]
+    fn dma_moves_real_data_and_cores_compute() {
+        // One cluster, one core: DMA in two words, scale by arg via a tiny
+        // program, DMA result back out.
+        let mut cfg = SocConfig::with_clusters(1);
+        cfg.cores_per_cluster = 1;
+        let mut soc = Soc::new(cfg).unwrap();
+        let base = soc.map().main_base();
+        soc.main_mut()
+            .store_mut()
+            .write_f64_slice(base, &[3.0, 4.0])
+            .unwrap();
+
+        // Program: y[i] = a * x[i] for 2 elements, all in TCDM.
+        // Layout: x at words 0..2, result at 2..4, args at word 10.
+        let mut b = ProgramBuilder::new();
+        let (x1, x2, x4) = (IntReg::new(1), IntReg::new(2), IntReg::new(4));
+        b.li(x1, 0);
+        b.li(x2, 16);
+        b.li(x4, 80);
+        b.fld(FpReg::new(31), x4, 0);
+        for i in 0..2 {
+            b.fld(FpReg::new(0), x1, i * 8);
+            b.fmul(FpReg::new(1), FpReg::new(31), FpReg::new(0));
+            b.fsd(FpReg::new(1), x2, i * 8);
+        }
+        b.halt();
+        let program = b.build().unwrap();
+
+        let job = ClusterJob::single(
+            vec![program],
+            vec![Transfer {
+                main_addr: base,
+                local_word: 0,
+                words: 2,
+            }],
+            vec![Transfer {
+                main_addr: base.add_words(8),
+                local_word: 2,
+                words: 2,
+            }],
+            vec![10.0],
+            10,
+            CompletionSignal::Credit,
+        );
+        soc.bind_job(0, job);
+
+        let hp = HostProgram::new(vec![
+            HostOp::CreditArm { threshold: 1 },
+            HostOp::StoreMailbox {
+                cluster: 0,
+                reg: ClusterReg::Wakeup,
+                value: 1,
+            },
+            HostOp::WaitIrq,
+            HostOp::End,
+        ]);
+        let outcome = soc.run_offload(hp, ClusterMask::single(0)).unwrap();
+        let result = soc
+            .main()
+            .store()
+            .read_f64_slice(base.add_words(8), 2)
+            .unwrap();
+        assert_eq!(result, vec![30.0, 40.0]);
+        let (_, timing) = outcome.clusters[0];
+        assert!(timing.dma_in_at > timing.desc_at);
+        assert!(timing.compute_at > timing.dma_in_at);
+        assert!(timing.dma_out_at > timing.compute_at);
+        assert!(timing.complete_at > timing.dma_out_at);
+        assert!(outcome.total > timing.complete_at);
+    }
+
+    #[test]
+    fn missing_job_is_reported() {
+        let mut soc = small_soc(2);
+        soc.bind_job(0, nop_job(CompletionSignal::Credit, 2));
+        let hp = HostProgram::new(vec![HostOp::End]);
+        let err = soc.run_offload(hp, ClusterMask::first(2)).unwrap_err();
+        assert!(matches!(err, SocError::MissingJob { cluster: 1 }));
+    }
+
+    #[test]
+    fn wrong_program_count_is_reported() {
+        let mut soc = small_soc(1);
+        soc.bind_job(0, nop_job(CompletionSignal::Credit, 5));
+        let hp = HostProgram::new(vec![HostOp::End]);
+        let err = soc.run_offload(hp, ClusterMask::single(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            SocError::ProgramCount {
+                cluster: 0,
+                got: 5,
+                want: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn host_waiting_for_impossible_irq_stalls() {
+        let mut soc = small_soc(1);
+        soc.bind_job(0, nop_job(CompletionSignal::Credit, 2));
+        // Threshold 2 but only one cluster completes: the IRQ never fires.
+        let hp = HostProgram::new(vec![
+            HostOp::CreditArm { threshold: 2 },
+            HostOp::StoreMailbox {
+                cluster: 0,
+                reg: ClusterReg::Wakeup,
+                value: 1,
+            },
+            HostOp::WaitIrq,
+            HostOp::End,
+        ]);
+        let err = soc.run_offload(hp, ClusterMask::single(0)).unwrap_err();
+        assert!(matches!(err, SocError::HostStalled { .. }));
+    }
+
+    #[test]
+    fn irq_racing_ahead_of_wait_is_latched() {
+        let mut soc = small_soc(1);
+        soc.bind_job(0, nop_job(CompletionSignal::Credit, 2));
+        // A long Compute keeps the host busy past cluster completion, so
+        // HostIrq is delivered while the host is still Running.
+        let hp = HostProgram::new(vec![
+            HostOp::CreditArm { threshold: 1 },
+            HostOp::StoreMailbox {
+                cluster: 0,
+                reg: ClusterReg::Wakeup,
+                value: 1,
+            },
+            HostOp::Compute(100_000),
+            HostOp::WaitIrq,
+            HostOp::End,
+        ]);
+        let outcome = soc.run_offload(hp, ClusterMask::single(0)).unwrap();
+        assert!(outcome.total >= Cycle::new(100_000));
+    }
+
+    #[test]
+    fn multiple_offloads_on_one_soc_are_independent() {
+        let mut soc = small_soc(1);
+        soc.bind_job(0, nop_job(CompletionSignal::Credit, 2));
+        let hp = || {
+            HostProgram::new(vec![
+                HostOp::CreditArm { threshold: 1 },
+                HostOp::StoreMailbox {
+                    cluster: 0,
+                    reg: ClusterReg::Wakeup,
+                    value: 1,
+                },
+                HostOp::WaitIrq,
+                HostOp::End,
+            ])
+        };
+        let a = soc.run_offload(hp(), ClusterMask::single(0)).unwrap();
+        let b = soc.run_offload(hp(), ClusterMask::single(0)).unwrap();
+        assert_eq!(a.total, b.total, "offloads must be reproducible");
+    }
+
+    #[test]
+    fn sequential_dispatch_wakes_clusters_later_than_multicast() {
+        let run = |multicast: bool| {
+            let mut soc = small_soc(8);
+            for c in 0..8 {
+                soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+            }
+            let mut ops = vec![HostOp::CreditArm { threshold: 8 }];
+            if multicast {
+                ops.push(HostOp::MulticastMailbox {
+                    mask: ClusterMask::first(8),
+                    reg: ClusterReg::Wakeup,
+                    value: 1,
+                });
+            } else {
+                for c in 0..8 {
+                    ops.push(HostOp::StoreMailbox {
+                        cluster: c,
+                        reg: ClusterReg::Wakeup,
+                        value: 1,
+                    });
+                }
+            }
+            ops.push(HostOp::WaitIrq);
+            ops.push(HostOp::End);
+            soc.run_offload(HostProgram::new(ops), ClusterMask::first(8))
+                .unwrap()
+        };
+        let seq = run(false);
+        let mc = run(true);
+        assert!(
+            mc.phases.last_dispatch < seq.phases.last_dispatch,
+            "multicast must deliver the last doorbell earlier"
+        );
+        assert!(mc.total < seq.total);
+    }
+}

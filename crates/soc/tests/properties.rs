@@ -1,0 +1,160 @@
+//! SoC-level property tests: determinism, phase ordering, and dispatch
+//! scaling invariants on randomly shaped (but well-formed) offloads.
+
+use proptest::prelude::*;
+
+use mpsoc_isa::{FpReg, IntReg, Program, ProgramBuilder};
+use mpsoc_mem::ClusterReg;
+use mpsoc_noc::ClusterMask;
+use mpsoc_soc::{ClusterJob, CompletionSignal, HostOp, HostProgram, Soc, SocConfig};
+
+/// A small compute program of `work` dependent FP adds.
+fn busy_program(work: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(IntReg::new(1), i64::from(work));
+    let top = b.label();
+    b.bind(top);
+    b.fadd(FpReg::new(0), FpReg::new(0), FpReg::new(1));
+    b.addi(IntReg::new(1), IntReg::new(1), -1);
+    b.bnez(IntReg::new(1), top);
+    b.halt();
+    b.build().expect("well-formed")
+}
+
+fn soc_with(clusters: usize, cores: usize) -> Soc {
+    let mut cfg = SocConfig::with_clusters(clusters);
+    cfg.cores_per_cluster = cores;
+    Soc::new(cfg).expect("valid config")
+}
+
+fn credit_offload(soc: &mut Soc, clusters: usize) -> mpsoc_soc::OffloadOutcome {
+    let mask = ClusterMask::first(clusters);
+    let program = HostProgram::new(vec![
+        HostOp::Compute(20),
+        HostOp::CreditArm {
+            threshold: clusters as u64,
+        },
+        HostOp::MulticastMailbox {
+            mask,
+            reg: ClusterReg::Wakeup,
+            value: 1,
+        },
+        HostOp::WaitIrq,
+        HostOp::End,
+    ]);
+    soc.run_offload(program, mask).expect("offload")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Identical SoCs built twice produce identical cycle counts for any
+    /// job shape — the determinism everything else relies on.
+    #[test]
+    fn offloads_are_deterministic(
+        clusters in 1usize..=8,
+        cores in 1usize..=4,
+        work in 1u32..500,
+    ) {
+        let run = || {
+            let mut soc = soc_with(clusters, cores);
+            for c in 0..clusters {
+                soc.bind_job(
+                    c,
+                    ClusterJob::single(
+                        vec![busy_program(work); cores],
+                        vec![],
+                        vec![],
+                        vec![],
+                        0,
+                        CompletionSignal::Credit,
+                    ),
+                );
+            }
+            credit_offload(&mut soc, clusters).total
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Phase timestamps are causally ordered for every cluster.
+    #[test]
+    fn phases_are_causally_ordered(
+        clusters in 1usize..=8,
+        work in 1u32..300,
+    ) {
+        let mut soc = soc_with(clusters, 2);
+        for c in 0..clusters {
+            soc.bind_job(
+                c,
+                ClusterJob::single(
+                    vec![busy_program(work); 2],
+                    vec![],
+                    vec![],
+                    vec![],
+                    0,
+                    CompletionSignal::Credit,
+                ),
+            );
+        }
+        let outcome = credit_offload(&mut soc, clusters);
+        for &(_, t) in &outcome.clusters {
+            prop_assert!(t.woken_at <= t.desc_at);
+            prop_assert!(t.desc_at <= t.dma_in_at);
+            prop_assert!(t.dma_in_at <= t.compute_at);
+            prop_assert!(t.compute_at <= t.dma_out_at);
+            prop_assert!(t.dma_out_at <= t.complete_at);
+        }
+        prop_assert!(outcome.total >= outcome.phases.sync_done);
+        prop_assert!(outcome.phases.sync_done >= outcome.phases.last_dma_out);
+    }
+
+    /// More compute per core never shortens the offload.
+    #[test]
+    fn runtime_is_monotone_in_work(work in 1u32..300) {
+        let measure = |w: u32| {
+            let mut soc = soc_with(2, 2);
+            for c in 0..2 {
+                soc.bind_job(
+                    c,
+                    ClusterJob::single(
+                        vec![busy_program(w); 2],
+                        vec![],
+                        vec![],
+                        vec![],
+                        0,
+                        CompletionSignal::Credit,
+                    ),
+                );
+            }
+            credit_offload(&mut soc, 2).total
+        };
+        prop_assert!(measure(work + 50) >= measure(work));
+    }
+
+    /// A multi-stage job with zero-work stages completes and signals
+    /// exactly once.
+    #[test]
+    fn multi_stage_nop_jobs_complete(stages in 1usize..6, clusters in 1usize..=4) {
+        let mut soc = soc_with(clusters, 1);
+        for c in 0..clusters {
+            let stage = mpsoc_soc::JobStage {
+                dma_in: vec![],
+                programs: vec![busy_program(1)],
+                dma_out: vec![],
+            };
+            soc.bind_job(
+                c,
+                ClusterJob {
+                    stages: vec![stage; stages],
+                    args: vec![],
+                    args_local_word: 0,
+                    completion: CompletionSignal::Credit,
+                },
+            );
+        }
+        let outcome = credit_offload(&mut soc, clusters);
+        prop_assert!(outcome.total.as_u64() > 0);
+        // One completion credit per cluster, not per stage.
+        prop_assert_eq!(outcome.clusters.len(), clusters);
+    }
+}

@@ -1,0 +1,89 @@
+//! Offload tuning under a deadline — the paper's §III use case.
+//!
+//! A latency-sensitive pipeline stage must finish a DAXPY within a given
+//! budget. Instead of guessing, we (1) fit the runtime model to a handful
+//! of calibration offloads, (2) invert it (the paper's Eq. 3) to get the
+//! minimum number of clusters per deadline, and (3) confirm each decision
+//! by actually running the offload.
+//!
+//! ```text
+//! cargo run --release --example offload_tuning
+//! ```
+
+use mpsoc::kernels::Daxpy;
+use mpsoc::offload::decision::{decide, Decision};
+use mpsoc::offload::{OffloadStrategy, Offloader, RuntimeModel, Sample};
+use mpsoc::sim::rng::SplitMix64;
+use mpsoc::soc::SocConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut offloader = Offloader::new(SocConfig::manticore())?;
+    let kernel = Daxpy::new(-1.5);
+    let mut rng = SplitMix64::new(99);
+
+    let mut measure =
+        |off: &mut Offloader, n: u64, m: usize| -> Result<u64, Box<dyn std::error::Error>> {
+            let mut x = vec![0.0; n as usize];
+            let mut y = vec![0.0; n as usize];
+            let mut local = SplitMix64::new(rng.next_u64());
+            local.fill_f64(&mut x, -1.0, 1.0);
+            local.fill_f64(&mut y, -1.0, 1.0);
+            let run = off.offload(&kernel, &x, &y, m, OffloadStrategy::extended())?;
+            assert!(run.verify(&kernel, &x, &y).passed());
+            Ok(run.cycles())
+        };
+
+    // 1. Calibrate: a coarse grid is enough for a 3-coefficient model.
+    println!("calibrating the runtime model on 12 offloads...");
+    let mut samples = Vec::new();
+    for &n in &[512u64, 1536, 3072] {
+        for &m in &[1usize, 4, 16, 32] {
+            let cycles = measure(&mut offloader, n, m)?;
+            samples.push(Sample {
+                m: m as u64,
+                n,
+                cycles: cycles as f64,
+            });
+        }
+    }
+    let fit = RuntimeModel::fit(&samples)?;
+    println!("fitted model: {} (r² = {:.6})\n", fit.model, fit.r_squared);
+
+    // 2 + 3. Decide per deadline and confirm by running.
+    let n = 2048u64;
+    println!("stage workload: DAXPY N={n}; machine: 32 clusters\n");
+    println!(
+        "{:>10}  {:>26}  {:>12}  {:>9}",
+        "deadline", "decision", "measured", "met?"
+    );
+    for t_max in [700.0, 950.0, 1100.0, 1400.0, 2500.0] {
+        let decision = decide(&fit.model, n, t_max, 32);
+        match decision {
+            Decision::Offload { m } => {
+                let cycles = measure(&mut offloader, n, m as usize)?;
+                println!(
+                    "{:>10.0}  {:>26}  {:>6} cyc  {:>9}",
+                    t_max,
+                    decision.to_string(),
+                    cycles,
+                    if (cycles as f64) <= t_max * 1.01 {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                );
+            }
+            _ => {
+                let cycles = measure(&mut offloader, n, 32)?;
+                println!(
+                    "{:>10.0}  {:>26}  {:>6} cyc  {:>9}",
+                    t_max,
+                    decision.to_string(),
+                    cycles,
+                    "n/a"
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: offload a DAXPY to the simulated Manticore-class MPSoC
+//! with both runtimes, verify the result, and compare the measurement
+//! with the paper's analytic model.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mpsoc::kernels::Daxpy;
+use mpsoc::offload::{OffloadStrategy, Offloader, RuntimeModel};
+use mpsoc::soc::SocConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 32-cluster Manticore-class SoC: 256 worker cores + 32 cluster
+    // controllers + 1 CVA6-class host.
+    let mut offloader = Offloader::new(SocConfig::manticore())?;
+
+    // The paper's workload: y = a*x + y on 1024 doubles.
+    let n = 1024usize;
+    let a = 2.0;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+    let kernel = Daxpy::new(a);
+
+    println!("offloading DAXPY (N={n}) to 32 clusters...\n");
+    for strategy in [OffloadStrategy::baseline(), OffloadStrategy::extended()] {
+        let run = offloader.offload(&kernel, &x, &y, 32, strategy)?;
+        let verify = run.verify(&kernel, &x, &y);
+        println!("{strategy:<34} {:>5} cycles  result {verify}", run.cycles());
+    }
+
+    // The analytic model (Eq. 1) predicts the extended runtime.
+    let model = RuntimeModel::paper();
+    println!(
+        "\npaper's Eq. 1 prediction at (M=32, N={n}): {:.1} cycles",
+        model.predict(32, n as u64)
+    );
+    println!("(cycles are nanoseconds at the paper's 1 GHz clock)");
+    Ok(())
+}

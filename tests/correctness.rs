@@ -1,0 +1,351 @@
+//! Cross-crate correctness: every kernel × strategy × geometry offload
+//! must produce results identical to the golden references.
+
+use mpsoc::kernels::{Axpby, Daxpy, Dot, Kernel, Memset, Scale, Sum, VecAdd};
+use mpsoc::offload::{OffloadStrategy, Offloader};
+use mpsoc::sim::rng::SplitMix64;
+use mpsoc::soc::SocConfig;
+
+fn operands(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = SplitMix64::new(seed);
+    let mut x = vec![0.0; n];
+    let mut y = vec![0.0; n];
+    rng.fill_f64(&mut x, -8.0, 8.0);
+    rng.fill_f64(&mut y, -8.0, 8.0);
+    (x, y)
+}
+
+fn zoo() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(Daxpy::new(2.5)),
+        Box::new(Axpby::new(-1.0, 0.5)),
+        Box::new(Scale::new(7.0)),
+        Box::new(VecAdd::new()),
+        Box::new(Memset::new(-3.25)),
+        Box::new(Dot::new()),
+        Box::new(Sum::new()),
+    ]
+}
+
+#[test]
+fn every_kernel_and_strategy_verifies_on_the_full_soc() {
+    let mut off = Offloader::new(SocConfig::manticore()).expect("soc");
+    let (x, y) = operands(1024, 1);
+    for kernel in zoo() {
+        for strategy in OffloadStrategy::all() {
+            let run = off
+                .offload(kernel.as_ref(), &x, &y, 32, strategy)
+                .unwrap_or_else(|e| panic!("{} under {strategy}: {e}", kernel.name()));
+            let report = run.verify(kernel.as_ref(), &x, &y);
+            assert!(
+                report.passed(),
+                "{} under {strategy}: {report}",
+                kernel.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn awkward_sizes_and_cluster_counts_verify() {
+    let mut off = Offloader::new(SocConfig::manticore()).expect("soc");
+    let kernel = Daxpy::new(0.125);
+    // Deliberately awkward: primes, off-by-ones, non-powers of two.
+    for &n in &[1usize, 2, 9, 10, 11, 17, 63, 64, 65, 241, 1000, 1021, 2047] {
+        for &m in &[1usize, 3, 5, 7, 12, 31, 32] {
+            let (x, y) = operands(n, (n * 1000 + m) as u64);
+            let run = off
+                .offload(&kernel, &x, &y, m, OffloadStrategy::extended())
+                .unwrap_or_else(|e| panic!("n={n} m={m}: {e}"));
+            let report = run.verify(&kernel, &x, &y);
+            assert!(report.passed(), "n={n} m={m}: {report}");
+        }
+    }
+}
+
+#[test]
+fn special_values_round_trip() {
+    // Negative zero, subnormals, infinities and huge magnitudes survive
+    // the DMA + FPU path bit-exactly where the reference does.
+    let mut off = Offloader::new(SocConfig::with_clusters(4)).expect("soc");
+    let kernel = VecAdd::new();
+    let x = vec![
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE / 2.0,
+        1e300,
+        -1e300,
+        1.5,
+        f64::INFINITY,
+        42.0,
+    ];
+    let y = vec![1.0, 2.0, 0.0, 1e300, 1e300, -1.5, 1.0, -42.0];
+    let run = off
+        .offload(&kernel, &x, &y, 4, OffloadStrategy::extended())
+        .expect("offload");
+    let report = run.verify(&kernel, &x, &y);
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn reductions_match_within_reassociation_tolerance() {
+    let mut off = Offloader::new(SocConfig::manticore()).expect("soc");
+    let (x, y) = operands(4096, 7);
+    for m in [1usize, 8, 32] {
+        let dot = Dot::new();
+        let run = off
+            .offload(&dot, &x, &y, m, OffloadStrategy::extended())
+            .expect("offload");
+        assert!(run.verify(&dot, &x, &y).passed(), "dot m={m}");
+        let sum = Sum::new();
+        let run = off
+            .offload(&sum, &x, &y, m, OffloadStrategy::extended())
+            .expect("offload");
+        assert!(run.verify(&sum, &x, &y).passed(), "sum m={m}");
+    }
+}
+
+#[test]
+fn small_soc_geometries_work() {
+    // 1 cluster and 2 clusters with a reduced core count.
+    for clusters in [1usize, 2] {
+        let mut cfg = SocConfig::with_clusters(clusters);
+        cfg.cores_per_cluster = 4;
+        let mut off = Offloader::new(cfg).expect("soc");
+        let kernel = Daxpy::new(1.0);
+        let (x, y) = operands(100, 5);
+        let run = off
+            .offload(&kernel, &x, &y, clusters, OffloadStrategy::extended())
+            .expect("offload");
+        assert!(run.verify(&kernel, &x, &y).passed());
+    }
+}
+
+#[test]
+fn gemv_round_trips_through_the_full_stack() {
+    use mpsoc::kernels::Gemv;
+    let mut off = Offloader::new(SocConfig::manticore()).expect("soc");
+    for k in [1usize, 3, 8] {
+        let kernel = Gemv::new((0..k).map(|j| 1.0 + j as f64 * 0.5).collect());
+        let n = 257usize;
+        let (a_flat, _) = operands(n * k, (n * k) as u64);
+        let y = vec![0.0; n];
+        for m in [1usize, 7, 32] {
+            let run = off
+                .offload(&kernel, &a_flat, &y, m, OffloadStrategy::extended())
+                .unwrap_or_else(|e| panic!("gemv k={k} m={m}: {e}"));
+            let report = run.verify(&kernel, &a_flat, &y);
+            assert!(report.passed(), "gemv k={k} m={m}: {report}");
+        }
+    }
+}
+
+#[test]
+fn gemv_rejects_misshapen_matrices() {
+    use mpsoc::kernels::Gemv;
+    use mpsoc::offload::OffloadError;
+    let mut off = Offloader::new(SocConfig::with_clusters(2)).expect("soc");
+    let kernel = Gemv::new(vec![1.0, 2.0]);
+    // 10 outputs require 20 matrix words; give 10.
+    let (x, y) = operands(10, 1);
+    assert!(matches!(
+        off.offload(&kernel, &x, &y, 2, OffloadStrategy::extended()),
+        Err(OffloadError::OperandMismatch { .. })
+    ));
+}
+
+#[test]
+fn masked_offloads_use_exactly_the_selected_clusters() {
+    use mpsoc::noc::ClusterMask;
+    let mut off = Offloader::new(SocConfig::with_clusters(8)).expect("soc");
+    let kernel = Daxpy::new(1.5);
+    let (x, y) = operands(512, 21);
+    // Upper half of the machine only.
+    let mask: ClusterMask = [4usize, 5, 6, 7].into_iter().collect();
+    let run = off
+        .offload_to(&kernel, &x, &y, mask, OffloadStrategy::extended())
+        .expect("offload");
+    assert!(run.verify(&kernel, &x, &y).passed());
+    assert_eq!(run.m, 4);
+    let used: Vec<usize> = run.outcome.clusters.iter().map(|&(c, _)| c).collect();
+    assert_eq!(used, vec![4, 5, 6, 7]);
+
+    // A mask has the same cost as the same-sized prefix (symmetric SoC).
+    let prefix = off
+        .offload(&kernel, &x, &y, 4, OffloadStrategy::extended())
+        .expect("offload");
+    assert_eq!(run.cycles(), prefix.cycles());
+}
+
+#[test]
+fn masked_offload_rejects_out_of_range_clusters() {
+    use mpsoc::noc::ClusterMask;
+    use mpsoc::offload::OffloadError;
+    let mut off = Offloader::new(SocConfig::with_clusters(4)).expect("soc");
+    let kernel = Daxpy::new(1.0);
+    let (x, y) = operands(64, 2);
+    assert!(matches!(
+        off.offload_to(
+            &kernel,
+            &x,
+            &y,
+            ClusterMask::single(5),
+            OffloadStrategy::extended()
+        ),
+        Err(OffloadError::TooManyClusters { .. })
+    ));
+    assert!(matches!(
+        off.offload_to(
+            &kernel,
+            &x,
+            &y,
+            ClusterMask::EMPTY,
+            OffloadStrategy::extended()
+        ),
+        Err(OffloadError::NoClusters)
+    ));
+}
+
+#[test]
+fn stencil_halos_cross_cluster_boundaries_correctly() {
+    use mpsoc::kernels::Stencil3;
+    let mut off = Offloader::new(SocConfig::manticore()).expect("soc");
+    let kernel = Stencil3::new(0.25, 0.5, 0.25);
+    // Sizes that put cluster boundaries in awkward places.
+    for &n in &[1usize, 2, 3, 33, 256, 1000] {
+        for &m in &[1usize, 2, 7, 32] {
+            let (x, _) = operands(n, (n * 31 + m) as u64);
+            let y = vec![0.0; n];
+            let run = off
+                .offload(&kernel, &x, &y, m, OffloadStrategy::extended())
+                .unwrap_or_else(|e| panic!("stencil n={n} m={m}: {e}"));
+            let report = run.verify(&kernel, &x, &y);
+            assert!(report.passed(), "stencil n={n} m={m}: {report}");
+        }
+    }
+}
+
+#[test]
+fn stencil_halo_zero_fill_survives_stale_tcdm_data() {
+    use mpsoc::kernels::{Memset, Stencil3};
+    // Poison the TCDMs with a prior kernel whose data fills the same
+    // regions, then check the stencil's edge halos still read zero.
+    let mut off = Offloader::new(SocConfig::with_clusters(4)).expect("soc");
+    let poison = Memset::new(777.0);
+    let (xp, yp) = operands(512, 99);
+    off.offload(&poison, &xp, &yp, 4, OffloadStrategy::extended())
+        .expect("poison run");
+
+    let kernel = Stencil3::new(1.0, 0.0, 1.0); // reads both neighbours only
+    let (x, _) = operands(512, 100);
+    let y = vec![0.0; 512];
+    let run = off
+        .offload(&kernel, &x, &y, 4, OffloadStrategy::extended())
+        .expect("stencil run");
+    let report = run.verify(&kernel, &x, &y);
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn stencil_runs_on_the_host_too() {
+    use mpsoc::kernels::Stencil3;
+    use mpsoc::offload::OffloadResult;
+    let mut off = Offloader::new(SocConfig::with_clusters(2)).expect("soc");
+    let kernel = Stencil3::new(0.5, 1.0, -0.5);
+    let (x, _) = operands(200, 55);
+    let y = vec![0.0; 200];
+    let (cycles, result) = off.run_on_host(&kernel, &x, &y).expect("host run");
+    assert!(cycles > 0);
+    match (kernel.golden(&x, &y), result) {
+        (mpsoc::kernels::GoldenOutput::Vector(want), OffloadResult::Vector(got)) => {
+            assert_eq!(got, want);
+        }
+        _ => panic!("unexpected result shape"),
+    }
+}
+
+#[test]
+fn stencil_rejects_pipelining() {
+    use mpsoc::kernels::Stencil3;
+    use mpsoc::offload::OffloadError;
+    let mut off = Offloader::new(SocConfig::with_clusters(2)).expect("soc");
+    let (x, y) = operands(64, 3);
+    let err = off
+        .offload_pipelined(
+            &Stencil3::new(1.0, 1.0, 1.0),
+            &x,
+            &y,
+            2,
+            OffloadStrategy::extended(),
+            2,
+        )
+        .unwrap_err();
+    assert!(matches!(err, OffloadError::PipelineUnsupported { .. }));
+}
+
+#[test]
+fn host_execution_matches_goldens_and_is_slower_per_element() {
+    use mpsoc::offload::OffloadResult;
+    let mut off = Offloader::new(SocConfig::with_clusters(4)).expect("soc");
+    for kernel in zoo() {
+        let (x, y) = operands(300, 13);
+        let (cycles, result) = off
+            .run_on_host(kernel.as_ref(), &x, &y)
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        assert!(cycles > 0);
+        match (kernel.golden(&x, &y), result) {
+            (mpsoc::kernels::GoldenOutput::Vector(want), OffloadResult::Vector(got)) => {
+                assert_eq!(got, want, "{}", kernel.name());
+            }
+            (mpsoc::kernels::GoldenOutput::Scalar(want), OffloadResult::Scalar(got)) => {
+                assert!(
+                    (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                    "{}",
+                    kernel.name()
+                );
+            }
+            _ => panic!("result shape mismatch for {}", kernel.name()),
+        }
+    }
+
+    // The scalar host is meaningfully slower per element than a Snitch
+    // worker: DAXPY at ~4 vs ~2.6 cycles/element.
+    let kernel = Daxpy::new(2.0);
+    let (x1, y1) = operands(1000, 14);
+    let (t1000, _) = off.run_on_host(&kernel, &x1, &y1).expect("host run");
+    let (x2, y2) = operands(2000, 14);
+    let (t2000, _) = off.run_on_host(&kernel, &x2, &y2).expect("host run");
+    let per_elem = (t2000 - t1000) as f64 / 1000.0;
+    assert!(
+        (3.2..5.5).contains(&per_elem),
+        "host DAXPY marginal cost {per_elem} cycles/element out of band"
+    );
+}
+
+#[test]
+fn back_to_back_offloads_do_not_leak_state() {
+    let mut off = Offloader::new(SocConfig::with_clusters(8)).expect("soc");
+    // Alternate kernels and strategies on one SoC; every result must
+    // still verify and timing must be reproducible when repeated.
+    let (x, y) = operands(512, 11);
+    let mut first_pass = Vec::new();
+    for round in 0..2 {
+        for (i, kernel) in zoo().iter().enumerate() {
+            let strategy = OffloadStrategy::all()[i % 4];
+            let run = off
+                .offload(kernel.as_ref(), &x, &y, 8, strategy)
+                .expect("offload");
+            assert!(run.verify(kernel.as_ref(), &x, &y).passed());
+            if round == 0 {
+                first_pass.push(run.cycles());
+            } else {
+                assert_eq!(
+                    run.cycles(),
+                    first_pass[i],
+                    "timing must be reproducible across rounds for {}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}

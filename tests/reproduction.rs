@@ -1,0 +1,214 @@
+//! End-to-end reproduction smoke tests: the paper's qualitative claims,
+//! asserted on the full 32-cluster calibrated SoC.
+
+use mpsoc::offload::decision::min_clusters;
+use mpsoc::offload::{mape, OffloadStrategy, RuntimeModel};
+use mpsoc_bench::{Harness, MAPE_N, PAPER_M};
+
+#[test]
+fn headline_speedup_improvement_matches_the_paper() {
+    let mut harness = Harness::new().expect("harness");
+    let h = harness.headline().expect("headline");
+    // Paper: 47.9% at N=1024, M=32. Absolute numbers need not match, but
+    // the factor should be in the same ballpark.
+    assert!(
+        (40.0..=55.0).contains(&h.improvement_pct),
+        "improvement {:.1}% out of the expected band",
+        h.improvement_pct
+    );
+    // Paper: "more than 300 cycles difference in the 32-clusters
+    // configuration".
+    assert!(
+        h.gap_cycles > 250,
+        "gap {} cycles, expected the paper's >300-cycle ballpark",
+        h.gap_cycles
+    );
+}
+
+#[test]
+fn fig1_left_shapes_hold() {
+    let mut harness = Harness::new().expect("harness");
+    let rows = harness.fig1_left().expect("fig1_left");
+
+    // Extended runtime decreases monotonically through M=32.
+    assert!(
+        rows.windows(2).all(|w| w[1].extended <= w[0].extended),
+        "extended runtime must decrease with more clusters"
+    );
+
+    // Baseline has an interior global minimum: better than both ends.
+    let min = rows.iter().min_by_key(|r| r.baseline).expect("rows");
+    let first = rows.first().expect("rows");
+    let last = rows.last().expect("rows");
+    assert!(
+        min.m > first.m && min.m < last.m,
+        "baseline minimum must be interior"
+    );
+    assert!(
+        last.baseline > min.baseline,
+        "baseline overhead must dominate at M=32"
+    );
+
+    // Extended wins at every cluster count.
+    for r in &rows {
+        assert!(r.extended < r.baseline, "extended must win at M={}", r.m);
+    }
+}
+
+#[test]
+fn fig1_right_shapes_hold() {
+    let mut harness = Harness::new().expect("harness");
+    let rows = harness.fig1_right().expect("fig1_right");
+
+    // Speedup strictly above 1 everywhere.
+    assert!(rows.iter().all(|r| r.speedup > 1.0));
+
+    // For fixed M, speedup decreases with N (small tolerance for the
+    // baseline's polling quantization).
+    for &m in &PAPER_M {
+        let series: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.m == m)
+            .map(|r| r.speedup)
+            .collect();
+        assert!(
+            series.windows(2).all(|w| w[1] <= w[0] + 0.02),
+            "speedup must decrease with N at M={m}: {series:?}"
+        );
+    }
+
+    // The largest speedup is at the smallest N and the largest M.
+    let max = rows
+        .iter()
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        .expect("rows");
+    assert_eq!((max.n, max.m), (1024, 32));
+}
+
+#[test]
+fn eq1_fit_recovers_the_papers_structure() {
+    let mut harness = Harness::new().expect("harness");
+    let fit = harness.model_fit().expect("fit");
+    // The constant lands near the paper's 367 cycles...
+    assert!(
+        (fit.fitted.c0 - 367.0).abs() < 25.0,
+        "constant {} too far from 367",
+        fit.fitted.c0
+    );
+    // ...the serial data term near N/4...
+    assert!(
+        (fit.fitted.c_mem - 0.25).abs() < 0.01,
+        "c_mem {} too far from 0.25",
+        fit.fitted.c_mem
+    );
+    // ...and the parallel term is positive and dominates c_mem/M scaling.
+    assert!(fit.fitted.c_comp > 0.2);
+    assert!(fit.r_squared > 0.999, "fit r² {}", fit.r_squared);
+}
+
+#[test]
+fn eq2_mape_below_one_percent_out_of_sample() {
+    let mut harness = Harness::new().expect("harness");
+    let (_, rows) = harness.mape_table().expect("mape");
+    assert_eq!(rows.len(), MAPE_N.len());
+    for row in rows {
+        assert!(
+            row.mape_pct < 1.0,
+            "MAPE {}% at N={} (paper: consistently below 1%)",
+            row.mape_pct,
+            row.n
+        );
+    }
+}
+
+#[test]
+fn eq3_decisions_are_confirmed_by_simulation() {
+    let mut harness = Harness::new().expect("harness");
+    let (_, rows) = harness.decision_table(1.0).expect("decision");
+    assert!(!rows.is_empty());
+    for row in &rows {
+        assert!(
+            row.confirmed,
+            "decision at N={} t_max={:.0} not confirmed: {row:?}",
+            row.n, row.t_max
+        );
+    }
+}
+
+#[test]
+fn paper_eq3_closed_form_agrees_with_solver() {
+    // Sanity: the generic inversion with the paper's coefficients equals
+    // the paper's printed closed form.
+    let model = RuntimeModel::paper();
+    let n = 1024u64;
+    let t_max = 700.0;
+    let m = min_clusters(&model, n, t_max).expect("feasible");
+    let closed_form = ((2.6 * n as f64) / (8.0 * (t_max - 367.0 - n as f64 / 4.0))).ceil();
+    assert_eq!(m, closed_form as u64);
+}
+
+#[test]
+fn ablation_each_ingredient_helps_at_scale() {
+    let mut harness = Harness::new().expect("harness");
+    let rows = harness.ablation().expect("ablation");
+    let at32 = |s: &str| {
+        rows.iter()
+            .find(|r| r.strategy == s && r.m == 32)
+            .expect("grid")
+            .cycles
+    };
+    let base = at32("sequential+software-barrier");
+    let mc = at32("multicast+software-barrier");
+    let credit = at32("sequential+credit-counter");
+    let both = at32("multicast+credit-counter");
+    // Multicast helps under either sync scheme.
+    assert!(
+        mc < base,
+        "multicast must help under the barrier: {mc} !< {base}"
+    );
+    assert!(
+        both < credit,
+        "multicast must help under the credit counter"
+    );
+    // The credit counter helps once completions arrive together
+    // (i.e. with multicast dispatch); with sequential dispatch the
+    // completions are staggered anyway, so its benefit there is within
+    // polling noise — a genuine co-design interaction.
+    assert!(
+        both < mc,
+        "credit counter must help under multicast: {both} !< {mc}"
+    );
+    assert!(
+        both < mc && both < credit && both < base,
+        "the combination must be the best configuration"
+    );
+}
+
+#[test]
+fn model_validation_against_perfect_synthetic_data_is_exact() {
+    // Meta-check of the Eq. 2 implementation itself.
+    let model = RuntimeModel::paper();
+    let samples: Vec<_> = PAPER_M
+        .iter()
+        .map(|&m| mpsoc::offload::Sample {
+            m: m as u64,
+            n: 512,
+            cycles: model.predict(m as u64, 512),
+        })
+        .collect();
+    assert!(mape(&model, &samples) < 1e-12);
+}
+
+#[test]
+fn strategies_do_not_change_results_only_timing() {
+    let mut harness = Harness::new().expect("harness");
+    let base = harness
+        .measure_daxpy(777, 32, OffloadStrategy::baseline())
+        .expect("baseline");
+    let ext = harness
+        .measure_daxpy(777, 32, OffloadStrategy::extended())
+        .expect("extended");
+    // measure_daxpy verifies numerics internally (debug_assert); here we
+    // only check the timing relation for an awkward (non-divisible) N.
+    assert!(ext < base);
+}
