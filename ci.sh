@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, formatting.
+#
+#   ./ci.sh
+#
+# Everything runs against the vendored shims under shims/ — no network
+# access required.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> ci green"

@@ -12,7 +12,9 @@
 //! estimate and (optionally) the per-cluster timeline; `--host` also
 //! executes the kernel on the CVA6-class host core for comparison.
 
-use mpsoc_kernels::{Axpby, Daxpy, DaxpySsr, Dot, Gemv, Kernel, Memset, Scale, Stencil3, Sum, VecAdd};
+use mpsoc_kernels::{
+    Axpby, Daxpy, DaxpySsr, Dot, Gemv, Kernel, Memset, Scale, Stencil3, Sum, VecAdd,
+};
 use mpsoc_offload::{OffloadStrategy, Offloader};
 use mpsoc_sim::rng::SplitMix64;
 use mpsoc_soc::SocConfig;
@@ -43,10 +45,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--kernel" => args.kernel = value("--kernel")?,
             "--n" => args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
@@ -75,7 +74,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--timeline" => args.timeline = true,
             "--host" => args.host = true,
-            other => return Err(format!("unknown flag '{other}' (see the bin's doc comment)")),
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' (see the bin's doc comment)"
+                ))
+            }
         }
     }
     Ok(args)
@@ -108,14 +111,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rng.fill_f64(&mut y, -4.0, 4.0);
 
     let mut offloader = Offloader::new(SocConfig::with_clusters(args.clusters))?;
-    let run = offloader.offload_pipelined(
-        kernel.as_ref(),
-        &x,
-        &y,
-        args.m,
-        args.strategy,
-        args.stages,
-    )?;
+    let run =
+        offloader.offload_pipelined(kernel.as_ref(), &x, &y, args.m, args.strategy, args.stages)?;
     let verify = run.verify(kernel.as_ref(), &x, &y);
 
     println!(

@@ -134,8 +134,7 @@ impl TcdmLayout {
         };
         CoreSlice {
             elems: chunk.count,
-            x_base: (self.x_word + kernel.x_halo() + rel * kernel.x_words_per_elem())
-                * WORD_BYTES,
+            x_base: (self.x_word + kernel.x_halo() + rel * kernel.x_words_per_elem()) * WORD_BYTES,
             y_base: (self.y_word + rel) * WORD_BYTES,
             out_base,
             args_base: self.args_word * WORD_BYTES,

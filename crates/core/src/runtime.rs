@@ -50,7 +50,7 @@ impl Default for RuntimeCosts {
 }
 
 /// The computed result extracted from main memory after an offload.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum OffloadResult {
     /// The output `y` vector of a map kernel.
     Vector(Vec<f64>),
@@ -59,7 +59,7 @@ pub enum OffloadResult {
 }
 
 /// One completed offload: measurement plus result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OffloadRun {
     /// Timing, energy and per-cluster reports from the SoC.
     pub outcome: OffloadOutcome,

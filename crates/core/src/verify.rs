@@ -2,9 +2,11 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 /// Comparison of an offloaded result against the kernel's golden
 /// reference.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VerifyReport {
     /// Elements compared (1 for reductions).
     pub compared: usize,

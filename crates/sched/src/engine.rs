@@ -1,0 +1,335 @@
+//! The deterministic discrete-event engine: virtual time, admission,
+//! spatial allocation and policy-driven dispatch over one job stream.
+//!
+//! Virtual time advances from event to event (arrivals and partition
+//! completions); concurrency between tenants is spatial, never
+//! simulated concurrently — each offload runs standalone on its carved
+//! partition and contributes its (measured or predicted) cycle count as
+//! the partition's busy interval. Cross-tenant NoC interference is
+//! therefore not modeled; the clusters' TCDMs and the mask-addressed
+//! offload path make partitions independent to first order, which is
+//! exactly the paper's multi-tenant premise.
+//!
+//! Determinism: events are ordered by `(time, sequence)`, all queues are
+//! insertion-ordered, and both service backends are deterministic — so a
+//! fixed `(workload, policy, machine)` triple always yields a
+//! byte-identical [`RunReport`].
+//!
+//! Host-executed jobs occupy a single serial host server (FIFO): the
+//! host core runs one kernel at a time, concurrently with the clusters.
+
+use std::collections::BTreeMap;
+
+use mpsoc_noc::ClusterMask;
+
+use crate::admission::{AdmissionController, AdmissionDecision};
+use crate::alloc::Allocator;
+use crate::calibrate::ModelTable;
+use crate::error::SchedError;
+use crate::job::Job;
+use crate::metrics::{JobOutcome, JobRecord, Metrics, RunReport};
+use crate::policy::{Placement, QueuedJob, SchedContext, SchedPolicy};
+use crate::service::ServiceBackend;
+
+/// The multi-tenant scheduler: admission + allocation + dispatch over a
+/// service-time backend.
+#[derive(Debug)]
+pub struct Engine {
+    admission: AdmissionController,
+    backend: ServiceBackend,
+    clusters: usize,
+}
+
+/// A job in flight on a carved partition.
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    record_index: usize,
+    mask: ClusterMask,
+    start: u64,
+    job: Job,
+    m: usize,
+}
+
+impl Engine {
+    /// An engine over a machine of `clusters` clusters, using `table`
+    /// for admission and predictions and `backend` for service times.
+    pub fn new(table: ModelTable, clusters: usize, backend: ServiceBackend) -> Self {
+        Engine {
+            admission: AdmissionController::new(table, clusters as u64),
+            backend,
+            clusters,
+        }
+    }
+
+    /// The admission controller in use.
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Simulates `jobs` (must be sorted by arrival time) under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Service-backend failures (offload geometry violations, host-run
+    /// faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is not sorted by arrival, or if the policy
+    /// returns an invalid placement (out-of-range index, zero or
+    /// unavailable partition size).
+    pub fn run(
+        &mut self,
+        jobs: &[Job],
+        policy: &mut dyn SchedPolicy,
+    ) -> Result<RunReport, SchedError> {
+        assert!(
+            jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "job stream must be sorted by arrival time"
+        );
+        let mut allocator = Allocator::new(self.clusters);
+        let mut records: Vec<JobRecord> = Vec::with_capacity(jobs.len());
+        let mut ready: Vec<QueuedJob> = Vec::new();
+        // Completion events keyed by (finish, sequence): BTreeMap pops
+        // in deterministic order even for simultaneous completions.
+        let mut completions: BTreeMap<(u64, u64), Running> = BTreeMap::new();
+        let mut seq = 0u64;
+        let mut host_free_at = 0u64;
+        let mut next_arrival = 0usize;
+
+        loop {
+            // Next event: the earlier of the next arrival and the next
+            // completion; completions win ties so freed clusters are
+            // visible to jobs arriving at the same cycle.
+            let arrival_t = jobs.get(next_arrival).map(|j| j.arrival);
+            let completion_t = completions.keys().next().map(|&(t, _)| t);
+            let now = match (arrival_t, completion_t) {
+                (Some(a), Some(c)) => a.min(c),
+                (Some(a), None) => a,
+                (None, Some(c)) => c,
+                (None, None) => break,
+            };
+
+            // 1. Retire everything finishing at `now`.
+            while let Some((&key @ (t, _), _)) = completions.iter().next() {
+                if t > now {
+                    break;
+                }
+                let done = completions.remove(&key).expect("key just observed");
+                allocator.release(done.mask);
+                records[done.record_index] = JobRecord {
+                    job: done.job,
+                    outcome: JobOutcome::Offloaded {
+                        start: done.start,
+                        finish: t,
+                        m: done.m,
+                    },
+                };
+            }
+
+            // 2. Admit everything arriving at `now`.
+            while let Some(job) = jobs.get(next_arrival).filter(|j| j.arrival == now) {
+                next_arrival += 1;
+                match self.admission.admit(job) {
+                    AdmissionDecision::Offload { m_min, predicted } => {
+                        // Placeholder until the offload completes; the
+                        // queue remembers where to write the outcome.
+                        records.push(JobRecord {
+                            job: *job,
+                            outcome: JobOutcome::Offloaded {
+                                start: 0,
+                                finish: 0,
+                                m: 0,
+                            },
+                        });
+                        ready.push(QueuedJob {
+                            job: *job,
+                            m_min,
+                            predicted,
+                        });
+                    }
+                    AdmissionDecision::Host { .. } => {
+                        let start = now.max(host_free_at);
+                        let cycles = self.backend.host_cycles(job.kernel, job.n)?;
+                        let finish = start + cycles;
+                        host_free_at = finish;
+                        records.push(JobRecord {
+                            job: *job,
+                            outcome: JobOutcome::Host { start, finish },
+                        });
+                    }
+                    AdmissionDecision::Reject { reason } => {
+                        records.push(JobRecord {
+                            job: *job,
+                            outcome: JobOutcome::Rejected { reason },
+                        });
+                    }
+                }
+            }
+
+            // 3. Let the policy place queued jobs until it passes.
+            loop {
+                let ctx = SchedContext {
+                    now,
+                    free_clusters: allocator.free_count(),
+                    total_clusters: self.clusters,
+                    models: self.admission.table(),
+                };
+                let Some(Placement { queue_index, m }) = policy.pick(&ready, &ctx) else {
+                    break;
+                };
+                assert!(queue_index < ready.len(), "policy picked a ghost job");
+                let queued = ready.remove(queue_index);
+                let mask = allocator
+                    .carve(m)
+                    .unwrap_or_else(|| panic!("policy over-allocated: {m} clusters not free"));
+                let cycles = self
+                    .backend
+                    .offload_cycles(queued.job.kernel, queued.job.n, mask)?;
+                let record_index = records
+                    .iter()
+                    .position(|r| r.job.id == queued.job.id)
+                    .expect("queued job has a placeholder record");
+                completions.insert(
+                    (now + cycles, seq),
+                    Running {
+                        record_index,
+                        mask,
+                        start: now,
+                        job: queued.job,
+                        m,
+                    },
+                );
+                seq += 1;
+            }
+        }
+
+        assert!(ready.is_empty(), "policy left admitted jobs unscheduled");
+        let metrics = Metrics::from_records(&records, self.clusters);
+        Ok(RunReport {
+            policy: policy.name().to_owned(),
+            clusters: self.clusters,
+            metrics,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::KernelId;
+    use crate::policy::FifoFirstFit;
+
+    fn jobs(specs: &[(u64, u64, u64)]) -> Vec<Job> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(arrival, n, deadline))| Job {
+                id: i as u64,
+                kernel: KernelId::Daxpy,
+                n,
+                arrival,
+                deadline,
+            })
+            .collect()
+    }
+
+    fn engine(clusters: usize) -> Engine {
+        Engine::new(
+            ModelTable::paper_defaults(),
+            clusters,
+            ServiceBackend::analytic(ModelTable::paper_defaults()),
+        )
+    }
+
+    #[test]
+    fn one_job_runs_to_completion() {
+        let stream = jobs(&[(0, 1024, 1000)]);
+        let report = engine(8).run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(report.metrics.offloaded, 1);
+        assert_eq!(report.metrics.deadline_misses, 0);
+        match report.records[0].outcome {
+            JobOutcome::Offloaded { start, finish, m } => {
+                assert_eq!(start, 0);
+                assert!(finish > 0);
+                assert_eq!(m, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_tenants_share_the_machine_spatially() {
+        // Two jobs arriving together, each needing 1 cluster on an
+        // 8-cluster machine: both run immediately, overlapping in time.
+        let stream = jobs(&[(0, 1024, 1000), (0, 1024, 1000)]);
+        let report = engine(8).run(&stream, &mut FifoFirstFit).expect("run");
+        let (s0, f0, s1, f1) = match (report.records[0].outcome, report.records[1].outcome) {
+            (
+                JobOutcome::Offloaded {
+                    start: s0,
+                    finish: f0,
+                    ..
+                },
+                JobOutcome::Offloaded {
+                    start: s1,
+                    finish: f1,
+                    ..
+                },
+            ) => (s0, f0, s1, f1),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!((s0, s1), (0, 0), "both must start at once");
+        assert!(f0 > 0 && f1 > 0);
+        assert_eq!(report.metrics.deadline_misses, 0);
+    }
+
+    #[test]
+    fn saturation_queues_and_misses() {
+        // Eight 1-cluster jobs on a 2-cluster machine with deadlines
+        // sized for an immediate start: the queue forces misses.
+        let stream = jobs(&[(0, 1024, 1000); 8]);
+        let report = engine(2).run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(report.metrics.offloaded, 8);
+        assert!(report.metrics.deadline_misses > 0, "{:?}", report.metrics);
+    }
+
+    #[test]
+    fn host_jobs_serialize_on_the_host_core() {
+        // Tiny jobs below break-even with roomy deadlines: both go to
+        // the host, which runs them back to back.
+        let stream = jobs(&[(0, 64, 100_000), (0, 64, 100_000)]);
+        let report = engine(8).run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(report.metrics.host_runs, 2);
+        let (f0, s1) = match (report.records[0].outcome, report.records[1].outcome) {
+            (JobOutcome::Host { finish, .. }, JobOutcome::Host { start, .. }) => (finish, start),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(s1, f0, "host is a serial server");
+    }
+
+    #[test]
+    fn rejections_are_recorded() {
+        let stream = jobs(&[(0, 1024, 300)]); // under c0 + c_mem·N: infeasible
+        let report = engine(8).run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(report.metrics.rejected, 1);
+        assert!(matches!(
+            report.records[0].outcome,
+            JobOutcome::Rejected { .. }
+        ));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let stream = jobs(&[
+            (0, 1024, 700),
+            (100, 2048, 2000),
+            (100, 256, 100_000),
+            (500, 4096, 3000),
+        ]);
+        let a = engine(8).run(&stream, &mut FifoFirstFit).expect("run");
+        let b = engine(8).run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,43 @@
+//! Scheduler error type.
+
+use mpsoc_offload::model::FitError;
+use mpsoc_offload::OffloadError;
+
+/// Anything that can go wrong while calibrating or simulating.
+#[derive(Debug)]
+pub enum SchedError {
+    /// An offload (or host run) on the underlying SoC failed.
+    Offload(OffloadError),
+    /// Fitting a kernel's runtime model failed.
+    Fit(FitError),
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::Offload(e) => write!(f, "offload failed: {e}"),
+            SchedError::Fit(e) => write!(f, "model fit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Offload(e) => Some(e),
+            SchedError::Fit(e) => Some(e),
+        }
+    }
+}
+
+impl From<OffloadError> for SchedError {
+    fn from(e: OffloadError) -> Self {
+        SchedError::Offload(e)
+    }
+}
+
+impl From<FitError> for SchedError {
+    fn from(e: FitError) -> Self {
+        SchedError::Fit(e)
+    }
+}

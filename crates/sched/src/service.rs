@@ -1,0 +1,174 @@
+//! Service-time backends: how long a scheduled job actually takes.
+//!
+//! The engine separates *predicting* runtimes (always the fitted models
+//! — that is the paper's premise) from *charging* them:
+//!
+//! - [`ServiceBackend::Measured`] runs each `(kernel, N, M)` combination
+//!   once on the real simulated SoC and replays the cached cycle count
+//!   thereafter, so the virtual-time simulation advances by *measured*
+//!   runtimes and model error shows up as deadline misses, exactly as it
+//!   would on hardware. Clusters are symmetric, so the count `M` (not
+//!   the specific mask) determines the runtime.
+//! - [`ServiceBackend::Analytic`] charges the model prediction itself —
+//!   no SoC in the loop, arbitrarily fast, useful for large sweeps and
+//!   for isolating queueing effects from model error.
+
+use std::collections::BTreeMap;
+
+use mpsoc_noc::ClusterMask;
+use mpsoc_offload::{OffloadStrategy, Offloader};
+
+use crate::calibrate::{operands, ModelTable};
+use crate::error::SchedError;
+use crate::job::KernelId;
+
+/// Where service times come from.
+#[derive(Debug)]
+pub enum ServiceBackend {
+    /// Measured on a simulated SoC, memoized by `(kernel, N, M)`.
+    Measured {
+        /// The SoC to measure on.
+        offloader: Box<Offloader>,
+        /// Operand seed (measurements are deterministic in it).
+        seed: u64,
+        /// Dispatch strategy for measured offloads.
+        strategy: OffloadStrategy,
+        /// Memoized offload runtimes.
+        offload_cache: BTreeMap<(KernelId, u64, usize), u64>,
+        /// Memoized host runtimes.
+        host_cache: BTreeMap<(KernelId, u64), u64>,
+    },
+    /// Model predictions, rounded up to whole cycles.
+    Analytic {
+        /// The per-kernel models to charge.
+        table: ModelTable,
+    },
+}
+
+impl ServiceBackend {
+    /// A measured backend over `offloader`, using the extended runtime
+    /// (the configuration the scheduler targets).
+    pub fn measured(offloader: Offloader, seed: u64) -> Self {
+        ServiceBackend::Measured {
+            offloader: Box::new(offloader),
+            seed,
+            strategy: OffloadStrategy::extended(),
+            offload_cache: BTreeMap::new(),
+            host_cache: BTreeMap::new(),
+        }
+    }
+
+    /// An analytic backend over fitted models.
+    pub fn analytic(table: ModelTable) -> Self {
+        ServiceBackend::Analytic { table }
+    }
+
+    /// Cycles one offload of `kernel` over `n` elements takes on the
+    /// partition `mask`.
+    ///
+    /// # Errors
+    ///
+    /// Offload failures from the measured backend (e.g. a partition too
+    /// small for the job's TCDM footprint).
+    pub fn offload_cycles(
+        &mut self,
+        kernel: KernelId,
+        n: u64,
+        mask: ClusterMask,
+    ) -> Result<u64, SchedError> {
+        let m = mask.count();
+        match self {
+            ServiceBackend::Measured {
+                offloader,
+                seed,
+                strategy,
+                offload_cache,
+                ..
+            } => {
+                if let Some(&cycles) = offload_cache.get(&(kernel, n, m)) {
+                    return Ok(cycles);
+                }
+                let (x, y) = operands(n, *seed ^ n);
+                let run =
+                    offloader.offload_to(kernel.instantiate().as_ref(), &x, &y, mask, *strategy)?;
+                let cycles = run.cycles();
+                offload_cache.insert((kernel, n, m), cycles);
+                Ok(cycles)
+            }
+            ServiceBackend::Analytic { table } => {
+                Ok(table.get(kernel).accel.predict(m as u64, n).ceil() as u64)
+            }
+        }
+    }
+
+    /// Cycles one host execution of `kernel` over `n` elements takes.
+    ///
+    /// # Errors
+    ///
+    /// Host-run failures from the measured backend.
+    pub fn host_cycles(&mut self, kernel: KernelId, n: u64) -> Result<u64, SchedError> {
+        match self {
+            ServiceBackend::Measured {
+                offloader,
+                seed,
+                host_cache,
+                ..
+            } => {
+                if let Some(&cycles) = host_cache.get(&(kernel, n)) {
+                    return Ok(cycles);
+                }
+                let (x, y) = operands(n, *seed ^ n);
+                let (cycles, _) = offloader.run_on_host(kernel.instantiate().as_ref(), &x, &y)?;
+                host_cache.insert((kernel, n), cycles);
+                Ok(cycles)
+            }
+            ServiceBackend::Analytic { table } => {
+                Ok(table.get(kernel).host.predict(n).ceil() as u64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_soc::SocConfig;
+
+    #[test]
+    fn measured_backend_memoizes_by_count_not_mask() {
+        let mut backend = ServiceBackend::measured(
+            Offloader::new(SocConfig::with_clusters(8)).expect("soc"),
+            0xBEEF,
+        );
+        let low = ClusterMask::first(2);
+        let mut high = ClusterMask::EMPTY;
+        high.insert(5);
+        high.insert(7);
+        let a = backend
+            .offload_cycles(KernelId::Daxpy, 512, low)
+            .expect("offload");
+        let b = backend
+            .offload_cycles(KernelId::Daxpy, 512, high)
+            .expect("offload");
+        assert_eq!(a, b);
+        match &backend {
+            ServiceBackend::Measured { offload_cache, .. } => {
+                assert_eq!(offload_cache.len(), 1)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn analytic_matches_model_predictions() {
+        let table = ModelTable::paper_defaults();
+        let expected = table.get(KernelId::Daxpy).accel.predict(4, 1024).ceil() as u64;
+        let mut backend = ServiceBackend::analytic(table);
+        let got = backend
+            .offload_cycles(KernelId::Daxpy, 1024, ClusterMask::first(4))
+            .expect("analytic");
+        assert_eq!(got, expected);
+        let host = backend.host_cycles(KernelId::Daxpy, 1024).expect("host");
+        assert!(host > got, "host must be slower at this size");
+    }
+}

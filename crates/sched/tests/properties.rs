@@ -1,0 +1,148 @@
+//! Property tests for the scheduler: allocator partition invariants and
+//! end-to-end determinism.
+
+use proptest::prelude::*;
+
+use mpsoc_noc::ClusterMask;
+use mpsoc_sched::{
+    Allocator, ArrivalPattern, Engine, FifoFirstFit, ModelGuided, ModelTable, ServiceBackend,
+    Workload,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random carve/release interleavings never violate the partition
+    /// invariants: outstanding partitions are pairwise disjoint, stay
+    /// within `0..total`, and with the free set exactly tile the
+    /// machine.
+    #[test]
+    fn allocator_partitions_stay_disjoint(
+        total in 1usize..=64,
+        ops in prop::collection::vec((any::<u8>(), any::<u8>()), 1..120),
+    ) {
+        let mut allocator = Allocator::new(total);
+        let mut outstanding: Vec<ClusterMask> = Vec::new();
+        for (op, arg) in ops {
+            if op % 3 == 0 && !outstanding.is_empty() {
+                // Release one outstanding partition.
+                let mask = outstanding.remove(arg as usize % outstanding.len());
+                allocator.release(mask);
+            } else {
+                // Carve 1..=total clusters; failure is only legal when
+                // the request exceeds the free count.
+                let m = 1 + arg as usize % total;
+                let free_before = allocator.free_count();
+                match allocator.carve(m) {
+                    Some(mask) => {
+                        prop_assert_eq!(mask.count(), m);
+                        prop_assert!(mask.highest().unwrap() < total);
+                        for held in &outstanding {
+                            prop_assert!(mask.intersection(*held).is_empty());
+                        }
+                        outstanding.push(mask);
+                    }
+                    None => prop_assert!(m > free_before),
+                }
+            }
+            // Free ∪ outstanding tiles the machine exactly.
+            let mut union = allocator.free_mask();
+            let mut held_total = 0;
+            for held in &outstanding {
+                prop_assert!(held.intersection(allocator.free_mask()).is_empty());
+                union = union.union(*held);
+                held_total += held.count();
+            }
+            prop_assert_eq!(union, ClusterMask::first(total));
+            prop_assert_eq!(held_total + allocator.free_count(), total);
+        }
+    }
+
+    /// The engine never double-books: every admitted job completes, and
+    /// simultaneously-running offloads (overlapping time intervals)
+    /// always held disjoint partitions of the machine.
+    #[test]
+    fn engine_never_overbooks_clusters(seed in any::<u64>(), clusters in 1usize..=32) {
+        let table = ModelTable::paper_defaults();
+        let workload = Workload::balanced(
+            30,
+            seed,
+            ArrivalPattern::Poisson { mean_interarrival: 800.0 },
+        );
+        let jobs = workload.generate(&table);
+        let mut engine = Engine::new(table.clone(), clusters, ServiceBackend::analytic(table));
+        let report = engine.run(&jobs, &mut ModelGuided).expect("run");
+        prop_assert_eq!(report.records.len(), jobs.len());
+        let running: Vec<(u64, u64, usize)> = report
+            .records
+            .iter()
+            .filter_map(|r| match r.outcome {
+                mpsoc_sched::JobOutcome::Offloaded { start, finish, m } => {
+                    Some((start, finish, m))
+                }
+                _ => None,
+            })
+            .collect();
+        // Peak concurrency occurs at some interval start: at every
+        // start, the partitions of all intervals containing it must fit
+        // the machine.
+        for &(s1, f1, m1) in &running {
+            prop_assert!(f1 > s1);
+            prop_assert!(m1 >= 1 && m1 <= clusters);
+            let concurrent: usize = running
+                .iter()
+                .filter(|&&(s2, f2, _)| s2 <= s1 && s1 < f2)
+                .map(|&(_, _, m2)| m2)
+                .sum();
+            prop_assert!(
+                concurrent <= clusters,
+                "{} clusters busy on a {}-cluster machine", concurrent, clusters
+            );
+        }
+    }
+}
+
+/// Two runs with the same seed serialize to byte-identical JSON — the
+/// acceptance bar for scheduler determinism.
+#[test]
+fn identical_seeds_give_byte_identical_reports() {
+    let run = || {
+        let table = ModelTable::paper_defaults();
+        let workload = Workload::balanced(
+            60,
+            0xFEED,
+            ArrivalPattern::Bursty {
+                burst: 6,
+                mean_gap: 4000.0,
+            },
+        );
+        let jobs = workload.generate(&table);
+        let mut engine = Engine::new(table.clone(), 16, ServiceBackend::analytic(table));
+        let report = engine.run(&jobs, &mut ModelGuided).expect("run");
+        serde_json::to_string_pretty(&report).expect("serialize")
+    };
+    assert_eq!(run(), run());
+}
+
+/// Same determinism bar for the measured backend: the SoC simulator
+/// itself is deterministic, so two fresh engines agree byte-for-byte.
+#[test]
+fn measured_backend_is_deterministic_too() {
+    let run = || {
+        let table = ModelTable::paper_defaults();
+        let workload = Workload::balanced(
+            12,
+            0xACE,
+            ArrivalPattern::Poisson {
+                mean_interarrival: 1500.0,
+            },
+        );
+        let jobs = workload.generate(&table);
+        let offloader =
+            mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(8)).expect("soc");
+        let mut engine = Engine::new(table, 8, ServiceBackend::measured(offloader, 0xACE));
+        let report = engine.run(&jobs, &mut FifoFirstFit).expect("run");
+        serde_json::to_string_pretty(&report).expect("serialize")
+    };
+    assert_eq!(run(), run());
+}

@@ -25,7 +25,7 @@ pub struct PhaseBreakdown {
 }
 
 /// Everything measured during one offload.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct OffloadOutcome {
     /// End-to-end offload runtime: host start to host notified. This is
     /// the quantity plotted in the paper's Fig. 1 (at 1 GHz, cycles == ns).

@@ -16,7 +16,10 @@
 //! - [`kernels`]: the data-parallel kernel zoo and golden references,
 //! - [`offload`]: the paper's contribution — co-designed offload runtime,
 //!   analytic runtime model (Eq. 1), MAPE validation (Eq. 2) and offload
-//!   decision solver (Eq. 3).
+//!   decision solver (Eq. 3),
+//! - [`sched`]: multi-tenant offload scheduling on top of the decision
+//!   model — admission control, spatial partitioning, pluggable
+//!   policies and a deterministic discrete-event engine.
 //!
 //! # Quickstart
 //!
@@ -31,5 +34,6 @@ pub use mpsoc_kernels as kernels;
 pub use mpsoc_mem as mem;
 pub use mpsoc_noc as noc;
 pub use mpsoc_offload as offload;
+pub use mpsoc_sched as sched;
 pub use mpsoc_sim as sim;
 pub use mpsoc_soc as soc;
