@@ -20,4 +20,15 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> offload_profile smoke test (trace schema self-validated)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run --release -q -p mpsoc-bench --bin offload_profile -- \
+    --n 256 --m 2 --clusters 4 \
+    --trace "$trace_dir/smoke.trace.json" --json "$trace_dir/smoke.json"
+# The binary already schema-validates the trace it wrote and checks the
+# phase-sum invariant; make sure the artifacts actually landed on disk.
+test -s "$trace_dir/smoke.trace.json"
+test -s "$trace_dir/smoke.json"
+
 echo "==> ci green"

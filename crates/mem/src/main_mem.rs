@@ -1,5 +1,6 @@
 //! The shared main-memory system (HBM-class).
 
+use mpsoc_sim::stats::StatsRegistry;
 use mpsoc_sim::{Cycle, ThroughputResource, UnitResource};
 
 use crate::{Addr, MemoryError, WordStore};
@@ -40,6 +41,7 @@ pub struct MainMemory {
     latency: Cycle,
     atomic_unit: UnitResource,
     atomic_service: Cycle,
+    stats: StatsRegistry,
 }
 
 impl MainMemory {
@@ -66,6 +68,27 @@ impl MainMemory {
             latency,
             atomic_unit: UnitResource::new(),
             atomic_service,
+            stats: StatsRegistry::new(),
+        }
+    }
+
+    /// Collected statistics: HBM queueing and atomic-unit contention
+    /// under the stable `contention.*` prefix.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    // A bandwidth request whose start slot is already reserved queues
+    // behind earlier traffic; `min_slot` is where the client could have
+    // started on an idle memory.
+    fn note_queueing(&mut self, min_slot: u64) {
+        let free = self.bandwidth.next_free_slot();
+        if free > min_slot {
+            self.stats.incr("contention.hbm.queue_events");
+            self.stats.observe(
+                "contention.hbm.queue_cycles",
+                (free - min_slot) as f64 / self.bandwidth.rate() as f64,
+            );
         }
     }
 
@@ -97,6 +120,9 @@ impl MainMemory {
     /// [`WordStore::copy_words_from`]; decoupling data from timing keeps
     /// the bandwidth accounting independent of the copy direction.
     pub fn transfer(&mut self, at: Cycle, words: u64) -> Cycle {
+        if words > 0 {
+            self.note_queueing(self.bandwidth.slot_of(at));
+        }
         self.bandwidth.acquire(at, words) + self.latency
     }
 
@@ -116,6 +142,9 @@ impl MainMemory {
     /// `(end_slot, completion_cycle)`. The fixed access latency is *not*
     /// included — DMA engines pay it once per transfer, not per burst.
     pub fn acquire_bandwidth_slots(&mut self, min_slot: u64, words: u64) -> (u64, Cycle) {
+        if words > 0 {
+            self.note_queueing(min_slot);
+        }
         self.bandwidth.acquire_from_slot(min_slot, words)
     }
 
@@ -134,6 +163,11 @@ impl MainMemory {
         delta: u64,
     ) -> Result<(u64, Cycle), MemoryError> {
         let start = self.atomic_unit.acquire(at, self.atomic_service);
+        if start > at {
+            self.stats.incr("contention.hbm.amo_conflicts");
+            self.stats
+                .observe("contention.hbm.amo_wait_cycles", (start - at).as_f64());
+        }
         let value = self.store.fetch_add_u64(addr, delta)?;
         Ok((value, start + self.atomic_service + self.latency))
     }
@@ -145,6 +179,7 @@ impl MainMemory {
     ///
     /// Returns an error if `addr` is invalid for the backing store.
     pub fn read_uncached(&mut self, at: Cycle, addr: Addr) -> Result<(u64, Cycle), MemoryError> {
+        self.note_queueing(self.bandwidth.slot_of(at));
         let done = self.bandwidth.acquire(at, 1) + self.latency;
         let value = self.store.read_u64(addr)?;
         Ok((value, done))
@@ -155,6 +190,7 @@ impl MainMemory {
     pub fn reset_timing(&mut self) {
         self.bandwidth.reset();
         self.atomic_unit.reset();
+        self.stats.clear();
     }
 }
 
@@ -212,6 +248,38 @@ mod tests {
         let (v, t) = m.read_uncached(Cycle::new(100), addr).unwrap();
         assert_eq!(v, 77);
         assert!(t > Cycle::new(100));
+    }
+
+    #[test]
+    fn contention_counters_track_queueing_and_amo_conflicts() {
+        let mut m = mem();
+        // Idle memory: no queueing.
+        m.transfer(Cycle::ZERO, 12);
+        assert_eq!(m.stats().counter("contention.hbm.queue_events"), 0);
+        // Same-cycle burst queues behind the first for 12/12 = 1 cycle.
+        m.transfer(Cycle::ZERO, 12);
+        assert_eq!(m.stats().counter("contention.hbm.queue_events"), 1);
+        assert_eq!(
+            m.stats().summary("contention.hbm.queue_cycles").max(),
+            Some(1.0)
+        );
+
+        // Chained slot acquisition behind foreign traffic also counts.
+        let (_, _) = m.acquire_bandwidth_slots(0, 12);
+        assert_eq!(m.stats().counter("contention.hbm.queue_events"), 2);
+
+        // Concurrent AMOs serialize on the atomic unit.
+        let addr = Addr::new(0x8000_0000);
+        m.amo_add(Cycle::ZERO, addr, 1).unwrap();
+        m.amo_add(Cycle::ZERO, addr, 1).unwrap();
+        assert_eq!(m.stats().counter("contention.hbm.amo_conflicts"), 1);
+        assert_eq!(
+            m.stats().summary("contention.hbm.amo_wait_cycles").count(),
+            1
+        );
+
+        m.reset_timing();
+        assert_eq!(m.stats().counter("contention.hbm.queue_events"), 0);
     }
 
     #[test]

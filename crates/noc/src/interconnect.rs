@@ -108,6 +108,19 @@ impl Interconnect {
         self.cfg.hop_latency * u64::from(self.levels)
     }
 
+    // A port grant later than the request means another store held the
+    // port: count it under the stable `contention.*` prefix so schedulers
+    // can price cross-tenant interference.
+    fn note_contention(&mut self, requested: Cycle, granted: Cycle) {
+        if granted > requested {
+            self.stats.incr("contention.noc.grant_conflicts");
+            self.stats.observe(
+                "contention.noc.stall_cycles",
+                granted.saturating_sub(requested).as_f64(),
+            );
+        }
+    }
+
     /// Issues a posted store from the host to one cluster.
     ///
     /// The host's injection port serializes stores, so a dispatch loop
@@ -119,9 +132,11 @@ impl Interconnect {
     pub fn host_unicast(&mut self, at: Cycle, cluster: usize) -> Delivery {
         assert!(cluster < self.clusters, "cluster {cluster} out of range");
         let start = self.host_inject.acquire(at, self.cfg.inject_cycles);
+        self.note_contention(at, start);
         let injected = start + self.cfg.inject_cycles;
         let arrival = injected + self.one_way();
         let granted = self.cluster_ingress[cluster].acquire(arrival, self.cfg.ingress_cycles);
+        self.note_contention(arrival, granted);
         let delivered = granted + self.cfg.ingress_cycles;
         self.stats.incr("noc.unicast_stores");
         Delivery {
@@ -148,12 +163,14 @@ impl Interconnect {
             "mask selects cluster outside the interconnect"
         );
         let start = self.host_inject.acquire(at, self.cfg.inject_cycles);
+        self.note_contention(at, start);
         let injected = start + self.cfg.inject_cycles;
         let arrival =
             injected + self.one_way() + self.cfg.replicate_cycles * u64::from(self.levels);
         let mut delivered = Vec::with_capacity(mask.count());
         for cluster in mask.iter() {
             let granted = self.cluster_ingress[cluster].acquire(arrival, self.cfg.ingress_cycles);
+            self.note_contention(arrival, granted);
             delivered.push((cluster, granted + self.cfg.ingress_cycles));
         }
         self.stats.incr("noc.multicast_stores");
@@ -177,6 +194,7 @@ impl Interconnect {
         assert!(cluster < self.clusters, "cluster {cluster} out of range");
         let arrival = at + self.one_way();
         let granted = self.host_ingress.acquire(arrival, self.cfg.ingress_cycles);
+        self.note_contention(arrival, granted);
         self.stats.incr("noc.upstream_stores");
         granted + self.cfg.ingress_cycles
     }
@@ -300,6 +318,30 @@ mod tests {
         assert_eq!(n.stats().summary("noc.multicast_fanout").mean(), Some(8.0));
         n.reset();
         assert_eq!(n.stats().counter("noc.unicast_stores"), 0);
+    }
+
+    #[test]
+    fn grant_conflicts_are_counted_under_contention_prefix() {
+        let mut n = noc();
+        // A lone store sees an idle port: no conflicts.
+        n.host_unicast(Cycle::ZERO, 0);
+        assert_eq!(n.stats().counter("contention.noc.grant_conflicts"), 0);
+        // Three more stores at the same cycle queue behind it at injection.
+        for c in 1..4 {
+            n.host_unicast(Cycle::ZERO, c);
+        }
+        assert_eq!(n.stats().counter("contention.noc.grant_conflicts"), 3);
+        let stalls = n.stats().summary("contention.noc.stall_cycles");
+        assert_eq!(stalls.count(), 3);
+        // Stalls grow by inject_cycles (2) per queued store: 2, 4, 6.
+        assert_eq!(stalls.min(), Some(2.0));
+        assert_eq!(stalls.max(), Some(6.0));
+
+        // Simultaneous upstream stores serialize at the device ingress.
+        let mut n = noc();
+        n.cluster_upstream(Cycle::ZERO, 0);
+        n.cluster_upstream(Cycle::ZERO, 1);
+        assert_eq!(n.stats().counter("contention.noc.grant_conflicts"), 1);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 use std::collections::BTreeMap;
 
 use mpsoc_noc::ClusterMask;
+use mpsoc_sim::Cycle;
+use mpsoc_telemetry::{EventKind, EventTrace, Unit};
 
 use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::alloc::Allocator;
@@ -38,6 +40,7 @@ pub struct Engine {
     admission: AdmissionController,
     backend: ServiceBackend,
     clusters: usize,
+    telemetry: EventTrace,
 }
 
 /// A job in flight on a carved partition.
@@ -58,12 +61,27 @@ impl Engine {
             admission: AdmissionController::new(table, clusters as u64),
             backend,
             clusters,
+            telemetry: EventTrace::disabled(),
         }
     }
 
     /// The admission controller in use.
     pub fn admission(&self) -> &AdmissionController {
         &self.admission
+    }
+
+    /// Enables typed-event telemetry for subsequent [`Engine::run`]
+    /// calls: job arrivals, queue waits, partition occupancy spans,
+    /// host runs and rejections. Disabled, every recording site is a
+    /// single branch and reports stay byte-identical.
+    pub fn enable_telemetry(&mut self, capacity: usize) {
+        self.telemetry = EventTrace::enabled(capacity);
+    }
+
+    /// The typed-event trace of the last [`Engine::run`] (empty unless
+    /// [`Engine::enable_telemetry`] was called).
+    pub fn telemetry(&self) -> &EventTrace {
+        &self.telemetry
     }
 
     /// Simulates `jobs` (must be sorted by arrival time) under `policy`.
@@ -87,6 +105,7 @@ impl Engine {
             jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "job stream must be sorted by arrival time"
         );
+        self.telemetry.clear();
         let mut allocator = Allocator::new(self.clusters);
         let mut records: Vec<JobRecord> = Vec::with_capacity(jobs.len());
         let mut ready: Vec<QueuedJob> = Vec::new();
@@ -130,6 +149,12 @@ impl Engine {
             // 2. Admit everything arriving at `now`.
             while let Some(job) = jobs.get(next_arrival).filter(|j| j.arrival == now) {
                 next_arrival += 1;
+                self.telemetry.instant(
+                    Cycle::new(now),
+                    Unit::SchedHost,
+                    EventKind::JobArrive,
+                    job.id,
+                );
                 match self.admission.admit(job) {
                     AdmissionDecision::Offload { m_min, predicted } => {
                         // Placeholder until the offload completes; the
@@ -153,12 +178,29 @@ impl Engine {
                         let cycles = self.backend.host_cycles(job.kernel, job.n)?;
                         let finish = start + cycles;
                         host_free_at = finish;
+                        let span = self.telemetry.begin(
+                            Cycle::new(start),
+                            Unit::SchedHost,
+                            EventKind::HostRun,
+                        );
+                        self.telemetry.end(
+                            Cycle::new(finish),
+                            Unit::SchedHost,
+                            EventKind::HostRun,
+                            span,
+                        );
                         records.push(JobRecord {
                             job: *job,
                             outcome: JobOutcome::Host { start, finish },
                         });
                     }
                     AdmissionDecision::Reject { reason } => {
+                        self.telemetry.instant(
+                            Cycle::new(now),
+                            Unit::SchedHost,
+                            EventKind::Reject,
+                            job.id,
+                        );
                         records.push(JobRecord {
                             job: *job,
                             outcome: JobOutcome::Rejected { reason },
@@ -190,6 +232,22 @@ impl Engine {
                     .iter()
                     .position(|r| r.job.id == queued.job.id)
                     .expect("queued job has a placeholder record");
+                // One track per partition, keyed by its lowest cluster:
+                // disjoint masks never overlap in time on one track.
+                let part = Unit::Partition(mask.iter().next().unwrap_or(0) as u32);
+                if queued.job.arrival < now {
+                    self.telemetry.instant(
+                        Cycle::new(now),
+                        part,
+                        EventKind::QueueWait,
+                        now - queued.job.arrival,
+                    );
+                }
+                let span = self
+                    .telemetry
+                    .begin(Cycle::new(now), part, EventKind::Offload);
+                self.telemetry
+                    .end(Cycle::new(now + cycles), part, EventKind::Offload, span);
                 completions.insert(
                     (now + cycles, seq),
                     Running {
@@ -318,6 +376,48 @@ mod tests {
             report.records[0].outcome,
             JobOutcome::Rejected { .. }
         ));
+    }
+
+    #[test]
+    fn telemetry_traces_queueing_and_rejections() {
+        // Mixed stream on a tight machine: offloads that queue, a host
+        // run and an infeasible job.
+        let stream = jobs(&[
+            (0, 1024, 1000),
+            (0, 1024, 1000),
+            (0, 1024, 1000),
+            (10, 64, 100_000),
+            (20, 1024, 30), // infeasible: rejected
+        ]);
+        let mut e = engine(2);
+        e.enable_telemetry(4096);
+        e.run(&stream, &mut FifoFirstFit).expect("run");
+        let kinds: Vec<&str> = e
+            .telemetry()
+            .events()
+            .iter()
+            .map(|ev| ev.kind.name())
+            .collect();
+        assert!(kinds.contains(&"job_arrive"));
+        assert!(kinds.contains(&"offload"));
+        assert!(kinds.contains(&"queue_wait"));
+        assert!(kinds.contains(&"host_run"));
+        assert!(kinds.contains(&"reject"));
+
+        // The trace exports to schema-valid Chrome trace JSON.
+        let json = mpsoc_telemetry::chrome_trace_json(e.telemetry());
+        let summary = mpsoc_telemetry::validate_chrome_trace(&json).expect("valid");
+        assert!(summary.spans >= 4, "3 offload spans + 1 host run");
+    }
+
+    #[test]
+    fn telemetry_does_not_change_reports() {
+        let stream = jobs(&[(0, 1024, 1000), (0, 2048, 2000), (100, 256, 100_000)]);
+        let plain = engine(8).run(&stream, &mut FifoFirstFit).expect("run");
+        let mut traced_engine = engine(8);
+        traced_engine.enable_telemetry(4096);
+        let traced = traced_engine.run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(plain, traced);
     }
 
     #[test]

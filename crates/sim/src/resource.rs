@@ -176,6 +176,13 @@ impl ThroughputResource {
         Cycle::new(self.next_free_slot.div_ceil(self.rate))
     }
 
+    /// The first unreserved item slot (exact, sub-cycle granularity);
+    /// a request whose start slot is below this queues behind earlier
+    /// traffic.
+    pub fn next_free_slot(&self) -> u64 {
+        self.next_free_slot
+    }
+
     /// Total items served.
     pub fn items_served(&self) -> u64 {
         self.items_served

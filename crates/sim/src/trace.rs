@@ -4,9 +4,10 @@
 //! Tracing is off by default (the enabled check is a single branch), so
 //! calibrated experiments pay essentially nothing for the hooks.
 
+use std::collections::VecDeque;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::Cycle;
 
@@ -35,9 +36,10 @@ impl fmt::Display for TraceRecord {
 
 /// A bounded in-memory trace collector.
 ///
-/// When the capacity is reached the oldest records are dropped, so a
-/// runaway simulation cannot exhaust memory; the number of dropped records
-/// is reported by [`Tracer::dropped`].
+/// Records live in a ring buffer: when the capacity is reached the oldest
+/// records are dropped in O(1), so a runaway simulation cannot exhaust
+/// memory and the eviction path stays off the critical path; the number
+/// of dropped records is reported by [`Tracer::dropped`].
 ///
 /// # Example
 ///
@@ -57,7 +59,7 @@ impl fmt::Display for TraceRecord {
 pub struct Tracer {
     enabled: bool,
     capacity: usize,
-    records: Vec<TraceRecord>,
+    records: VecDeque<TraceRecord>,
     dropped: u64,
 }
 
@@ -67,7 +69,7 @@ impl Tracer {
         Tracer {
             enabled: true,
             capacity: capacity.max(1),
-            records: Vec::new(),
+            records: VecDeque::new(),
             dropped: 0,
         }
     }
@@ -88,10 +90,10 @@ impl Tracer {
             return;
         }
         if self.records.len() == self.capacity {
-            self.records.remove(0);
+            self.records.pop_front();
             self.dropped += 1;
         }
-        self.records.push(TraceRecord {
+        self.records.push_back(TraceRecord {
             time,
             unit: unit.to_owned(),
             message: message.into(),
@@ -99,7 +101,7 @@ impl Tracer {
     }
 
     /// The collected records, oldest first.
-    pub fn records(&self) -> &[TraceRecord] {
+    pub fn records(&self) -> &VecDeque<TraceRecord> {
         &self.records
     }
 
@@ -128,6 +130,22 @@ impl Tracer {
             out.push('\n');
         }
         out
+    }
+}
+
+// Hand-written so bench reports can embed a whole trace; the ring buffer
+// flattens to an oldest-first array regardless of its internal split.
+impl Serialize for Tracer {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("enabled".to_owned(), Value::Bool(self.enabled)),
+            ("capacity".to_owned(), Value::U64(self.capacity as u64)),
+            ("dropped".to_owned(), Value::U64(self.dropped)),
+            (
+                "records".to_owned(),
+                Value::Array(self.records.iter().map(Serialize::serialize).collect()),
+            ),
+        ])
     }
 }
 
@@ -197,5 +215,31 @@ mod tests {
         assert!(s.contains("12"));
         assert!(s.contains("cluster0"));
         assert!(s.contains("dma in done"));
+    }
+
+    #[test]
+    fn eviction_order_survives_wraparound() {
+        // Push far past capacity so the ring wraps several times; the
+        // surviving window must still be the most recent, oldest first.
+        let mut t = Tracer::enabled(4);
+        for i in 0..19u64 {
+            t.record(Cycle::new(i), "u", format!("m{i}"));
+        }
+        assert_eq!(t.dropped(), 15);
+        let msgs: Vec<&str> = t.records().iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m15", "m16", "m17", "m18"]);
+    }
+
+    #[test]
+    fn tracer_serializes_records_and_drop_count() {
+        let mut t = Tracer::enabled(2);
+        t.record(Cycle::new(1), "u", "old");
+        t.record(Cycle::new(2), "u", "mid");
+        t.record(Cycle::new(3), "u", "new");
+        let json = serde_json::to_string(&t).expect("serialize");
+        assert!(json.contains("\"dropped\":1"));
+        assert!(json.contains("\"mid\""));
+        assert!(json.contains("\"new\""));
+        assert!(!json.contains("\"old\""));
     }
 }

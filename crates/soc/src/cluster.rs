@@ -157,6 +157,14 @@ pub(crate) struct ClusterState {
     pub compute_busy: bool,
     /// Guards against posting the completion signal twice.
     pub completed: bool,
+    /// Open telemetry span IDs (0 = no span open / telemetry disabled).
+    pub wake_span: u64,
+    /// Descriptor-fetch span in flight.
+    pub desc_span: u64,
+    /// DMA task span in flight (one engine, so at most one).
+    pub dma_span: u64,
+    /// Compute-stage span in flight.
+    pub compute_span: u64,
 }
 
 #[cfg(test)]

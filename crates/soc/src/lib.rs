@@ -77,5 +77,6 @@ pub use credit::CreditCounter;
 pub use energy::{EnergyModel, EnergyReport};
 pub use error::SocError;
 pub use host::{HostOp, HostProgram};
-pub use outcome::{OffloadOutcome, PhaseBreakdown};
+pub use mpsoc_telemetry::{EventKind, EventTrace, Mark, PhaseBreakdown, TraceEvent, Unit};
+pub use outcome::{OffloadOutcome, PhaseTimestamps};
 pub use soc::{DmaDirection, Soc, SocEvent};

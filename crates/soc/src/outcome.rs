@@ -2,14 +2,19 @@
 
 use mpsoc_isa::ExecReport;
 use mpsoc_sim::Cycle;
+use mpsoc_telemetry::PhaseBreakdown;
 use serde::{Deserialize, Serialize};
 
 use crate::{ClusterTiming, EnergyReport};
 
 /// Aggregate phase timestamps of one offload (absolute cycles from the
 /// offload start at cycle 0).
+///
+/// These are *milestones*; the derived per-phase cycle attribution (a
+/// [`PhaseBreakdown`] of durations summing exactly to the runtime) lives
+/// in [`OffloadOutcome::phase_breakdown`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct PhaseBreakdown {
+pub struct PhaseTimestamps {
     /// Host finished issuing all dispatch-side ops (began waiting).
     pub host_issue_done: Cycle,
     /// Last doorbell delivered to a selected cluster.
@@ -31,7 +36,10 @@ pub struct OffloadOutcome {
     /// the quantity plotted in the paper's Fig. 1 (at 1 GHz, cycles == ns).
     pub total: Cycle,
     /// Aggregate phase timestamps.
-    pub phases: PhaseBreakdown,
+    pub phases: PhaseTimestamps,
+    /// Per-phase cycle attribution derived from the timestamps: the five
+    /// phases sum exactly to [`OffloadOutcome::total`].
+    pub phase_breakdown: PhaseBreakdown,
     /// Per-selected-cluster timing, as `(cluster_index, timing)` pairs in
     /// ascending cluster order.
     pub clusters: Vec<(usize, ClusterTiming)>,

@@ -6,12 +6,13 @@ use mpsoc_noc::{ClusterMask, Interconnect};
 use mpsoc_sim::stats::StatsRegistry;
 use mpsoc_sim::trace::Tracer;
 use mpsoc_sim::{Cycle, Engine, RunResult, Scheduler, Simulate, StepBudget};
+use mpsoc_telemetry::{EventKind, EventTrace, PhaseBreakdown, Unit};
 
 use crate::cluster::ClusterState;
 use crate::energy::EnergyActivity;
 use crate::host::{HostOp, HostState, HostStatus};
 use crate::{
-    ClusterJob, ClusterPhase, HostProgram, OffloadOutcome, PhaseBreakdown, SocConfig, SocError,
+    ClusterJob, ClusterPhase, HostProgram, OffloadOutcome, PhaseTimestamps, SocConfig, SocError,
 };
 
 /// Simulation events of the SoC.
@@ -141,10 +142,11 @@ pub struct Soc {
     dma: Vec<Option<DmaChain>>,
     host: Option<HostState>,
     irq_pending: bool,
-    phases: PhaseBreakdown,
+    phases: PhaseTimestamps,
     activity: EnergyActivity,
     stats: StatsRegistry,
     tracer: Tracer,
+    telemetry: EventTrace,
     fatal: Option<SocError>,
 }
 
@@ -183,10 +185,11 @@ impl Soc {
             dma,
             host: None,
             irq_pending: false,
-            phases: PhaseBreakdown::default(),
+            phases: PhaseTimestamps::default(),
             activity: EnergyActivity::default(),
             stats: StatsRegistry::new(),
             tracer: Tracer::disabled(),
+            telemetry: EventTrace::disabled(),
             fatal: None,
         })
     }
@@ -224,6 +227,21 @@ impl Soc {
     /// The trace collected during the last offload.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Enables typed-event telemetry with the given event capacity.
+    ///
+    /// When disabled (the default) every recording site is a single
+    /// branch, so simulated timing and results are byte-identical with
+    /// and without telemetry.
+    pub fn enable_telemetry(&mut self, capacity: usize) {
+        self.telemetry = EventTrace::enabled(capacity);
+    }
+
+    /// The typed-event trace collected during the last offload (empty
+    /// unless [`Soc::enable_telemetry`] was called).
+    pub fn telemetry(&self) -> &EventTrace {
+        &self.telemetry
     }
 
     /// Installs the job `cluster` will execute when its doorbell rings.
@@ -410,6 +428,13 @@ impl Soc {
                     }
                 }
                 self.clusters[cluster].dma_busy = true;
+                let kind = match dir {
+                    DmaDirection::In => EventKind::DmaIn,
+                    DmaDirection::Out => EventKind::DmaOut,
+                };
+                self.clusters[cluster].dma_span =
+                    self.telemetry
+                        .begin(at, Unit::ClusterDma(cluster as u32), kind);
                 if let Err(e) = self.start_dma_task(sched, at, cluster, stage, dir) {
                     self.fail(e);
                     return;
@@ -430,9 +455,28 @@ impl Soc {
                     self.clusters[cluster].compute_busy = true;
                     self.clusters[cluster].phase = ClusterPhase::Computing;
                     let start = at + Cycle::new(self.config.core_start_cycles);
+                    self.clusters[cluster].compute_span = self.telemetry.begin(
+                        start,
+                        Unit::ClusterCores(cluster as u32),
+                        EventKind::Compute,
+                    );
+                    let conflicts_before = self.tcdms[cluster].conflicts();
                     match self.run_cores(start, cluster, stage) {
-                        Ok(finish) => sched
-                            .schedule_at(finish, SocEvent::ClusterComputeDone { cluster, stage }),
+                        Ok(finish) => {
+                            let conflicts = self.tcdms[cluster].conflicts() - conflicts_before;
+                            if conflicts > 0 {
+                                self.telemetry.instant(
+                                    start,
+                                    Unit::ClusterCores(cluster as u32),
+                                    EventKind::TcdmConflict,
+                                    conflicts,
+                                );
+                            }
+                            sched.schedule_at(
+                                finish,
+                                SocEvent::ClusterComputeDone { cluster, stage },
+                            );
+                        }
                         Err(e) => {
                             self.fail(e);
                             return;
@@ -512,6 +556,15 @@ impl Soc {
                 host.pc += 1;
                 let d = self.noc.host_unicast(now, cluster);
                 self.activity.noc_stores += 1;
+                self.telemetry
+                    .instant(now, Unit::Host, EventKind::DispatchStart, cluster as u64);
+                let stall = d
+                    .injected
+                    .saturating_sub(now + self.noc.config().inject_cycles);
+                if stall > Cycle::ZERO {
+                    self.telemetry
+                        .instant(now, Unit::Noc, EventKind::NocStall, stall.as_u64());
+                }
                 sched.schedule_at(
                     d.delivered,
                     SocEvent::MailboxWrite {
@@ -526,6 +579,19 @@ impl Soc {
                 host.pc += 1;
                 let mc = self.noc.host_multicast(now, mask);
                 self.activity.noc_stores += mc.delivered.len() as u64;
+                self.telemetry.instant(
+                    now,
+                    Unit::Host,
+                    EventKind::DispatchStart,
+                    mc.delivered.len() as u64,
+                );
+                let stall = mc
+                    .injected
+                    .saturating_sub(now + self.noc.config().inject_cycles);
+                if stall > Cycle::ZERO {
+                    self.telemetry
+                        .instant(now, Unit::Noc, EventKind::NocStall, stall.as_u64());
+                }
                 for (cluster, at) in &mc.delivered {
                     sched.schedule_at(
                         *at,
@@ -543,6 +609,8 @@ impl Soc {
                 self.credit.arm(threshold);
                 self.irq_pending = false;
                 self.activity.sync_ops += 1;
+                self.telemetry
+                    .instant(now, Unit::CreditUnit, EventKind::CreditArm, threshold);
                 let injected = now + self.noc.config().inject_cycles;
                 sched.schedule_at(injected, SocEvent::HostStep);
             }
@@ -600,6 +668,8 @@ impl Soc {
         };
         let arrival = now + one_way * 2 + Cycle::new(self.config.mem_latency);
         self.activity.sync_ops += 1;
+        self.telemetry
+            .instant(now, Unit::Host, EventKind::BarrierPoll, observed);
         let host = self.host.as_mut().expect("host present");
         host.poll_iterations += 1;
         host.busy_cycles += spin_cycles;
@@ -626,6 +696,7 @@ impl Simulate for Soc {
             SocEvent::HostPoll => self.host_poll(sched, now),
             SocEvent::HostIrq => {
                 self.phases.sync_done = now;
+                self.telemetry.instant(now, Unit::Host, EventKind::Irq, 0);
                 let Some(host) = &mut self.host else { return };
                 match host.status {
                     HostStatus::WaitingIrq => {
@@ -655,6 +726,12 @@ impl Simulate for Soc {
                     }
                     ClusterReg::Wakeup => {
                         self.phases.last_dispatch = self.phases.last_dispatch.max(now);
+                        self.telemetry.instant(
+                            now,
+                            Unit::Cluster(cluster as u32),
+                            EventKind::DispatchEnd,
+                            0,
+                        );
                         if self.clusters[cluster].phase == ClusterPhase::Idle {
                             if self.clusters[cluster].job.is_none() {
                                 self.fail(SocError::MissingJob { cluster });
@@ -662,6 +739,11 @@ impl Simulate for Soc {
                             }
                             self.clusters[cluster].phase = ClusterPhase::Waking;
                             self.clusters[cluster].timing.woken_at = now;
+                            self.clusters[cluster].wake_span = self.telemetry.begin(
+                                now,
+                                Unit::Cluster(cluster as u32),
+                                EventKind::Wake,
+                            );
                             sched.schedule_at(
                                 now + Cycle::new(self.config.cluster_wake_cycles),
                                 SocEvent::ClusterWake { cluster },
@@ -672,12 +754,25 @@ impl Simulate for Soc {
             }
             SocEvent::ClusterWake { cluster } => {
                 self.clusters[cluster].phase = ClusterPhase::Fetching;
+                let wake = std::mem::take(&mut self.clusters[cluster].wake_span);
+                self.telemetry
+                    .end(now, Unit::Cluster(cluster as u32), EventKind::Wake, wake);
+                self.clusters[cluster].desc_span =
+                    self.telemetry
+                        .begin(now, Unit::Cluster(cluster as u32), EventKind::DescFetch);
                 let fetched = now + Cycle::new(self.desc_fetch_cycles());
                 self.activity.mem_words += self.config.descriptor_words;
                 sched.schedule_at(fetched, SocEvent::ClusterDesc { cluster });
             }
             SocEvent::ClusterDesc { cluster } => {
                 self.clusters[cluster].timing.desc_at = now;
+                let desc = std::mem::take(&mut self.clusters[cluster].desc_span);
+                self.telemetry.end(
+                    now,
+                    Unit::Cluster(cluster as u32),
+                    EventKind::DescFetch,
+                    desc,
+                );
                 self.clusters[cluster].phase = ClusterPhase::DmaIn;
                 // Stage scalar args (plus the trailing zero word of the
                 // kernel ABI) into the TCDM argument area.
@@ -709,6 +804,13 @@ impl Simulate for Soc {
                 dir,
             } => {
                 self.clusters[cluster].dma_busy = false;
+                let kind = match dir {
+                    DmaDirection::In => EventKind::DmaIn,
+                    DmaDirection::Out => EventKind::DmaOut,
+                };
+                let span = std::mem::take(&mut self.clusters[cluster].dma_span);
+                self.telemetry
+                    .end(now, Unit::ClusterDma(cluster as u32), kind, span);
                 match dir {
                     DmaDirection::In => {
                         self.clusters[cluster].stages[stage].in_done = true;
@@ -732,6 +834,13 @@ impl Simulate for Soc {
             SocEvent::ClusterComputeDone { cluster, stage } => {
                 self.clusters[cluster].compute_busy = false;
                 self.clusters[cluster].stages[stage].compute_done = true;
+                let span = std::mem::take(&mut self.clusters[cluster].compute_span);
+                self.telemetry.end(
+                    now,
+                    Unit::ClusterCores(cluster as u32),
+                    EventKind::Compute,
+                    span,
+                );
                 self.clusters[cluster].timing.compute_at =
                     self.clusters[cluster].timing.compute_at.max(now);
                 if self.clusters[cluster].stages.iter().all(|s| s.compute_done) {
@@ -743,6 +852,12 @@ impl Simulate for Soc {
                 self.clusters[cluster].timing.complete_at = now;
                 self.activity.sync_ops += 1;
                 self.stats.incr("credit.increments");
+                self.telemetry.instant(
+                    now,
+                    Unit::CreditUnit,
+                    EventKind::CreditReturn,
+                    cluster as u64,
+                );
                 if let Some(fire_at) = self.credit.increment(now) {
                     sched.schedule_at(
                         fire_at + Cycle::new(self.config.irq_latency),
@@ -754,6 +869,12 @@ impl Simulate for Soc {
                 self.clusters[cluster].timing.complete_at = now;
                 self.activity.sync_ops += 1;
                 self.stats.incr("barrier.amos");
+                self.telemetry.instant(
+                    now,
+                    Unit::MainMem,
+                    EventKind::BarrierArrive,
+                    cluster as u64,
+                );
                 if let Err(e) = self.main.amo_add(now, addr, 1) {
                     self.fail(e.into());
                 }
@@ -806,9 +927,10 @@ impl Soc {
         // Reset per-offload state (data in main memory persists).
         self.host = Some(HostState::new(program));
         self.irq_pending = false;
-        self.phases = PhaseBreakdown::default();
+        self.phases = PhaseTimestamps::default();
         self.activity = EnergyActivity::default();
         self.stats.clear();
+        self.telemetry.clear();
         self.fatal = None;
         self.credit.reset();
         self.main.reset_timing();
@@ -821,6 +943,10 @@ impl Soc {
             cluster.dma_busy = false;
             cluster.compute_busy = false;
             cluster.completed = false;
+            cluster.wake_span = 0;
+            cluster.desc_span = 0;
+            cluster.dma_span = 0;
+            cluster.compute_span = 0;
         }
         for tcdm in &mut self.tcdms {
             tcdm.reset_timing();
@@ -861,9 +987,26 @@ impl Soc {
             core_reports.push(self.clusters[cluster].core_reports.clone());
             tcdm_conflicts += self.tcdms[cluster].conflicts();
         }
+
+        // Fold per-resource contention counters from the NoC and the
+        // main-memory system into the offload's registry under the
+        // stable `contention.*` prefix.
+        self.stats.merge(self.noc.stats());
+        self.stats.merge(self.main.stats());
+        self.stats
+            .add("contention.tcdm.bank_conflicts", tcdm_conflicts);
+
+        let phase_breakdown = PhaseBreakdown::from_milestones(
+            self.phases.last_dispatch,
+            self.phases.last_dma_in,
+            self.phases.last_compute,
+            self.phases.last_dma_out,
+            total,
+        );
         Ok(OffloadOutcome {
             total,
             phases: self.phases,
+            phase_breakdown,
             clusters,
             core_reports,
             energy,
@@ -1121,6 +1264,124 @@ mod tests {
         let a = soc.run_offload(hp(), ClusterMask::single(0)).unwrap();
         let b = soc.run_offload(hp(), ClusterMask::single(0)).unwrap();
         assert_eq!(a.total, b.total, "offloads must be reproducible");
+    }
+
+    #[test]
+    fn telemetry_trace_validates_and_phases_sum_to_total() {
+        let mut soc = small_soc(2);
+        for c in 0..2 {
+            soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+        }
+        soc.enable_telemetry(4096);
+        let program = HostProgram::new(vec![
+            HostOp::CreditArm { threshold: 2 },
+            HostOp::MulticastMailbox {
+                mask: ClusterMask::first(2),
+                reg: ClusterReg::Wakeup,
+                value: 1,
+            },
+            HostOp::WaitIrq,
+            HostOp::End,
+        ]);
+        let outcome = soc.run_offload(program, ClusterMask::first(2)).unwrap();
+
+        // The typed trace exports as schema-valid Chrome trace JSON.
+        let json = mpsoc_telemetry::chrome_trace_json(soc.telemetry());
+        let summary = mpsoc_telemetry::validate_chrome_trace(&json).expect("valid trace");
+        assert!(summary.events > 0);
+        assert!(summary.spans >= 4, "wake + desc-fetch spans per cluster");
+
+        // Phase attribution sums exactly to the end-to-end runtime.
+        let pb = outcome.phase_breakdown;
+        assert_eq!(
+            pb.dispatch + pb.dma_in + pb.compute + pb.dma_out + pb.sync,
+            outcome.total.as_u64(),
+            "no unattributed cycles"
+        );
+        assert!(pb.dispatch > 0);
+        assert!(pb.sync > 0);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_timing() {
+        let run = |telemetry: bool| {
+            let mut soc = small_soc(2);
+            for c in 0..2 {
+                soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+            }
+            if telemetry {
+                soc.enable_telemetry(4096);
+            }
+            let program = HostProgram::new(vec![
+                HostOp::CreditArm { threshold: 2 },
+                HostOp::MulticastMailbox {
+                    mask: ClusterMask::first(2),
+                    reg: ClusterReg::Wakeup,
+                    value: 1,
+                },
+                HostOp::WaitIrq,
+                HostOp::End,
+            ]);
+            soc.run_offload(program, ClusterMask::first(2)).unwrap()
+        };
+        let plain = run(false);
+        let traced = run(true);
+        assert_eq!(plain.total, traced.total);
+        assert_eq!(plain.phases, traced.phases);
+        assert_eq!(plain.phase_breakdown, traced.phase_breakdown);
+    }
+
+    #[test]
+    fn telemetry_trace_is_reproducible() {
+        let run = || {
+            let mut soc = small_soc(2);
+            for c in 0..2 {
+                soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+            }
+            soc.enable_telemetry(4096);
+            let program = HostProgram::new(vec![
+                HostOp::CreditArm { threshold: 2 },
+                HostOp::MulticastMailbox {
+                    mask: ClusterMask::first(2),
+                    reg: ClusterReg::Wakeup,
+                    value: 1,
+                },
+                HostOp::WaitIrq,
+                HostOp::End,
+            ]);
+            soc.run_offload(program, ClusterMask::first(2)).unwrap();
+            mpsoc_telemetry::chrome_trace_json(soc.telemetry())
+        };
+        assert_eq!(run(), run(), "equal inputs must give byte-identical traces");
+    }
+
+    #[test]
+    fn contention_counters_surface_in_offload_stats() {
+        let mut soc = small_soc(8);
+        for c in 0..8 {
+            soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+        }
+        let mut ops = vec![HostOp::CreditArm { threshold: 8 }];
+        for c in 0..8 {
+            ops.push(HostOp::StoreMailbox {
+                cluster: c,
+                reg: ClusterReg::Wakeup,
+                value: 1,
+            });
+        }
+        ops.push(HostOp::WaitIrq);
+        ops.push(HostOp::End);
+        soc.run_offload(HostProgram::new(ops), ClusterMask::first(8))
+            .unwrap();
+        // The per-resource registries are folded into the offload stats
+        // under the stable prefix; the TCDM counter always exists.
+        let names: Vec<&str> = soc
+            .stats()
+            .counters()
+            .map(|(name, _)| name)
+            .filter(|name| name.starts_with("contention."))
+            .collect();
+        assert!(names.contains(&"contention.tcdm.bank_conflicts"));
     }
 
     #[test]

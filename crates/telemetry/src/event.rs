@@ -1,0 +1,278 @@
+//! The typed event vocabulary: hardware units, event kinds and marks.
+//!
+//! Every event is `Copy` and allocation-free so the recording hot path
+//! costs one branch plus a ring-buffer push; unit and kind names are
+//! materialized only at export time.
+
+use std::fmt;
+
+use mpsoc_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// A hardware (or scheduler) unit that events are attributed to; each
+/// unit becomes one track in the exported timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Unit {
+    /// The host core issuing offloads.
+    Host,
+    /// The system interconnect.
+    Noc,
+    /// Main (HBM) memory and its atomic unit.
+    MainMem,
+    /// The hardware credit counter used for offload completion.
+    CreditUnit,
+    /// Control state of cluster `0`-based index (wake-up, descriptor fetch).
+    Cluster(u32),
+    /// The DMA engine of a cluster.
+    ClusterDma(u32),
+    /// The worker cores of a cluster.
+    ClusterCores(u32),
+    /// The multi-tenant scheduler's serial host server.
+    SchedHost,
+    /// A carved cluster partition, anchored at its lowest cluster index.
+    Partition(u32),
+}
+
+impl Unit {
+    /// A stable, human-readable track name (`"cluster3.dma"` etc.).
+    pub fn track_name(&self) -> String {
+        match self {
+            Unit::Host => "host".to_owned(),
+            Unit::Noc => "noc".to_owned(),
+            Unit::MainMem => "main_mem".to_owned(),
+            Unit::CreditUnit => "credit".to_owned(),
+            Unit::Cluster(c) => format!("cluster{c}"),
+            Unit::ClusterDma(c) => format!("cluster{c}.dma"),
+            Unit::ClusterCores(c) => format!("cluster{c}.cores"),
+            Unit::SchedHost => "sched.host".to_owned(),
+            Unit::Partition(c) => format!("partition{c}"),
+        }
+    }
+
+    /// Process ID for timeline export: SoC units and scheduler units are
+    /// separate process groups.
+    pub fn pid(&self) -> u64 {
+        match self {
+            Unit::SchedHost | Unit::Partition(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// A stable per-unit thread ID for timeline export: one thread per
+    /// track, clusters interleave three tracks each.
+    pub fn tid(&self) -> u64 {
+        match self {
+            Unit::Host => 1,
+            Unit::Noc => 2,
+            Unit::MainMem => 3,
+            Unit::CreditUnit => 4,
+            Unit::Cluster(c) => 10 + 3 * u64::from(*c),
+            Unit::ClusterDma(c) => 11 + 3 * u64::from(*c),
+            Unit::ClusterCores(c) => 12 + 3 * u64::from(*c),
+            Unit::SchedHost => 1,
+            Unit::Partition(c) => 10 + u64::from(*c),
+        }
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.track_name())
+    }
+}
+
+/// What happened. Span kinds come in begin/end pairs (see [`Mark`]);
+/// the rest are instantaneous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Host issued a dispatch store into the NoC (instant, host track).
+    DispatchStart,
+    /// Dispatch store delivered to the cluster mailbox (instant).
+    DispatchEnd,
+    /// Cluster wake-up from doorbell to running (span).
+    Wake,
+    /// Job-descriptor fetch from main memory (span).
+    DescFetch,
+    /// DMA transfer of operands into the TCDM (span).
+    DmaIn,
+    /// Cluster cores computing a stage (span).
+    Compute,
+    /// DMA transfer of results back to main memory (span).
+    DmaOut,
+    /// Host armed the credit counter (instant).
+    CreditArm,
+    /// A completion credit arrived at the credit unit (instant).
+    CreditReturn,
+    /// Completion interrupt delivered to the host (instant).
+    Irq,
+    /// A cluster's barrier AMO arrived at main memory (instant).
+    BarrierArrive,
+    /// Host polled the barrier word; `arg` is the value read (instant).
+    BarrierPoll,
+    /// A NoC port grant was delayed by contention; `arg` is the stall
+    /// in cycles (instant).
+    NocStall,
+    /// TCDM bank conflicts detected while a stage computed; `arg` is the
+    /// conflict count (instant).
+    TcdmConflict,
+    /// An HBM bandwidth request queued behind other traffic; `arg` is
+    /// the queueing delay in cycles (instant).
+    HbmQueue,
+    /// A job entered the multi-tenant scheduler (instant, `arg` = job id).
+    JobArrive,
+    /// Time a job spent queued before placement (span, `arg` = job id).
+    QueueWait,
+    /// A job's offload occupied its partition (span, `arg` = job id).
+    Offload,
+    /// A job ran on the scheduler's host server (span, `arg` = job id).
+    HostRun,
+    /// Admission rejected a job (instant, `arg` = job id).
+    Reject,
+}
+
+impl EventKind {
+    /// A stable, human-readable name used in timeline export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::DispatchStart => "dispatch_start",
+            EventKind::DispatchEnd => "dispatch_end",
+            EventKind::Wake => "wake",
+            EventKind::DescFetch => "desc_fetch",
+            EventKind::DmaIn => "dma_in",
+            EventKind::Compute => "compute",
+            EventKind::DmaOut => "dma_out",
+            EventKind::CreditArm => "credit_arm",
+            EventKind::CreditReturn => "credit_return",
+            EventKind::Irq => "irq",
+            EventKind::BarrierArrive => "barrier_arrive",
+            EventKind::BarrierPoll => "barrier_poll",
+            EventKind::NocStall => "noc_stall",
+            EventKind::TcdmConflict => "tcdm_conflict",
+            EventKind::HbmQueue => "hbm_queue",
+            EventKind::JobArrive => "job_arrive",
+            EventKind::QueueWait => "queue_wait",
+            EventKind::Offload => "offload",
+            EventKind::HostRun => "host_run",
+            EventKind::Reject => "reject",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Whether an event opens a span, closes one, or stands alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Mark {
+    /// Opens the span identified by the event's `span` field.
+    Begin,
+    /// Closes the matching `Begin` with the same `span` ID.
+    End,
+    /// Instantaneous event; `span` is zero.
+    Instant,
+}
+
+/// One typed trace event. `Copy`, no heap data: recording is a branch
+/// plus a ring push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub time: Cycle,
+    /// Unit the event belongs to (its timeline track).
+    pub unit: Unit,
+    /// What happened.
+    pub kind: EventKind,
+    /// Begin/end/instant.
+    pub mark: Mark,
+    /// Span ID pairing `Begin` with `End`; zero for instants.
+    pub span: u64,
+    /// Kind-specific payload (stall cycles, conflict count, job id, ...).
+    pub arg: u64,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = match self.mark {
+            Mark::Begin => "B",
+            Mark::End => "E",
+            Mark::Instant => "i",
+        };
+        write!(
+            f,
+            "[{:>10}] {:<16} {} {}",
+            self.time.as_u64(),
+            self.unit.track_name(),
+            mark,
+            self.kind.name()
+        )?;
+        if self.span != 0 {
+            write!(f, " span={}", self.span)?;
+        }
+        if self.arg != 0 {
+            write!(f, " arg={}", self.arg)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn track_names_are_stable_and_distinct() {
+        let units = [
+            Unit::Host,
+            Unit::Noc,
+            Unit::MainMem,
+            Unit::CreditUnit,
+            Unit::Cluster(3),
+            Unit::ClusterDma(3),
+            Unit::ClusterCores(3),
+            Unit::SchedHost,
+            Unit::Partition(2),
+        ];
+        let names: Vec<String> = units.iter().map(Unit::track_name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+        assert_eq!(Unit::ClusterDma(3).track_name(), "cluster3.dma");
+    }
+
+    #[test]
+    fn tids_are_unique_within_a_pid() {
+        let mut soc: Vec<(u64, u64)> = Vec::new();
+        for c in 0..16u32 {
+            soc.push((Unit::Cluster(c).pid(), Unit::Cluster(c).tid()));
+            soc.push((Unit::ClusterDma(c).pid(), Unit::ClusterDma(c).tid()));
+            soc.push((Unit::ClusterCores(c).pid(), Unit::ClusterCores(c).tid()));
+        }
+        for u in [Unit::Host, Unit::Noc, Unit::MainMem, Unit::CreditUnit] {
+            soc.push((u.pid(), u.tid()));
+        }
+        let mut dedup = soc.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), soc.len());
+    }
+
+    #[test]
+    fn display_is_greppable() {
+        let e = TraceEvent {
+            time: Cycle::new(42),
+            unit: Unit::ClusterDma(1),
+            kind: EventKind::DmaIn,
+            mark: Mark::Begin,
+            span: 7,
+            arg: 0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cluster1.dma"));
+        assert!(s.contains("dma_in"));
+        assert!(s.contains("span=7"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Structured telemetry for the MPSoC simulator: typed trace events with
+//! span semantics, per-offload phase attribution against the paper's
+//! Eq. 1 terms, and a Chrome trace-event JSON exporter loadable in
+//! Perfetto or `chrome://tracing`.
+//!
+//! The free-form [`mpsoc_sim::trace::Tracer`] remains for human-readable
+//! logs; this crate is the machine-readable layer on top of the same
+//! hardware models. An [`EventTrace`] collects [`TraceEvent`]s — each
+//! carrying a hardware [`Unit`], an [`EventKind`], a [`Mark`]
+//! (begin/end/instant) and a span ID — with the same single-branch
+//! zero-cost-when-disabled discipline as `Tracer`.
+//!
+//! # Example
+//!
+//! ```
+//! use mpsoc_sim::Cycle;
+//! use mpsoc_telemetry::{EventKind, EventTrace, Unit};
+//!
+//! let mut trace = EventTrace::enabled(1024);
+//! let span = trace.begin(Cycle::new(10), Unit::ClusterDma(0), EventKind::DmaIn);
+//! trace.end(Cycle::new(74), Unit::ClusterDma(0), EventKind::DmaIn, span);
+//! let json = mpsoc_telemetry::chrome_trace_json(&trace);
+//! assert!(mpsoc_telemetry::validate_chrome_trace(&json).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod phase;
+pub mod recorder;
+
+pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeTraceSummary};
+pub use event::{EventKind, Mark, TraceEvent, Unit};
+pub use phase::{ModelTerms, PhaseBreakdown, ResidualAudit, TermResidual};
+pub use recorder::EventTrace;

@@ -1,0 +1,365 @@
+//! Phase attribution: folding an offload run into per-phase cycle counts
+//! and auditing them against the paper's Eq. 1 terms.
+//!
+//! The offload pipeline is a chain of milestones — last dispatch store
+//! delivered, last DMA-in finished, last compute finished, last DMA-out
+//! finished, completion observed by the host. Attribution clamps the
+//! milestones into non-decreasing order and takes consecutive
+//! differences, so the five phases **always sum exactly** to the
+//! end-to-end runtime: every cycle lands in exactly one phase, and a
+//! phase whose milestone never occurred (e.g. no DMA-out in a load-only
+//! job) gets zero cycles with the remainder attributed to the next
+//! phase.
+
+use mpsoc_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventKind, Mark, TraceEvent};
+
+/// Per-offload cycle attribution over the five pipeline phases.
+///
+/// Invariant: `dispatch + dma_in + compute + dma_out + sync` equals the
+/// end-to-end runtime passed to the constructor (see [`PhaseBreakdown::total`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Cycles from offload start until the last dispatch store was
+    /// delivered (host marshalling + doorbell propagation).
+    pub dispatch: u64,
+    /// Cycles until the last operand DMA into a TCDM finished.
+    pub dma_in: u64,
+    /// Cycles until the last cluster finished computing.
+    pub compute: u64,
+    /// Cycles until the last result DMA back to main memory finished.
+    pub dma_out: u64,
+    /// Remaining cycles: completion signalling (credits/barrier), host
+    /// wake-up and result combination.
+    pub sync: u64,
+}
+
+impl PhaseBreakdown {
+    /// Attributes `total` end-to-end cycles over the phases given the
+    /// four interior milestones (absolute times). Milestones are clamped
+    /// into non-decreasing order and to `total`, so the phases sum
+    /// exactly to `total`.
+    pub fn from_milestones(
+        dispatch_done: Cycle,
+        dma_in_done: Cycle,
+        compute_done: Cycle,
+        dma_out_done: Cycle,
+        total: Cycle,
+    ) -> Self {
+        let total = total.as_u64();
+        let m1 = dispatch_done.as_u64().min(total);
+        let m2 = dma_in_done.as_u64().clamp(m1, total);
+        let m3 = compute_done.as_u64().clamp(m2, total);
+        let m4 = dma_out_done.as_u64().clamp(m3, total);
+        PhaseBreakdown {
+            dispatch: m1,
+            dma_in: m2 - m1,
+            compute: m3 - m2,
+            dma_out: m4 - m3,
+            sync: total - m4,
+        }
+    }
+
+    /// Folds a typed event trace into a breakdown: each milestone is the
+    /// latest matching event (`DispatchEnd` instants; `End` marks of
+    /// `DmaIn`/`Compute`/`DmaOut` spans). Agrees with
+    /// [`PhaseBreakdown::from_milestones`] when the trace is complete.
+    pub fn attribute<'a, I>(events: I, total: Cycle) -> Self
+    where
+        I: IntoIterator<Item = &'a TraceEvent>,
+    {
+        let mut dispatch_done = Cycle::ZERO;
+        let mut dma_in_done = Cycle::ZERO;
+        let mut compute_done = Cycle::ZERO;
+        let mut dma_out_done = Cycle::ZERO;
+        for event in events {
+            let slot = match (event.kind, event.mark) {
+                (EventKind::DispatchEnd, Mark::Instant) => &mut dispatch_done,
+                (EventKind::DmaIn, Mark::End) => &mut dma_in_done,
+                (EventKind::Compute, Mark::End) => &mut compute_done,
+                (EventKind::DmaOut, Mark::End) => &mut dma_out_done,
+                _ => continue,
+            };
+            if event.time > *slot {
+                *slot = event.time;
+            }
+        }
+        PhaseBreakdown::from_milestones(
+            dispatch_done,
+            dma_in_done,
+            compute_done,
+            dma_out_done,
+            total,
+        )
+    }
+
+    /// Sum of all phases — equal to the end-to-end runtime by
+    /// construction.
+    pub fn total(&self) -> u64 {
+        self.dispatch + self.dma_in + self.compute + self.dma_out + self.sync
+    }
+
+    /// Cycles not spent computing (the paper's "offload overhead").
+    pub fn overhead(&self) -> u64 {
+        self.total() - self.compute
+    }
+}
+
+/// The three coefficients of the paper's Eq. 1 runtime model
+/// `t̂ = c0 + c_mem·N + c_comp·N/M`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelTerms {
+    /// Constant offload overhead (dispatch + completion), cycles.
+    pub c0: f64,
+    /// Per-element data-movement cost, cycles/element.
+    pub c_mem: f64,
+    /// Per-element compute cost at one cluster, cycles/element.
+    pub c_comp: f64,
+}
+
+impl ModelTerms {
+    /// The paper's calibrated DAXPY coefficients:
+    /// `367 + N/4 + 2.6·N/(8·M)`.
+    pub fn paper() -> Self {
+        ModelTerms {
+            c0: 367.0,
+            c_mem: 0.25,
+            c_comp: 2.6 / 8.0,
+        }
+    }
+
+    /// Predicted end-to-end runtime for `n` elements on `m` clusters.
+    pub fn predict(&self, n: u64, m: u64) -> f64 {
+        let n = n as f64;
+        self.c0 + self.c_mem * n + self.c_comp * n / (m.max(1) as f64)
+    }
+}
+
+/// One row of the model-residual audit: a measured phase group against
+/// its Eq. 1 term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TermResidual {
+    /// Which term (`"overhead"`, `"data_movement"`, `"compute"`).
+    pub term: String,
+    /// Phases folded into this term.
+    pub phases: String,
+    /// Measured cycles.
+    pub measured: f64,
+    /// Eq. 1 prediction for the term.
+    pub predicted: f64,
+    /// `measured - predicted`.
+    pub residual: f64,
+}
+
+/// A per-term comparison of a measured [`PhaseBreakdown`] against Eq. 1:
+/// `dispatch + sync` vs `c0`, `dma_in + dma_out` vs `c_mem·N`, and
+/// `compute` vs `c_comp·N/M`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResidualAudit {
+    /// Problem size the offload ran.
+    pub n: u64,
+    /// Number of clusters used.
+    pub m: u64,
+    /// Per-term rows, in Eq. 1 order.
+    pub terms: Vec<TermResidual>,
+    /// Measured end-to-end cycles (sum of all phases).
+    pub measured_total: f64,
+    /// Eq. 1 end-to-end prediction.
+    pub predicted_total: f64,
+}
+
+impl ResidualAudit {
+    /// Audits `phases` for a run of `n` elements on `m` clusters against
+    /// `model`.
+    pub fn new(phases: &PhaseBreakdown, n: u64, m: u64, model: &ModelTerms) -> Self {
+        let m_eff = m.max(1);
+        let rows = [
+            (
+                "overhead",
+                "dispatch+sync",
+                (phases.dispatch + phases.sync) as f64,
+                model.c0,
+            ),
+            (
+                "data_movement",
+                "dma_in+dma_out",
+                (phases.dma_in + phases.dma_out) as f64,
+                model.c_mem * n as f64,
+            ),
+            (
+                "compute",
+                "compute",
+                phases.compute as f64,
+                model.c_comp * n as f64 / m_eff as f64,
+            ),
+        ];
+        ResidualAudit {
+            n,
+            m,
+            terms: rows
+                .into_iter()
+                .map(|(term, phases, measured, predicted)| TermResidual {
+                    term: term.to_owned(),
+                    phases: phases.to_owned(),
+                    measured,
+                    predicted,
+                    residual: measured - predicted,
+                })
+                .collect(),
+            measured_total: phases.total() as f64,
+            predicted_total: model.predict(n, m),
+        }
+    }
+
+    /// Renders the audit as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "residuals vs Eq.1 (N={}, M={}):\n  {:<14} {:<15} {:>10} {:>10} {:>10}\n",
+            self.n, self.m, "term", "phases", "measured", "predicted", "residual"
+        );
+        for row in &self.terms {
+            out.push_str(&format!(
+                "  {:<14} {:<15} {:>10.0} {:>10.1} {:>+10.1}\n",
+                row.term, row.phases, row.measured, row.predicted, row.residual
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<14} {:<15} {:>10.0} {:>10.1} {:>+10.1}\n",
+            "total",
+            "",
+            self.measured_total,
+            self.predicted_total,
+            self.measured_total - self.predicted_total
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Unit;
+    use crate::EventTrace;
+
+    #[test]
+    fn phases_sum_exactly_even_with_unordered_milestones() {
+        let cases = [
+            (100u64, 250u64, 900u64, 1000u64, 1100u64),
+            (0, 0, 0, 0, 50),
+            (80, 40, 30, 20, 100), // out of order: later milestones clamp
+            (200, 300, 400, 500, 450),
+        ];
+        for (m1, m2, m3, m4, total) in cases {
+            let p = PhaseBreakdown::from_milestones(
+                Cycle::new(m1),
+                Cycle::new(m2),
+                Cycle::new(m3),
+                Cycle::new(m4),
+                Cycle::new(total),
+            );
+            assert_eq!(p.total(), total, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn attribution_from_trace_matches_milestones() {
+        let mut t = EventTrace::enabled(64);
+        t.instant(Cycle::new(90), Unit::Cluster(0), EventKind::DispatchEnd, 0);
+        t.instant(Cycle::new(110), Unit::Cluster(1), EventKind::DispatchEnd, 0);
+        for (c, dma_in_end, compute_end, dma_out_end) in
+            [(0u32, 300u64, 700u64, 860u64), (1, 350, 720, 900)]
+        {
+            let s = t.begin(Cycle::new(120), Unit::ClusterDma(c), EventKind::DmaIn);
+            t.end(
+                Cycle::new(dma_in_end),
+                Unit::ClusterDma(c),
+                EventKind::DmaIn,
+                s,
+            );
+            let s = t.begin(
+                Cycle::new(dma_in_end),
+                Unit::ClusterCores(c),
+                EventKind::Compute,
+            );
+            t.end(
+                Cycle::new(compute_end),
+                Unit::ClusterCores(c),
+                EventKind::Compute,
+                s,
+            );
+            let s = t.begin(
+                Cycle::new(compute_end),
+                Unit::ClusterDma(c),
+                EventKind::DmaOut,
+            );
+            t.end(
+                Cycle::new(dma_out_end),
+                Unit::ClusterDma(c),
+                EventKind::DmaOut,
+                s,
+            );
+        }
+        let total = Cycle::new(1000);
+        let folded = PhaseBreakdown::attribute(t.events(), total);
+        let direct = PhaseBreakdown::from_milestones(
+            Cycle::new(110),
+            Cycle::new(350),
+            Cycle::new(720),
+            Cycle::new(900),
+            total,
+        );
+        assert_eq!(folded, direct);
+        assert_eq!(folded.total(), 1000);
+        assert_eq!(folded.sync, 100);
+        assert_eq!(folded.overhead(), 1000 - folded.compute);
+    }
+
+    #[test]
+    fn missing_phase_collapses_to_zero() {
+        let t = EventTrace::enabled(4);
+        let p = PhaseBreakdown::attribute(t.events(), Cycle::new(500));
+        assert_eq!(
+            p,
+            PhaseBreakdown {
+                dispatch: 0,
+                dma_in: 0,
+                compute: 0,
+                dma_out: 0,
+                sync: 500
+            }
+        );
+    }
+
+    #[test]
+    fn paper_terms_reproduce_eq1() {
+        let m = ModelTerms::paper();
+        // 367 + 1024/4 + 2.6*1024/(8*8) = 367 + 256 + 41.6
+        let t = m.predict(1024, 8);
+        assert!((t - 664.6).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn residual_audit_terms_cover_all_phases() {
+        let phases = PhaseBreakdown {
+            dispatch: 120,
+            dma_in: 150,
+            compute: 40,
+            dma_out: 140,
+            sync: 250,
+        };
+        let audit = ResidualAudit::new(&phases, 1024, 8, &ModelTerms::paper());
+        let measured_sum: f64 = audit.terms.iter().map(|t| t.measured).sum();
+        assert_eq!(measured_sum, phases.total() as f64);
+        assert_eq!(audit.measured_total, 700.0);
+        let overhead = &audit.terms[0];
+        assert_eq!(overhead.term, "overhead");
+        assert_eq!(overhead.measured, 370.0);
+        assert_eq!(overhead.predicted, 367.0);
+        assert!((overhead.residual - 3.0).abs() < 1e-9);
+        let table = audit.render();
+        assert!(table.contains("data_movement"));
+        assert!(table.contains("total"));
+    }
+}

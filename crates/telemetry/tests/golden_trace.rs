@@ -1,0 +1,92 @@
+//! Golden-file test: the Chrome trace exporter's exact output format is
+//! pinned down byte-for-byte, so any unintended change to the schema
+//! (field order, metadata records, phase codes, timestamps) fails here.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p mpsoc-telemetry --test golden_trace
+//! ```
+
+use mpsoc_sim::Cycle;
+use mpsoc_telemetry::{chrome_trace_json, validate_chrome_trace, EventKind, EventTrace, Unit};
+
+/// A miniature but representative offload trace: host dispatch, one
+/// cluster's wake/fetch/DMA/compute spans, a NoC stall and the credit
+/// return — every mark kind and both pid groups.
+fn golden_input() -> EventTrace {
+    let mut t = EventTrace::enabled(64);
+    t.instant(Cycle::new(12), Unit::Host, EventKind::DispatchStart, 0);
+    t.instant(Cycle::new(14), Unit::Noc, EventKind::NocStall, 2);
+    t.instant(Cycle::new(43), Unit::Cluster(0), EventKind::DispatchEnd, 0);
+    let wake = t.begin(Cycle::new(43), Unit::Cluster(0), EventKind::Wake);
+    t.end(Cycle::new(63), Unit::Cluster(0), EventKind::Wake, wake);
+    let fetch = t.begin(Cycle::new(63), Unit::Cluster(0), EventKind::DescFetch);
+    t.end(
+        Cycle::new(110),
+        Unit::Cluster(0),
+        EventKind::DescFetch,
+        fetch,
+    );
+    let dma = t.begin(Cycle::new(115), Unit::ClusterDma(0), EventKind::DmaIn);
+    t.end(Cycle::new(320), Unit::ClusterDma(0), EventKind::DmaIn, dma);
+    let comp = t.begin(Cycle::new(325), Unit::ClusterCores(0), EventKind::Compute);
+    t.instant(
+        Cycle::new(325),
+        Unit::ClusterCores(0),
+        EventKind::TcdmConflict,
+        3,
+    );
+    t.end(
+        Cycle::new(510),
+        Unit::ClusterCores(0),
+        EventKind::Compute,
+        comp,
+    );
+    let out = t.begin(Cycle::new(512), Unit::ClusterDma(0), EventKind::DmaOut);
+    t.end(Cycle::new(575), Unit::ClusterDma(0), EventKind::DmaOut, out);
+    t.instant(
+        Cycle::new(590),
+        Unit::CreditUnit,
+        EventKind::CreditReturn,
+        0,
+    );
+    t.instant(Cycle::new(600), Unit::Host, EventKind::Irq, 0);
+    // A scheduler-side track exercises the second pid group.
+    t.instant(Cycle::new(0), Unit::SchedHost, EventKind::JobArrive, 7);
+    let off = t.begin(Cycle::new(5), Unit::Partition(0), EventKind::Offload);
+    t.end(Cycle::new(610), Unit::Partition(0), EventKind::Offload, off);
+    t
+}
+
+#[test]
+fn exporter_output_matches_golden_file() {
+    let json = chrome_trace_json(&golden_input());
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/offload.trace.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        json, golden,
+        "Chrome trace output drifted from the golden file; if the change \
+         is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_passes_schema_validation() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/offload.trace.json"
+    );
+    let golden = std::fs::read_to_string(path).expect("golden file present");
+    let summary = validate_chrome_trace(&golden).expect("golden trace is schema-valid");
+    assert_eq!(summary.spans, 6);
+    assert!(summary.tracks >= 7);
+    assert!(summary.events > summary.spans * 2);
+}

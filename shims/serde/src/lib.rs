@@ -125,6 +125,20 @@ pub trait Deserialize: Sized {
     fn deserialize(v: &Value) -> Result<Self, DeError>;
 }
 
+// Identity conversions, so callers can work with raw value trees (e.g.
+// schema validators parsing arbitrary JSON documents).
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -19,7 +19,9 @@
 //!   decision solver (Eq. 3),
 //! - [`sched`]: multi-tenant offload scheduling on top of the decision
 //!   model — admission control, spatial partitioning, pluggable
-//!   policies and a deterministic discrete-event engine.
+//!   policies and a deterministic discrete-event engine,
+//! - [`telemetry`]: typed-event traces, per-phase cycle attribution with
+//!   Eq. 1 residual audits, and Chrome trace-event (Perfetto) export.
 //!
 //! # Quickstart
 //!
@@ -37,3 +39,4 @@ pub use mpsoc_offload as offload;
 pub use mpsoc_sched as sched;
 pub use mpsoc_sim as sim;
 pub use mpsoc_soc as soc;
+pub use mpsoc_telemetry as telemetry;
