@@ -14,6 +14,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> lint_kernels --deny-warnings (static verification of the kernel zoo)"
+cargo run --release -q -p mpsoc-bench --bin lint_kernels -- --deny-warnings
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -1,0 +1,196 @@
+//! Statically verifies the whole kernel zoo with `mpsoc-lint`: every
+//! kernel, every per-core slice over a size sweep, plus the checked-in
+//! JSON program fixtures and the descriptor-level tile-race check.
+//!
+//! Exits non-zero on any lint *error*; with `--deny-warnings`, warnings
+//! fail the run too (this is how CI runs it).
+//!
+//! ```text
+//! cargo run --release -p mpsoc-bench --bin lint_kernels [-- --deny-warnings] [-- --json out.json]
+//! ```
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use mpsoc_bench::{json_arg, render_table, write_json};
+use mpsoc_isa::Program;
+use mpsoc_kernels::{
+    Axpby, Daxpy, DaxpySsr, Dot, Gemv, Kernel, Memset, Scale, Stencil3, Sum, VecAdd,
+};
+use mpsoc_lint::descriptor::{lint_core_tiles, reference_slices};
+use mpsoc_lint::{lint_program, LintContext};
+use serde::Serialize;
+
+const SIZES: [u64; 5] = [1, 7, 64, 250, 1024];
+const CORES: usize = 8;
+
+#[derive(Debug, Serialize)]
+struct LintRow {
+    target: String,
+    programs: usize,
+    ops: usize,
+    warnings: usize,
+    errors: usize,
+}
+
+fn zoo() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(Daxpy::new(2.0)),
+        Box::new(DaxpySsr::new(2.0)),
+        Box::new(Axpby::new(1.5, -0.5)),
+        Box::new(Scale::new(3.0)),
+        Box::new(VecAdd::new()),
+        Box::new(Memset::new(7.0)),
+        Box::new(Dot::new()),
+        Box::new(Sum::new()),
+        Box::new(Gemv::new(vec![1.0, 2.0, 3.0])),
+        Box::new(Stencil3::new(0.25, 0.5, 0.25)),
+    ]
+}
+
+fn main() -> ExitCode {
+    let deny_warnings = std::env::args().any(|a| a == "--deny-warnings");
+    let cx = LintContext::manticore();
+    let mut rows: Vec<LintRow> = Vec::new();
+    let mut failures = String::new();
+
+    for kernel in zoo() {
+        let mut row = LintRow {
+            target: kernel.name().to_owned(),
+            programs: 0,
+            ops: 0,
+            warnings: 0,
+            errors: 0,
+        };
+        for elems in SIZES {
+            let slices = reference_slices(kernel.as_ref(), elems, CORES);
+            for diag in lint_core_tiles(kernel.as_ref(), &slices) {
+                row.errors += 1;
+                failures.push_str(&format!(
+                    "{} (N={elems}): {}\n",
+                    kernel.name(),
+                    diag.message
+                ));
+            }
+            for slice in &slices {
+                if slice.elems == 0 {
+                    continue;
+                }
+                let program = match kernel.codegen(slice) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        row.errors += 1;
+                        failures.push_str(&format!(
+                            "{} (N={elems}, core {}): codegen failed: {e}\n",
+                            kernel.name(),
+                            slice.core_index
+                        ));
+                        continue;
+                    }
+                };
+                row.programs += 1;
+                row.ops += program.ops().len();
+                let report = lint_program(&program, &cx);
+                row.warnings += report.warning_count();
+                row.errors += report.error_count();
+                if !report.is_clean() {
+                    failures.push_str(&format!(
+                        "{} (N={elems}, core {}):\n{}\n",
+                        kernel.name(),
+                        slice.core_index,
+                        report.annotate(&program)
+                    ));
+                }
+            }
+        }
+        rows.push(row);
+    }
+
+    // The checked-in fixture programs: CI tampering with these (or a
+    // codegen change that invalidates them) must fail here as well.
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("../lint/fixtures");
+    if let Ok(entries) = fs::read_dir(&fixtures) {
+        let mut paths: Vec<_> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let name = path.file_stem().unwrap_or_default().to_string_lossy();
+            let mut row = LintRow {
+                target: format!("fixture:{name}"),
+                programs: 0,
+                ops: 0,
+                warnings: 0,
+                errors: 0,
+            };
+            let parsed: Result<Program, _> = fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()));
+            match parsed {
+                Ok(program) => {
+                    row.programs = 1;
+                    row.ops = program.ops().len();
+                    let report = lint_program(&program, &cx);
+                    row.warnings += report.warning_count();
+                    row.errors += report.error_count();
+                    if !report.is_clean() {
+                        failures.push_str(&format!(
+                            "{}:\n{}\n",
+                            path.display(),
+                            report.annotate(&program)
+                        ));
+                    }
+                }
+                Err(e) => {
+                    row.errors += 1;
+                    failures.push_str(&format!("{}: unreadable: {e}\n", path.display()));
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    println!("mpsoc-lint — static verification of the kernel zoo\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.target.clone(),
+                r.programs.to_string(),
+                r.ops.to_string(),
+                r.warnings.to_string(),
+                r.errors.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["target", "programs", "ops", "warnings", "errors"], &table)
+    );
+
+    let warnings: usize = rows.iter().map(|r| r.warnings).sum();
+    let errors: usize = rows.iter().map(|r| r.errors).sum();
+    if !failures.is_empty() {
+        println!("findings:\n{failures}");
+    }
+    println!("total: {warnings} warning(s), {errors} error(s)");
+
+    if let Some(path) = json_arg() {
+        if let Err(e) = write_json(&path, &rows) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        println!("FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("ok");
+        ExitCode::SUCCESS
+    }
+}

@@ -900,10 +900,15 @@ mod tests {
 
     #[test]
     fn frep_body_past_end_is_an_error() {
-        let mut b = ProgramBuilder::new();
-        b.frep(3, 5); // body extends past halt
-        b.halt();
-        let p = b.build().unwrap();
+        // The builder now rejects this shape, so construct it raw: the
+        // interpreter must still fault rather than run off the end.
+        let p = Program::from_ops_unchecked(vec![
+            MicroOp::Frep {
+                iterations: 3,
+                body: 5,
+            },
+            MicroOp::Halt,
+        ]);
         let mut port = VecPort::new(vec![]);
         let err = Interpreter::new().run(&p, &mut port).unwrap_err();
         assert!(matches!(err, ExecError::PcOutOfRange { .. }));

@@ -50,5 +50,5 @@ mod op;
 mod program;
 
 pub use exec::{CoreTiming, ExecError, ExecReport, Interpreter, MemoryPort, PortError, VecPort};
-pub use op::{FpReg, IntReg, MicroOp, PipeClass};
-pub use program::{BuildError, Label, Program, ProgramBuilder};
+pub use op::{FpReg, IntReg, MicroOp, PipeClass, FP_REGS, INT_REGS};
+pub use program::{BuildError, Label, ListingNote, Program, ProgramBuilder};

@@ -25,6 +25,35 @@ pub enum BuildError {
     MissingHalt,
     /// The program is empty.
     Empty,
+    /// A `frep` op asks for zero iterations.
+    FrepZeroIterations {
+        /// Index of the offending `frep`.
+        op: usize,
+    },
+    /// A `frep` op has an empty body.
+    FrepEmptyBody {
+        /// Index of the offending `frep`.
+        op: usize,
+    },
+    /// A `frep` body extends past the end of the program.
+    FrepBodyOutOfRange {
+        /// Index of the offending `frep`.
+        op: usize,
+        /// Index of the last body op it claims.
+        body_end: usize,
+        /// Program length.
+        len: usize,
+    },
+    /// A branch targets the interior of a `frep` body (hardware loops
+    /// cannot be entered sideways; branch to the `frep` op itself).
+    BranchIntoFrepBody {
+        /// Index of the offending branch.
+        op: usize,
+        /// Its resolved target.
+        target: usize,
+        /// Index of the `frep` whose body the target falls into.
+        frep: usize,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -35,6 +64,18 @@ impl fmt::Display for BuildError {
             }
             BuildError::MissingHalt => write!(f, "program does not end in halt"),
             BuildError::Empty => write!(f, "program is empty"),
+            BuildError::FrepZeroIterations { op } => {
+                write!(f, "frep at op {op} has zero iterations")
+            }
+            BuildError::FrepEmptyBody { op } => write!(f, "frep at op {op} has an empty body"),
+            BuildError::FrepBodyOutOfRange { op, body_end, len } => write!(
+                f,
+                "frep at op {op} claims a body ending at op {body_end}, past the program end ({len} ops)"
+            ),
+            BuildError::BranchIntoFrepBody { op, target, frep } => write!(
+                f,
+                "branch at op {op} targets op {target}, inside the body of the frep at op {frep}"
+            ),
         }
     }
 }
@@ -50,7 +91,30 @@ pub struct Program {
     ops: Vec<MicroOp>,
 }
 
+/// One annotation attached to a [`Program::listing_annotated`] listing:
+/// a note rendered under the op it refers to (or at the top of the
+/// listing when `op` is `None`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListingNote {
+    /// The op index the note refers to, if any.
+    pub op: Option<usize>,
+    /// The note text, e.g. `"L004 error: ssr.cfg while streaming"`.
+    pub text: String,
+}
+
 impl Program {
+    /// Wraps raw ops into a `Program` **without** running the builder's
+    /// validation.
+    ///
+    /// Exists for analysis tooling and tests that need deliberately
+    /// malformed programs (unterminated, invalid `frep` geometry, …);
+    /// executing such a program may fail with
+    /// [`ExecError`](crate::ExecError). Regular code should always go
+    /// through [`ProgramBuilder`].
+    pub fn from_ops_unchecked(ops: Vec<MicroOp>) -> Self {
+        Program { ops }
+    }
+
     /// The ops in execution order.
     pub fn ops(&self) -> &[MicroOp] {
         &self.ops
@@ -68,9 +132,22 @@ impl Program {
 
     /// Renders a human-readable listing.
     pub fn listing(&self) -> String {
+        self.listing_annotated(&[])
+    }
+
+    /// Renders a listing with `notes` interleaved: program-level notes
+    /// (`op: None`) come first, per-op notes directly under their op —
+    /// the format lint reports use so CI logs stay readable.
+    pub fn listing_annotated(&self, notes: &[ListingNote]) -> String {
         let mut out = String::new();
+        for note in notes.iter().filter(|n| n.op.is_none()) {
+            out.push_str(&format!("       ! {}\n", note.text));
+        }
         for (i, op) in self.ops.iter().enumerate() {
             out.push_str(&format!("{i:>5}: {op}\n"));
+            for note in notes.iter().filter(|n| n.op == Some(i)) {
+                out.push_str(&format!("       ^ {}\n", note.text));
+            }
         }
         out
     }
@@ -250,7 +327,13 @@ impl ProgramBuilder {
     /// - [`BuildError::Empty`] for an empty program,
     /// - [`BuildError::MissingHalt`] when the last op is not `halt`,
     /// - [`BuildError::UnboundLabel`] when a branch references an unbound
-    ///   label.
+    ///   label,
+    /// - [`BuildError::FrepZeroIterations`], [`BuildError::FrepEmptyBody`]
+    ///   and [`BuildError::FrepBodyOutOfRange`] for malformed hardware
+    ///   loops (possible via [`ProgramBuilder::push`], which skips the
+    ///   [`ProgramBuilder::frep`] assertions),
+    /// - [`BuildError::BranchIntoFrepBody`] when a branch resolves into
+    ///   the interior of a `frep` body.
     pub fn build(mut self) -> Result<Program, BuildError> {
         if self.ops.is_empty() {
             return Err(BuildError::Empty);
@@ -263,6 +346,51 @@ impl ProgramBuilder {
                 self.labels[label_id].ok_or(BuildError::UnboundLabel { label: label_id })?;
             if let MicroOp::Bnez { target: t, .. } = &mut self.ops[op_index] {
                 *t = target;
+            }
+        }
+        // Hardware-loop geometry: every frep body must be non-empty and
+        // lie fully inside the program, and no branch may land in a
+        // body's interior (re-entering a hardware loop sideways).
+        let len = self.ops.len();
+        let freps: Vec<(usize, usize)> = self
+            .ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| match *op {
+                MicroOp::Frep { iterations, body } => Some((i, iterations, body)),
+                _ => None,
+            })
+            .map(|(i, iterations, body)| {
+                if iterations == 0 {
+                    return Err(BuildError::FrepZeroIterations { op: i });
+                }
+                if body == 0 {
+                    return Err(BuildError::FrepEmptyBody { op: i });
+                }
+                let body_end = i + body as usize;
+                if body_end >= len {
+                    return Err(BuildError::FrepBodyOutOfRange {
+                        op: i,
+                        body_end,
+                        len,
+                    });
+                }
+                Ok((i, body_end))
+            })
+            .collect::<Result<_, _>>()?;
+        for (op_index, op) in self.ops.iter().enumerate() {
+            let MicroOp::Bnez { target, .. } = *op else {
+                continue;
+            };
+            if let Some(&(frep, _)) = freps
+                .iter()
+                .find(|&&(i, body_end)| target > i && target <= body_end)
+            {
+                return Err(BuildError::BranchIntoFrepBody {
+                    op: op_index,
+                    target,
+                    frep,
+                });
             }
         }
         Ok(Program { ops: self.ops })
@@ -340,5 +468,126 @@ mod tests {
         assert!(BuildError::UnboundLabel { label: 3 }
             .to_string()
             .contains("3"));
+        assert!(BuildError::FrepZeroIterations { op: 2 }
+            .to_string()
+            .contains("zero iterations"));
+        assert!(BuildError::FrepEmptyBody { op: 2 }
+            .to_string()
+            .contains("empty body"));
+        assert!(BuildError::FrepBodyOutOfRange {
+            op: 0,
+            body_end: 5,
+            len: 2
+        }
+        .to_string()
+        .contains("past the program end"));
+        assert!(BuildError::BranchIntoFrepBody {
+            op: 4,
+            target: 2,
+            frep: 1
+        }
+        .to_string()
+        .contains("inside the body"));
+    }
+
+    #[test]
+    fn frep_zero_iterations_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.push(MicroOp::Frep {
+            iterations: 0,
+            body: 1,
+        });
+        b.fadd(FpReg::new(3), FpReg::new(3), FpReg::new(3));
+        b.halt();
+        assert_eq!(b.build(), Err(BuildError::FrepZeroIterations { op: 0 }));
+    }
+
+    #[test]
+    fn frep_empty_body_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.push(MicroOp::Frep {
+            iterations: 4,
+            body: 0,
+        });
+        b.halt();
+        assert_eq!(b.build(), Err(BuildError::FrepEmptyBody { op: 0 }));
+    }
+
+    #[test]
+    fn frep_body_out_of_range_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.frep(3, 5); // body would cover ops 1..=5, but only op 1 exists
+        b.halt();
+        assert_eq!(
+            b.build(),
+            Err(BuildError::FrepBodyOutOfRange {
+                op: 0,
+                body_end: 5,
+                len: 2
+            })
+        );
+    }
+
+    #[test]
+    fn branch_into_frep_body_rejected() {
+        let mut b = ProgramBuilder::new();
+        let x = IntReg::new(1);
+        b.li(x, 3); // 0
+        let mid = b.label();
+        b.frep(2, 2); // 1: body = ops 2..=3
+        b.bind(mid); // binds to op 2, inside the body
+        b.fadd(FpReg::new(3), FpReg::new(3), FpReg::new(3)); // 2
+        b.fadd(FpReg::new(4), FpReg::new(4), FpReg::new(4)); // 3
+        b.bnez(x, mid); // 4
+        b.halt(); // 5
+        assert_eq!(
+            b.build(),
+            Err(BuildError::BranchIntoFrepBody {
+                op: 4,
+                target: 2,
+                frep: 1
+            })
+        );
+    }
+
+    #[test]
+    fn branch_to_frep_op_itself_is_fine() {
+        let mut b = ProgramBuilder::new();
+        let x = IntReg::new(1);
+        b.li(x, 3); // 0
+        let top = b.label();
+        b.bind(top); // op 1: the frep itself — a legal re-entry point
+        b.frep(2, 1); // 1
+        b.fadd(FpReg::new(3), FpReg::new(3), FpReg::new(3)); // 2
+        b.addi(x, x, -1); // 3
+        b.bnez(x, top); // 4
+        b.halt(); // 5
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn listing_annotated_interleaves_notes() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::new(1), 5);
+        b.halt();
+        let p = b.build().unwrap();
+        let notes = vec![
+            ListingNote {
+                op: None,
+                text: "program-level note".to_string(),
+            },
+            ListingNote {
+                op: Some(1),
+                text: "L999 something about halt".to_string(),
+            },
+        ];
+        let text = p.listing_annotated(&notes);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("! program-level note"));
+        assert!(lines[1].contains("0: li x1, 5"));
+        assert!(lines[2].contains("1: halt"));
+        assert!(lines[3].contains("^ L999 something about halt"));
+        // Un-annotated listing is unchanged.
+        assert_eq!(p.listing(), p.listing_annotated(&[]));
     }
 }

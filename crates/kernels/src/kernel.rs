@@ -31,6 +31,81 @@ pub struct CoreSlice {
     pub core_index: usize,
 }
 
+/// A half-open byte range `[start, end)` in cluster-local TCDM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByteRange {
+    /// First byte.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+}
+
+impl ByteRange {
+    /// The range of `len` bytes starting at `start`.
+    pub fn new(start: u64, len: u64) -> Self {
+        ByteRange {
+            start,
+            end: start + len,
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// `true` when the range covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// `true` when the two ranges share at least one byte.
+    pub fn overlaps(&self, other: &ByteRange) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+}
+
+impl CoreSlice {
+    /// The TCDM byte ranges this core's program may *read* when running
+    /// `kernel`: its `x` slice including any halo, its `y` slice when the
+    /// kernel streams `y` in, and the cluster-shared scalar-argument area
+    /// (arguments plus the trailing zero word).
+    pub fn read_ranges(&self, kernel: &dyn Kernel) -> Vec<ByteRange> {
+        let mut ranges = Vec::with_capacity(3);
+        if kernel.uses_x() {
+            let halo = kernel.x_halo();
+            ranges.push(ByteRange::new(
+                self.x_base - 8 * halo,
+                8 * (self.elems * kernel.x_words_per_elem() + 2 * halo),
+            ));
+        }
+        if kernel.uses_y() {
+            ranges.push(ByteRange::new(self.y_base, 8 * self.elems));
+        }
+        ranges.push(ByteRange::new(
+            self.args_base,
+            8 * (kernel.scalar_args().len() as u64 + 1),
+        ));
+        ranges.retain(|r| !r.is_empty());
+        ranges
+    }
+
+    /// The TCDM byte ranges this core's program *writes* when running
+    /// `kernel`: its `y` slice for map kernels, its single partial slot
+    /// for reductions.
+    pub fn write_ranges(&self, kernel: &dyn Kernel) -> Vec<ByteRange> {
+        let range = match kernel.kind() {
+            KernelKind::Map => ByteRange::new(self.out_base, 8 * self.elems),
+            KernelKind::Reduce => ByteRange::new(self.out_base, 8),
+        };
+        if range.is_empty() {
+            vec![]
+        } else {
+            vec![range]
+        }
+    }
+}
+
 /// The expected result of a kernel, from the golden reference.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GoldenOutput {
@@ -172,6 +247,59 @@ mod tests {
         fn golden(&self, _x: &[f64], y: &[f64]) -> GoldenOutput {
             GoldenOutput::Vector(y.to_vec())
         }
+    }
+
+    #[test]
+    fn byte_range_overlap() {
+        let a = ByteRange::new(0, 64);
+        let b = ByteRange::new(56, 64);
+        let c = ByteRange::new(64, 64);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert_eq!(a.len(), 64);
+        assert!(!a.is_empty());
+        assert!(ByteRange::new(8, 0).is_empty());
+        assert!(!ByteRange::new(8, 0).overlaps(&a));
+    }
+
+    #[test]
+    fn footprints_of_a_map_kernel() {
+        let k = Fake; // uses x and y, no scalars
+        let slice = CoreSlice {
+            elems: 16,
+            x_base: 0,
+            y_base: 512,
+            out_base: 512,
+            args_base: 1024,
+            core_index: 0,
+        };
+        let reads = slice.read_ranges(&k);
+        assert_eq!(
+            reads,
+            vec![
+                ByteRange::new(0, 128),   // x
+                ByteRange::new(512, 128), // y (streamed in)
+                ByteRange::new(1024, 8),  // args: zero word only
+            ]
+        );
+        assert_eq!(slice.write_ranges(&k), vec![ByteRange::new(512, 128)]);
+    }
+
+    #[test]
+    fn empty_slice_has_no_data_footprint() {
+        let k = Fake;
+        let slice = CoreSlice {
+            elems: 0,
+            x_base: 0,
+            y_base: 0,
+            out_base: 0,
+            args_base: 64,
+            core_index: 3,
+        };
+        // Only the shared args area remains readable; nothing is written.
+        assert_eq!(slice.read_ranges(&k), vec![ByteRange::new(64, 8)]);
+        assert!(slice.write_ranges(&k).is_empty());
     }
 
     #[test]

@@ -57,6 +57,6 @@ mod zoo;
 pub use daxpy::Daxpy;
 pub use daxpy_ssr::DaxpySsr;
 pub use gemv::Gemv;
-pub use kernel::{CoreSlice, GoldenOutput, Kernel, KernelKind};
+pub use kernel::{ByteRange, CoreSlice, GoldenOutput, Kernel, KernelKind};
 pub use stencil::Stencil3;
 pub use zoo::{Axpby, Dot, Memset, Scale, Sum, VecAdd};

@@ -38,10 +38,12 @@ fn emit_map(
     body: impl Fn(&mut ProgramBuilder),
 ) -> Result<Program, BuildError> {
     let mut b = ProgramBuilder::new();
-    b.li(X_PTR, slice.x_base as i64);
+    if load_x {
+        b.li(X_PTR, slice.x_base as i64);
+    }
     b.li(Y_PTR, slice.y_base as i64);
-    b.li(ARGS, slice.args_base as i64);
     if scalars >= 1 {
+        b.li(ARGS, slice.args_base as i64);
         b.fld(S0, ARGS, 0);
     }
     if scalars >= 2 {

@@ -1,0 +1,383 @@
+//! Control-flow graph over a micro-op program, and the structural lints
+//! that fall out of it (reachability, branch sanity, FREP geometry).
+
+use mpsoc_isa::{MicroOp, PipeClass, Program};
+
+use crate::diag::{DiagCode, Diagnostic};
+use crate::{Lint, LintContext};
+
+/// A hardware loop's extent: the `frep` op and its body `frep+1..=end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrepExtent {
+    /// Index of the `frep` op itself.
+    pub frep: usize,
+    /// Index of the last body op (inclusive).
+    pub body_end: usize,
+    /// Iteration count.
+    pub iterations: u64,
+}
+
+/// The control-flow graph: per-op successors plus derived structure.
+///
+/// Built once per lint run and shared by every dataflow pass. Edges:
+///
+/// - straight-line ops fall through to `pc + 1`;
+/// - `bnez` adds an edge to its (in-range) target;
+/// - the last op of a (well-formed) `frep` body adds a back edge to the
+///   body start, modeling loop repetition;
+/// - `halt` has no successors.
+///
+/// Malformed structure (out-of-range branches, bad FREP geometry) is
+/// recorded in [`Cfg::structural`] rather than panicking, so the linter
+/// stays total over arbitrary [`Program::from_ops_unchecked`] input.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor op indices, per op.
+    pub succs: Vec<Vec<usize>>,
+    /// Whether each op is reachable from op 0.
+    pub reachable: Vec<bool>,
+    /// Every well-formed hardware loop.
+    pub freps: Vec<FrepExtent>,
+    /// For each op: the index into [`Cfg::freps`] of the body containing
+    /// it, if any.
+    pub frep_body_of: Vec<Option<usize>>,
+    /// Structural findings discovered during construction (L008, L009,
+    /// L015).
+    pub structural: Vec<Diagnostic>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    pub fn build(program: &Program) -> Self {
+        let ops = program.ops();
+        let len = ops.len();
+        let mut structural = Vec::new();
+
+        // Well-formed hardware loops; malformed ones get L009 and no
+        // body edges (their `frep` op just falls through).
+        let mut freps = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let MicroOp::Frep { iterations, body } = *op else {
+                continue;
+            };
+            if iterations == 0 || body == 0 || i + body as usize >= len {
+                structural.push(Diagnostic::at(
+                    DiagCode::FrepGeometry,
+                    i,
+                    format!(
+                        "malformed frep: iterations={iterations}, body={body}, program len={len}"
+                    ),
+                ));
+                continue;
+            }
+            freps.push(FrepExtent {
+                frep: i,
+                body_end: i + body as usize,
+                iterations,
+            });
+        }
+        let mut frep_body_of = vec![None; len];
+        for (fi, ext) in freps.iter().enumerate() {
+            for slot in &mut frep_body_of[ext.frep + 1..=ext.body_end] {
+                // Overlapping bodies: the innermost (latest) frep wins;
+                // the overlap itself surfaces as L007 (a `frep` op is
+                // not an FP op).
+                *slot = Some(fi);
+            }
+        }
+
+        let mut succs: Vec<Vec<usize>> = Vec::with_capacity(len);
+        for (i, op) in ops.iter().enumerate() {
+            let mut s = Vec::with_capacity(2);
+            match *op {
+                MicroOp::Halt => {}
+                MicroOp::Bnez { target, .. } => {
+                    if i + 1 < len {
+                        s.push(i + 1);
+                    }
+                    if target < len {
+                        s.push(target);
+                        if let Some(ext) = freps
+                            .iter()
+                            .find(|e| target > e.frep && target <= e.body_end)
+                        {
+                            structural.push(Diagnostic::at(
+                                DiagCode::BranchIntoFrep,
+                                i,
+                                format!(
+                                    "branch targets op {target}, inside the body of the frep \
+                                     at op {}",
+                                    ext.frep
+                                ),
+                            ));
+                        }
+                    } else {
+                        structural.push(Diagnostic::at(
+                            DiagCode::BranchOutOfRange,
+                            i,
+                            format!("branch targets op {target}, past the program end ({len} ops)"),
+                        ));
+                    }
+                }
+                _ => {
+                    if i + 1 < len {
+                        s.push(i + 1);
+                    }
+                }
+            }
+            // Loop back edge from the end of a frep body to its start.
+            if let Some(fi) = frep_body_of[i] {
+                let ext = freps[fi];
+                if i == ext.body_end && ext.iterations > 1 {
+                    s.push(ext.frep + 1);
+                }
+            }
+            succs.push(s);
+        }
+
+        // Reachability from entry.
+        let mut reachable = vec![false; len];
+        if len > 0 {
+            let mut stack = vec![0usize];
+            while let Some(i) = stack.pop() {
+                if std::mem::replace(&mut reachable[i], true) {
+                    continue;
+                }
+                stack.extend(succs[i].iter().copied().filter(|&s| !reachable[s]));
+            }
+        }
+
+        Cfg {
+            succs,
+            reachable,
+            freps,
+            frep_body_of,
+            structural,
+        }
+    }
+}
+
+/// Structural lint: reachability (L003), FREP body content (L007), plus
+/// the CFG construction findings (L008, L009, L015).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CfgLint;
+
+impl Lint for CfgLint {
+    fn name(&self) -> &'static str {
+        "cfg"
+    }
+
+    fn run(&self, program: &Program, _cx: &LintContext, out: &mut Vec<Diagnostic>) {
+        let cfg = Cfg::build(program);
+        out.extend(cfg.structural.iter().cloned());
+
+        // Unreachable ops, reported as contiguous runs.
+        let ops = program.ops();
+        let mut i = 0;
+        while i < ops.len() {
+            if cfg.reachable[i] {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < ops.len() && !cfg.reachable[i] {
+                i += 1;
+            }
+            let msg = if i - start == 1 {
+                format!("op {start} is unreachable")
+            } else {
+                format!("ops {start}..={} are unreachable", i - 1)
+            };
+            out.push(Diagnostic::at(DiagCode::UnreachableOp, start, msg));
+        }
+
+        // FREP bodies must contain only FPU ops: the hardware loop
+        // buffer replays FPU instructions, so anything else (memory,
+        // integer, control — including a nested frep) is invalid.
+        for ext in &cfg.freps {
+            for (j, op) in ops
+                .iter()
+                .enumerate()
+                .take(ext.body_end + 1)
+                .skip(ext.frep + 1)
+            {
+                if op.pipe() != PipeClass::Fp {
+                    out.push(Diagnostic::at(
+                        DiagCode::FrepNonFpBody,
+                        j,
+                        format!(
+                            "`{op}` is not an FPU op but sits in the body of the frep at op {}",
+                            ext.frep
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_isa::{FpReg, IntReg, ProgramBuilder};
+
+    fn lint(p: &Program) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        CfgLint.run(p, &LintContext::manticore(), &mut out);
+        out
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<DiagCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn straight_line_program_is_structurally_clean() {
+        let mut b = ProgramBuilder::new();
+        b.li(IntReg::new(1), 0);
+        b.fld(FpReg::new(3), IntReg::new(1), 0);
+        b.halt();
+        assert!(lint(&b.build().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn loops_reach_everything() {
+        let mut b = ProgramBuilder::new();
+        let x = IntReg::new(1);
+        b.li(x, 3);
+        let top = b.label();
+        b.bind(top);
+        b.addi(x, x, -1);
+        b.bnez(x, top);
+        b.halt();
+        assert!(lint(&b.build().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn code_after_an_unconditional_skip_is_unreachable() {
+        // bnez is conditional so everything stays reachable; use ops
+        // after halt instead.
+        let p = Program::from_ops_unchecked(vec![
+            MicroOp::Halt,
+            MicroOp::Li {
+                rd: IntReg::new(1),
+                imm: 0,
+            },
+            MicroOp::Li {
+                rd: IntReg::new(2),
+                imm: 0,
+            },
+        ]);
+        let diags = lint(&p);
+        assert_eq!(codes(&diags), vec![DiagCode::UnreachableOp]);
+        assert!(diags[0].message.contains("1..=2"));
+    }
+
+    #[test]
+    fn frep_with_fp_body_is_clean_and_registered() {
+        let mut b = ProgramBuilder::new();
+        b.frep(4, 1);
+        b.fadd(FpReg::new(3), FpReg::new(3), FpReg::new(3));
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(lint(&p).is_empty());
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.freps.len(), 1);
+        assert_eq!(cfg.frep_body_of[1], Some(0));
+        // The body's back edge models repetition.
+        assert!(cfg.succs[1].contains(&1));
+    }
+
+    #[test]
+    fn non_fp_op_in_frep_body_is_flagged() {
+        let p = Program::from_ops_unchecked(vec![
+            MicroOp::Frep {
+                iterations: 2,
+                body: 2,
+            },
+            MicroOp::Fadd {
+                fd: FpReg::new(3),
+                fa: FpReg::new(3),
+                fb: FpReg::new(3),
+            },
+            MicroOp::Addi {
+                rd: IntReg::new(1),
+                rs: IntReg::new(1),
+                imm: 8,
+            },
+            MicroOp::Halt,
+        ]);
+        let diags = lint(&p);
+        assert_eq!(codes(&diags), vec![DiagCode::FrepNonFpBody]);
+        assert_eq!(diags[0].op, Some(2));
+    }
+
+    #[test]
+    fn malformed_frep_geometry_is_flagged_not_panicked() {
+        for bad in [
+            MicroOp::Frep {
+                iterations: 0,
+                body: 1,
+            },
+            MicroOp::Frep {
+                iterations: 2,
+                body: 0,
+            },
+            MicroOp::Frep {
+                iterations: 2,
+                body: 9,
+            },
+        ] {
+            let p = Program::from_ops_unchecked(vec![
+                bad,
+                MicroOp::Fadd {
+                    fd: FpReg::new(3),
+                    fa: FpReg::new(3),
+                    fb: FpReg::new(3),
+                },
+                MicroOp::Halt,
+            ]);
+            assert!(codes(&lint(&p)).contains(&DiagCode::FrepGeometry), "{bad}");
+        }
+    }
+
+    #[test]
+    fn branch_into_frep_body_is_flagged() {
+        let p = Program::from_ops_unchecked(vec![
+            MicroOp::Frep {
+                iterations: 2,
+                body: 1,
+            },
+            MicroOp::Fadd {
+                fd: FpReg::new(3),
+                fa: FpReg::new(3),
+                fb: FpReg::new(3),
+            },
+            MicroOp::Bnez {
+                rs: IntReg::new(1),
+                target: 1,
+            },
+            MicroOp::Halt,
+        ]);
+        assert!(codes(&lint(&p)).contains(&DiagCode::BranchIntoFrep));
+    }
+
+    #[test]
+    fn branch_out_of_range_is_flagged() {
+        let p = Program::from_ops_unchecked(vec![
+            MicroOp::Bnez {
+                rs: IntReg::new(1),
+                target: 99,
+            },
+            MicroOp::Halt,
+        ]);
+        let diags = lint(&p);
+        assert!(codes(&diags).contains(&DiagCode::BranchOutOfRange));
+    }
+
+    #[test]
+    fn empty_program_is_total() {
+        let p = Program::from_ops_unchecked(vec![]);
+        assert!(lint(&p).is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! Register dataflow: use-before-def (L001) and dead stores (L002).
+//!
+//! Both analyses run over the [`Cfg`] with one 48-bit register set per
+//! op (16 integer + 32 FP registers). Stream-mapped FP registers
+//! (`f0`–`f2` while SSR streaming may be enabled and the stream is
+//! configured) are excluded from both analyses: their reads pop and
+//! their writes push memory-backed streams, so they are neither register
+//! uses nor register defs.
+
+use mpsoc_isa::{FpReg, IntReg, MicroOp, Program, FP_REGS, INT_REGS};
+
+use crate::cfg::Cfg;
+use crate::diag::{DiagCode, Diagnostic};
+use crate::ssr;
+use crate::{Lint, LintContext};
+
+const FP_BASE: u32 = INT_REGS as u32;
+const ALL_REGS: u64 = (1u64 << (INT_REGS as u32 + FP_REGS as u32)) - 1;
+
+fn int_bit(r: IntReg) -> u64 {
+    1u64 << (r.index() as u32)
+}
+
+fn fp_bit(r: FpReg) -> u64 {
+    1u64 << (FP_BASE + r.index() as u32)
+}
+
+fn reg_name(bit: u32) -> String {
+    if bit < FP_BASE {
+        format!("x{bit}")
+    } else {
+        format!("f{}", bit - FP_BASE)
+    }
+}
+
+/// `(uses, defs)` register sets of one op. `mapped` marks which of
+/// `f0`–`f2` are stream-mapped at this op.
+fn uses_defs(op: MicroOp, mapped: [bool; 3]) -> (u64, u64) {
+    let fp = |r: FpReg| -> u64 {
+        if r.index() < 3 && mapped[r.index()] {
+            0
+        } else {
+            fp_bit(r)
+        }
+    };
+    match op {
+        MicroOp::Li { rd, .. } => (0, int_bit(rd)),
+        MicroOp::Addi { rd, rs, .. } => (int_bit(rs), int_bit(rd)),
+        MicroOp::Add { rd, rs1, rs2 } => (int_bit(rs1) | int_bit(rs2), int_bit(rd)),
+        // Explicit loads/stores always move the architectural register
+        // file, even for f0-f2 (they bypass the stream ports — which is
+        // its own lint, L006).
+        MicroOp::Fld { fd, rs, .. } => (int_bit(rs), fp_bit(fd)),
+        MicroOp::Fsd { fs, rs, .. } => (fp_bit(fs) | int_bit(rs), 0),
+        MicroOp::FsdPair { fs1, fs2, rs, .. } => (fp_bit(fs1) | fp_bit(fs2) | int_bit(rs), 0),
+        MicroOp::Fmadd { fd, fa, fb, fc } => (fp(fa) | fp(fb) | fp(fc), fp(fd)),
+        MicroOp::Fadd { fd, fa, fb } | MicroOp::Fmul { fd, fa, fb } => (fp(fa) | fp(fb), fp(fd)),
+        MicroOp::Bnez { rs, .. } => (int_bit(rs), 0),
+        MicroOp::SsrCfg { base, .. } => (int_bit(base), 0),
+        MicroOp::SsrEnable | MicroOp::SsrDisable | MicroOp::Frep { .. } | MicroOp::Halt => (0, 0),
+    }
+}
+
+/// Register dataflow lint.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DataflowLint;
+
+impl Lint for DataflowLint {
+    fn name(&self) -> &'static str {
+        "dataflow"
+    }
+
+    fn run(&self, program: &Program, _cx: &LintContext, out: &mut Vec<Diagnostic>) {
+        let ops = program.ops();
+        if ops.is_empty() {
+            return;
+        }
+        let cfg = Cfg::build(program);
+        let mapped = ssr::stream_mapped(program, &cfg);
+        let ud: Vec<(u64, u64)> = ops
+            .iter()
+            .zip(&mapped)
+            .map(|(&op, &m)| uses_defs(op, m))
+            .collect();
+
+        // --- Use-before-def: forward "must be initialized" analysis.
+        // in-state = set of registers written on *every* path from entry
+        // (join = intersection); entry starts with nothing initialized.
+        let mut init_in = vec![ALL_REGS; ops.len()];
+        init_in[0] = 0;
+        let mut work: Vec<usize> = vec![0];
+        while let Some(i) = work.pop() {
+            let out_state = init_in[i] | ud[i].1;
+            for &s in &cfg.succs[i] {
+                let joined = init_in[s] & out_state;
+                if joined != init_in[s] {
+                    init_in[s] = joined;
+                    work.push(s);
+                }
+            }
+        }
+        for (i, &(uses, _)) in ud.iter().enumerate() {
+            if !cfg.reachable[i] {
+                continue;
+            }
+            let mut missing = uses & !init_in[i];
+            while missing != 0 {
+                let bit = missing.trailing_zeros();
+                missing &= missing - 1;
+                out.push(Diagnostic::at(
+                    DiagCode::UseBeforeDef,
+                    i,
+                    format!(
+                        "`{}` reads {} before any write reaches it",
+                        ops[i],
+                        reg_name(bit)
+                    ),
+                ));
+            }
+        }
+
+        // --- Dead stores: backward liveness (join = union).
+        let mut live_in = vec![0u64; ops.len()];
+        let mut work: Vec<usize> = (0..ops.len()).collect();
+        while let Some(i) = work.pop() {
+            let mut live_out = 0u64;
+            for &s in &cfg.succs[i] {
+                live_out |= live_in[s];
+            }
+            let new_in = (live_out & !ud[i].1) | ud[i].0;
+            if new_in != live_in[i] {
+                live_in[i] = new_in;
+                // Predecessors are not indexed; re-run everything that
+                // could flow here. Programs are tiny (hundreds of ops),
+                // so the simple O(n²) schedule is fine.
+                work.extend(0..ops.len());
+            }
+        }
+        for (i, &(_, defs)) in ud.iter().enumerate() {
+            if !cfg.reachable[i] || defs == 0 {
+                continue;
+            }
+            let live_out = cfg.succs[i].iter().fold(0u64, |acc, &s| acc | live_in[s]);
+            let mut dead = defs & !live_out;
+            while dead != 0 {
+                let bit = dead.trailing_zeros();
+                dead &= dead - 1;
+                out.push(Diagnostic::at(
+                    DiagCode::DeadStore,
+                    i,
+                    format!(
+                        "`{}` writes {} but no later op reads it",
+                        ops[i],
+                        reg_name(bit)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_isa::{FpReg, IntReg, ProgramBuilder};
+
+    fn lint(p: &Program) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        DataflowLint.run(p, &LintContext::manticore(), &mut out);
+        out
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<DiagCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn defined_before_use_is_clean() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 64);
+        b.fld(FpReg::new(3), x1, 0);
+        b.fadd(FpReg::new(4), FpReg::new(3), FpReg::new(3));
+        b.fsd(FpReg::new(4), x1, 8);
+        b.halt();
+        assert!(lint(&b.build().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn use_before_def_is_flagged_per_register() {
+        let mut b = ProgramBuilder::new();
+        // x2 and f5 are never written.
+        b.fld(FpReg::new(3), IntReg::new(2), 0);
+        b.fadd(FpReg::new(4), FpReg::new(3), FpReg::new(5));
+        b.fsd(FpReg::new(4), IntReg::new(2), 8);
+        b.halt();
+        let diags = lint(&b.build().unwrap());
+        let l001: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::UseBeforeDef)
+            .collect();
+        assert_eq!(l001.len(), 3, "{diags:?}"); // x2 twice, f5 once
+        assert!(l001.iter().any(|d| d.message.contains("f5")));
+        assert!(l001.iter().any(|d| d.message.contains("x2")));
+    }
+
+    #[test]
+    fn partial_path_initialization_is_flagged() {
+        // x2 is written only on the fallthrough path; the branch target
+        // reads it either way.
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        let x2 = IntReg::new(2);
+        b.li(x1, 1);
+        let join = b.label();
+        b.bnez(x1, join); // skips the write on one path
+        b.li(x2, 7);
+        b.bind(join);
+        b.addi(x2, x2, 1);
+        b.fsd_pair(FpReg::new(3), FpReg::new(4), x1, 0); // f3/f4 undefined too
+        b.halt();
+        let diags = lint(&b.build().unwrap());
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::UseBeforeDef && d.message.contains("x2")));
+    }
+
+    #[test]
+    fn dead_store_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 5); // overwritten below, never read
+        b.li(x1, 6);
+        b.fld(FpReg::new(3), x1, 0);
+        b.fsd(FpReg::new(3), x1, 8);
+        b.halt();
+        let diags = lint(&b.build().unwrap());
+        assert_eq!(codes(&diags), vec![DiagCode::DeadStore]);
+        assert_eq!(diags[0].op, Some(0));
+    }
+
+    #[test]
+    fn loop_carried_values_are_not_dead() {
+        // The classic kernel loop shape: pointer bumps are read by the
+        // next iteration, the counter by the branch.
+        let mut b = ProgramBuilder::new();
+        let (x1, x3) = (IntReg::new(1), IntReg::new(3));
+        b.li(x1, 0);
+        b.li(x3, 4);
+        let top = b.label();
+        b.bind(top);
+        b.fld(FpReg::new(3), x1, 0);
+        b.fsd(FpReg::new(3), x1, 8);
+        b.addi(x1, x1, 16);
+        b.addi(x3, x3, -1);
+        b.bnez(x3, top);
+        b.halt();
+        assert!(lint(&b.build().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn ssr_mapped_registers_are_exempt() {
+        // DaxpySsr's shape: f0/f1 are read and f2 written with no
+        // explicit defs/uses — all three are stream-mapped.
+        let mut b = ProgramBuilder::new();
+        let (x1, x4) = (IntReg::new(1), IntReg::new(4));
+        let a = FpReg::new(31);
+        b.li(x1, 0);
+        b.li(x4, 512);
+        b.fld(a, x4, 0);
+        b.ssr_cfg(0, x1, 8, 8, false);
+        b.ssr_cfg(1, x1, 8, 8, false);
+        b.ssr_cfg(2, x1, 8, 8, true);
+        b.ssr_enable();
+        b.frep(8, 1);
+        b.fmadd(FpReg::new(2), a, FpReg::new(0), FpReg::new(1));
+        b.ssr_disable();
+        b.halt();
+        assert!(lint(&b.build().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn unconfigured_fp_low_registers_still_tracked() {
+        // SSR enabled but only stream 0 configured: f1 stays a normal
+        // register, so reading it uninitialized is still L001.
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 0);
+        b.ssr_cfg(0, x1, 8, 4, false);
+        b.ssr_enable();
+        b.fadd(FpReg::new(3), FpReg::new(0), FpReg::new(1));
+        b.ssr_disable();
+        b.fsd(FpReg::new(3), x1, 0);
+        b.halt();
+        let diags = lint(&b.build().unwrap());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == DiagCode::UseBeforeDef && d.message.contains("reads f1")),
+            "{diags:?}"
+        );
+        assert!(
+            !diags.iter().any(|d| d.message.contains("reads f0")),
+            "f0 is stream-mapped: {diags:?}"
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! Diagnostics: stable codes, severities and the lint report.
+
+use std::fmt;
+
+use mpsoc_isa::{ListingNote, Program};
+use serde::Serialize;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong (performance hazards, likely
+    /// dead code). `lint_kernels --deny-warnings` still fails on these.
+    Warning,
+    /// A protocol or correctness violation: the program would fault,
+    /// compute garbage, or race.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Every diagnostic the linter can emit, with a stable `Lxxx` code.
+///
+/// `L0xx` codes are program-level (over [`mpsoc_isa::Program`]); `L1xx`
+/// codes are descriptor/SoC-level (over job tiles, cluster masks and
+/// deadlines). Codes are append-only: existing numbers never change
+/// meaning, so CI logs and suppressions stay stable across versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum DiagCode {
+    /// L001: a register is read on some path before any write to it.
+    UseBeforeDef,
+    /// L002: a register write no later op can observe.
+    DeadStore,
+    /// L003: an op no path from entry reaches.
+    UnreachableOp,
+    /// L004: `ssr.cfg` reconfigures a stream while streaming is enabled.
+    SsrCfgWhileEnabled,
+    /// L005: unbalanced `ssr.enable`/`ssr.disable` (double enable,
+    /// disable while off, or halt with streaming still enabled).
+    SsrUnbalanced,
+    /// L006: an explicit `fld`/`fsd` touches an SSR-mapped register
+    /// (`f0`–`f2`) while streaming may be enabled.
+    SsrShadowedAccess,
+    /// L007: a non-FP op inside a `frep` body (the hardware loop buffer
+    /// only replays FPU instructions).
+    FrepNonFpBody,
+    /// L008: a branch targets the interior of a `frep` body.
+    BranchIntoFrep,
+    /// L009: malformed `frep` geometry (zero iterations, empty body, or
+    /// a body extending past the program end).
+    FrepGeometry,
+    /// L010: a memory access or SSR footprint falls outside the TCDM.
+    TcdmOutOfBounds,
+    /// L011: a memory address or SSR base/stride is not 8-byte aligned.
+    Misaligned,
+    /// L012: an SSR stride that lands every element in the same TCDM
+    /// bank (stride in words divisible by the bank count).
+    BankConflictStride,
+    /// L013: an SSR stream configured for zero elements.
+    SsrZeroElements,
+    /// L014: the ops between enable/disable consume more (error) or
+    /// fewer (warning) stream elements than the stream was configured
+    /// for.
+    SsrCountMismatch,
+    /// L015: a branch target outside the program.
+    BranchOutOfRange,
+    /// L016: `ssr.cfg` names a stream index the core does not have
+    /// (only streams 0–2 exist; anything else faults at issue).
+    SsrBadStream,
+    /// L101: two cores' TCDM tiles race (write-write or read-write
+    /// overlap with no barrier between them).
+    TileOverlap,
+    /// L102: two concurrent tenants' cluster masks intersect.
+    MaskOverlap,
+    /// L103: Eq. 3 has no solution — the job's deadline is unreachable
+    /// at any cluster count the machine has.
+    DeadlineInfeasible,
+}
+
+impl DiagCode {
+    /// Every code, in code order.
+    pub const ALL: [DiagCode; 19] = [
+        DiagCode::UseBeforeDef,
+        DiagCode::DeadStore,
+        DiagCode::UnreachableOp,
+        DiagCode::SsrCfgWhileEnabled,
+        DiagCode::SsrUnbalanced,
+        DiagCode::SsrShadowedAccess,
+        DiagCode::FrepNonFpBody,
+        DiagCode::BranchIntoFrep,
+        DiagCode::FrepGeometry,
+        DiagCode::TcdmOutOfBounds,
+        DiagCode::Misaligned,
+        DiagCode::BankConflictStride,
+        DiagCode::SsrZeroElements,
+        DiagCode::SsrCountMismatch,
+        DiagCode::BranchOutOfRange,
+        DiagCode::SsrBadStream,
+        DiagCode::TileOverlap,
+        DiagCode::MaskOverlap,
+        DiagCode::DeadlineInfeasible,
+    ];
+
+    /// The stable `Lxxx` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagCode::UseBeforeDef => "L001",
+            DiagCode::DeadStore => "L002",
+            DiagCode::UnreachableOp => "L003",
+            DiagCode::SsrCfgWhileEnabled => "L004",
+            DiagCode::SsrUnbalanced => "L005",
+            DiagCode::SsrShadowedAccess => "L006",
+            DiagCode::FrepNonFpBody => "L007",
+            DiagCode::BranchIntoFrep => "L008",
+            DiagCode::FrepGeometry => "L009",
+            DiagCode::TcdmOutOfBounds => "L010",
+            DiagCode::Misaligned => "L011",
+            DiagCode::BankConflictStride => "L012",
+            DiagCode::SsrZeroElements => "L013",
+            DiagCode::SsrCountMismatch => "L014",
+            DiagCode::BranchOutOfRange => "L015",
+            DiagCode::SsrBadStream => "L016",
+            DiagCode::TileOverlap => "L101",
+            DiagCode::MaskOverlap => "L102",
+            DiagCode::DeadlineInfeasible => "L103",
+        }
+    }
+
+    /// The severity this code carries unless a pass overrides it.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            DiagCode::DeadStore
+            | DiagCode::UnreachableOp
+            | DiagCode::BankConflictStride
+            | DiagCode::SsrZeroElements => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: DiagCode,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The op index the finding anchors to (`None` for program- or
+    /// descriptor-level findings).
+    pub op: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A finding at `op` with the code's default severity.
+    pub fn at(code: DiagCode, op: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            op: Some(op),
+            message: message.into(),
+        }
+    }
+
+    /// A finding not tied to any op, with the code's default severity.
+    pub fn global(code: DiagCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            op: None,
+            message: message.into(),
+        }
+    }
+
+    /// The same finding downgraded to a warning.
+    #[must_use]
+    pub fn warning(mut self) -> Self {
+        self.severity = Severity::Warning;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Some(op) => write!(
+                f,
+                "{} {} at op {}: {}",
+                self.severity, self.code, op, self.message
+            ),
+            None => write!(f, "{} {}: {}", self.severity, self.code, self.message),
+        }
+    }
+}
+
+/// The outcome of linting one program or descriptor.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct LintReport {
+    /// All findings, ordered by op index (program-level findings first).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// A report over `diagnostics`, sorted by op index then code.
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by_key(|d| (d.op.map_or((0, 0), |i| (1, i)), d.code.code()));
+        LintReport { diagnostics }
+    }
+
+    /// `true` when nothing was found at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// `true` when any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// The findings as listing annotations.
+    pub fn notes(&self) -> Vec<ListingNote> {
+        self.diagnostics
+            .iter()
+            .map(|d| ListingNote {
+                op: d.op,
+                text: d.to_string(),
+            })
+            .collect()
+    }
+
+    /// Renders `program` with every finding interleaved at its op.
+    pub fn annotate(&self, program: &Program) -> String {
+        program.listing_annotated(&self.notes())
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return f.write_str("clean");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for c in DiagCode::ALL {
+            assert!(seen.insert(c.code()), "duplicate code {c}");
+            assert!(c.code().starts_with('L'));
+        }
+        assert_eq!(DiagCode::UseBeforeDef.code(), "L001");
+        assert_eq!(DiagCode::TileOverlap.code(), "L101");
+    }
+
+    #[test]
+    fn report_counts_and_order() {
+        let report = LintReport::new(vec![
+            Diagnostic::at(DiagCode::DeadStore, 5, "x"),
+            Diagnostic::global(DiagCode::DeadlineInfeasible, "y"),
+            Diagnostic::at(DiagCode::UseBeforeDef, 1, "z"),
+        ]);
+        assert_eq!(report.error_count(), 2);
+        assert_eq!(report.warning_count(), 1);
+        assert!(report.has_errors());
+        assert!(!report.is_clean());
+        // Global findings sort first, then by op.
+        assert_eq!(report.diagnostics[0].op, None);
+        assert_eq!(report.diagnostics[1].op, Some(1));
+        assert_eq!(report.diagnostics[2].op, Some(5));
+    }
+
+    #[test]
+    fn display_carries_code_and_severity() {
+        let d = Diagnostic::at(DiagCode::UseBeforeDef, 3, "f1 read before any write");
+        let text = d.to_string();
+        assert!(text.contains("error L001 at op 3"));
+        let w = Diagnostic::at(DiagCode::DeadStore, 0, "dead");
+        assert!(w.to_string().starts_with("warning L002"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Interval-domain abstract interpretation of the integer register file.
+//!
+//! Resolves the addresses `fld`/`fsd`/`ssr.cfg` will actually touch so
+//! the memory pass can check them against the TCDM. The domain is the
+//! classic interval lattice per register, with counted widening at join
+//! points: after a few changing joins a register jumps to [`Value::Top`],
+//! guaranteeing termination on loops. Loop-carried pointers therefore
+//! widen to `Top` and their in-loop accesses are simply not checked —
+//! the analysis trades completeness for zero false positives.
+
+use mpsoc_isa::{IntReg, MicroOp, Program, INT_REGS};
+
+use crate::cfg::Cfg;
+
+/// Integer register file size, as a usize for array lengths.
+const NREGS: usize = INT_REGS as usize;
+
+/// How many changing joins a register survives before widening to Top.
+const WIDEN_AFTER: u32 = 4;
+
+/// An abstract integer value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// Any value.
+    Top,
+    /// All values in `lo..=hi`.
+    Range(i64, i64),
+}
+
+impl Value {
+    /// The singleton interval for a known constant.
+    pub fn exact(v: i64) -> Self {
+        Value::Range(v, v)
+    }
+
+    /// The constant, if this interval is a singleton.
+    pub fn as_exact(self) -> Option<i64> {
+        match self {
+            Value::Range(lo, hi) if lo == hi => Some(lo),
+            _ => None,
+        }
+    }
+
+    /// Bounds, unless Top.
+    pub fn bounds(self) -> Option<(i64, i64)> {
+        match self {
+            Value::Range(lo, hi) => Some((lo, hi)),
+            Value::Top => None,
+        }
+    }
+
+    fn join(self, other: Value) -> Value {
+        match (self, other) {
+            (Value::Range(a, b), Value::Range(c, d)) => Value::Range(a.min(c), b.max(d)),
+            _ => Value::Top,
+        }
+    }
+
+    fn add(self, other: Value) -> Value {
+        match (self, other) {
+            (Value::Range(a, b), Value::Range(c, d)) => {
+                match (a.checked_add(c), b.checked_add(d)) {
+                    (Some(lo), Some(hi)) => Value::Range(lo, hi),
+                    _ => Value::Top,
+                }
+            }
+            _ => Value::Top,
+        }
+    }
+
+    /// The interval shifted by a constant.
+    #[must_use]
+    pub fn offset(self, imm: i64) -> Value {
+        self.add(Value::exact(imm))
+    }
+}
+
+/// The abstract register file at one program point.
+pub type Regs = [Value; NREGS];
+
+fn transfer(regs: &Regs, op: MicroOp) -> Regs {
+    let mut out = *regs;
+    let set = |out: &mut Regs, rd: IntReg, v: Value| out[rd.index()] = v;
+    match op {
+        MicroOp::Li { rd, imm } => set(&mut out, rd, Value::exact(imm)),
+        MicroOp::Addi { rd, rs, imm } => set(&mut out, rd, regs[rs.index()].offset(imm)),
+        MicroOp::Add { rd, rs1, rs2 } => {
+            set(&mut out, rd, regs[rs1.index()].add(regs[rs2.index()]));
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Runs the analysis; returns the abstract register file *entering* each
+/// op. Registers start at zero, mirroring the interpreter's reset state.
+pub fn analyze(program: &Program, cfg: &Cfg) -> Vec<Regs> {
+    let ops = program.ops();
+    let len = ops.len();
+    let mut states: Vec<Regs> = vec![[Value::exact(0); NREGS]; len];
+    if len == 0 {
+        return states;
+    }
+    // Unvisited ops hold the entry state until a join reaches them; only
+    // ops the worklist touches contribute, and unreachable ops are never
+    // consulted by the memory pass.
+    let mut visited = vec![false; len];
+    let mut widen_count = vec![[0u32; NREGS]; len];
+    visited[0] = true;
+    let mut work = vec![0usize];
+    while let Some(i) = work.pop() {
+        let out = transfer(&states[i], ops[i]);
+        for &s in &cfg.succs[i] {
+            if !visited[s] {
+                visited[s] = true;
+                states[s] = out;
+                work.push(s);
+                continue;
+            }
+            let mut changed = false;
+            for r in 0..NREGS {
+                let joined = states[s][r].join(out[r]);
+                if joined != states[s][r] {
+                    widen_count[s][r] += 1;
+                    states[s][r] = if widen_count[s][r] >= WIDEN_AFTER {
+                        Value::Top
+                    } else {
+                        joined
+                    };
+                    changed = true;
+                }
+            }
+            if changed {
+                work.push(s);
+            }
+        }
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_isa::{FpReg, ProgramBuilder};
+
+    fn states(p: &Program) -> Vec<Regs> {
+        analyze(p, &Cfg::build(p))
+    }
+
+    #[test]
+    fn constants_propagate_through_arithmetic() {
+        let mut b = ProgramBuilder::new();
+        let (x1, x2, x3) = (IntReg::new(1), IntReg::new(2), IntReg::new(3));
+        b.li(x1, 100);
+        b.addi(x2, x1, 28);
+        b.add(x3, x1, x2);
+        b.halt();
+        let st = states(&b.build().unwrap());
+        // Entering halt (op 3): x1=100, x2=128, x3=228.
+        assert_eq!(st[3][1].as_exact(), Some(100));
+        assert_eq!(st[3][2].as_exact(), Some(128));
+        assert_eq!(st[3][3].as_exact(), Some(228));
+    }
+
+    #[test]
+    fn loop_carried_pointer_widens_to_top() {
+        let mut b = ProgramBuilder::new();
+        let (x1, x3) = (IntReg::new(1), IntReg::new(3));
+        b.li(x1, 0);
+        b.li(x3, 100);
+        let top = b.label();
+        b.bind(top);
+        b.fld(FpReg::new(3), x1, 0);
+        b.addi(x1, x1, 8);
+        b.addi(x3, x3, -1);
+        b.bnez(x3, top);
+        b.halt();
+        let st = states(&b.build().unwrap());
+        // At the loop-head fld (op 2) the bumped pointer has widened.
+        assert_eq!(st[2][1], Value::Top);
+    }
+
+    #[test]
+    fn branch_join_takes_the_hull() {
+        let mut b = ProgramBuilder::new();
+        let (x1, x2) = (IntReg::new(1), IntReg::new(2));
+        b.li(x1, 1);
+        b.li(x2, 8);
+        let join = b.label();
+        b.bnez(x1, join);
+        b.li(x2, 16);
+        b.bind(join);
+        b.halt();
+        let st = states(&b.build().unwrap());
+        assert_eq!(st[4][2], Value::Range(8, 16));
+    }
+
+    #[test]
+    fn registers_start_at_zero() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let st = states(&b.build().unwrap());
+        assert_eq!(st[0][5].as_exact(), Some(0));
+    }
+}

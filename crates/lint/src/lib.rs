@@ -1,0 +1,279 @@
+//! # mpsoc-lint
+//!
+//! Static verification of offload programs and job descriptors, *before*
+//! anything reaches the simulator. A buggy kernel program costs a full
+//! simulation (or a silent wrong answer) to discover dynamically; most
+//! of its failure modes — protocol violations, bad addresses, races —
+//! are decidable from the program text and the job geometry alone.
+//!
+//! ## Program-level passes
+//!
+//! | Pass | Codes | What it proves |
+//! |------|-------|----------------|
+//! | [`CfgLint`] | L003, L007–L009, L015 | control flow is well-formed: no unreachable ops, FREP bodies are FPU-only with sane geometry, branches land inside the program and never into a hardware-loop body |
+//! | [`DataflowLint`] | L001, L002 | every register read is dominated by a write; every write is observable |
+//! | [`SsrLint`] | L004–L006, L013, L014, L016 | the SSR enable/config protocol is respected and stream element counts add up |
+//! | [`MemLint`] | L010–L012 | statically-resolvable addresses (interval abstract interpretation) stay inside the TCDM, aligned, and off pathological bank strides |
+//!
+//! ## Descriptor-level checks
+//!
+//! [`descriptor::lint_core_tiles`] (L101), [`descriptor::lint_tenant_masks`]
+//! (L102) and [`descriptor::lint_deadline`] (L103) verify job geometry:
+//! per-core TCDM tiles must not race, concurrent tenants' cluster masks
+//! must be disjoint, and a deadline must be Eq.-3-feasible.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpsoc_isa::{FpReg, IntReg, ProgramBuilder};
+//! use mpsoc_lint::{lint_program, LintContext};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.fld(FpReg::new(3), IntReg::new(1), 0); // x1 never written: L001...
+//! b.fsd(FpReg::new(4), IntReg::new(1), 8); // ...and f4 neither: L001
+//! b.halt();
+//! let program = b.build().unwrap();
+//!
+//! let report = lint_program(&program, &LintContext::manticore());
+//! assert!(report.has_errors());
+//! assert!(report.diagnostics.iter().any(|d| d.code.code() == "L001"));
+//! // Findings render interleaved with the listing:
+//! assert!(report.annotate(&program).contains("^ error L001"));
+//! ```
+//!
+//! Adding a pass means implementing [`Lint`] and registering it with
+//! [`Linter::with`]; everything else (report assembly, rendering, JSON)
+//! is shared.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+// Curated pedantic allowances: lint messages interpolate many numeric
+// fields (readability beats `#[allow]`-free casts), and analysis code
+// indexes parallel per-op vectors.
+#![allow(clippy::cast_possible_truncation)]
+#![allow(clippy::cast_precision_loss)]
+#![allow(clippy::cast_possible_wrap)]
+#![allow(clippy::cast_sign_loss)]
+#![allow(clippy::module_name_repetitions)]
+#![allow(clippy::must_use_candidate)]
+#![allow(clippy::missing_panics_doc)]
+#![allow(clippy::too_many_lines)]
+
+mod cfg;
+mod dataflow;
+pub mod descriptor;
+mod diag;
+mod interval;
+mod mem;
+mod ssr;
+
+pub use cfg::{Cfg, CfgLint, FrepExtent};
+pub use dataflow::DataflowLint;
+pub use diag::{DiagCode, Diagnostic, LintReport, Severity};
+pub use interval::Value;
+pub use mem::MemLint;
+pub use ssr::SsrLint;
+
+use mpsoc_isa::Program;
+use mpsoc_soc::SocConfig;
+
+/// The machine facts program-level lints check against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintContext {
+    /// Per-cluster TCDM capacity in 64-bit words.
+    pub tcdm_words: u64,
+    /// TCDM banks per cluster.
+    pub tcdm_banks: u32,
+}
+
+impl LintContext {
+    /// The calibrated Manticore-class geometry (256 KiB TCDM, 32 banks).
+    pub fn manticore() -> Self {
+        LintContext {
+            tcdm_words: 256 * 1024 / 8,
+            tcdm_banks: 32,
+        }
+    }
+
+    /// The context matching a concrete [`SocConfig`].
+    pub fn for_soc(config: &SocConfig) -> Self {
+        LintContext {
+            tcdm_words: config.tcdm_words,
+            tcdm_banks: config.tcdm_banks as u32,
+        }
+    }
+}
+
+impl Default for LintContext {
+    fn default() -> Self {
+        LintContext::manticore()
+    }
+}
+
+/// One static-analysis pass over a program.
+///
+/// Implementations must be *total*: any op sequence — including ones
+/// that bypass [`mpsoc_isa::ProgramBuilder`] validation via
+/// [`Program::from_ops_unchecked`] — must produce diagnostics, never a
+/// panic.
+pub trait Lint {
+    /// Short stable pass name (for reports and filtering).
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass, appending findings to `out`.
+    fn run(&self, program: &Program, cx: &LintContext, out: &mut Vec<Diagnostic>);
+}
+
+/// A configured set of lint passes.
+pub struct Linter {
+    context: LintContext,
+    passes: Vec<Box<dyn Lint>>,
+}
+
+impl Linter {
+    /// A linter with every built-in program-level pass.
+    pub fn new(context: LintContext) -> Self {
+        Linter {
+            context,
+            passes: vec![
+                Box::new(CfgLint),
+                Box::new(DataflowLint),
+                Box::new(SsrLint),
+                Box::new(MemLint),
+            ],
+        }
+    }
+
+    /// A linter with no passes; add them with [`Linter::with`].
+    pub fn empty(context: LintContext) -> Self {
+        Linter {
+            context,
+            passes: Vec::new(),
+        }
+    }
+
+    /// Adds a pass.
+    #[must_use]
+    pub fn with(mut self, pass: impl Lint + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// The registered pass names, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass over `program` and assembles the report.
+    pub fn lint(&self, program: &Program) -> LintReport {
+        let mut diagnostics = Vec::new();
+        for pass in &self.passes {
+            pass.run(program, &self.context, &mut diagnostics);
+        }
+        LintReport::new(diagnostics)
+    }
+}
+
+/// Lints `program` with every built-in pass under `context`.
+pub fn lint_program(program: &Program, context: &LintContext) -> LintReport {
+    Linter::new(*context).lint(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_isa::{FpReg, IntReg, MicroOp, ProgramBuilder};
+
+    #[test]
+    fn default_linter_registers_all_passes() {
+        let linter = Linter::new(LintContext::default());
+        assert_eq!(linter.pass_names(), vec!["cfg", "dataflow", "ssr", "mem"]);
+    }
+
+    #[test]
+    fn clean_program_yields_clean_report() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 64);
+        b.fld(FpReg::new(3), x1, 0);
+        b.fadd(FpReg::new(3), FpReg::new(3), FpReg::new(3));
+        b.fsd(FpReg::new(3), x1, 8);
+        b.halt();
+        let report = lint_program(&b.build().unwrap(), &LintContext::manticore());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn a_thoroughly_broken_program_trips_many_passes() {
+        // ssr.cfg while enabled, misaligned base, read of an unwritten
+        // register, dead store, unreachable tail — one program, four
+        // passes firing.
+        let p = Program::from_ops_unchecked(vec![
+            MicroOp::Li {
+                rd: IntReg::new(1),
+                imm: 13, // misaligned base
+            },
+            MicroOp::SsrEnable,
+            MicroOp::SsrCfg {
+                stream: 0,
+                base: IntReg::new(1),
+                stride: 8,
+                count: 4,
+                write: false,
+            },
+            MicroOp::Fsd {
+                fs: FpReg::new(9), // never written
+                rs: IntReg::new(2),
+                offset: 0,
+            },
+            MicroOp::Li {
+                rd: IntReg::new(3), // dead store
+                imm: 0,
+            },
+            MicroOp::Halt, // streaming still enabled
+            MicroOp::Halt, // unreachable
+        ]);
+        let report = lint_program(&p, &LintContext::manticore());
+        let codes: std::collections::HashSet<&str> =
+            report.diagnostics.iter().map(|d| d.code.code()).collect();
+        for expected in ["L001", "L002", "L003", "L004", "L005", "L011"] {
+            assert!(codes.contains(expected), "missing {expected}: {report}");
+        }
+        assert!(report.has_errors());
+        assert!(report.error_count() >= 4);
+    }
+
+    #[test]
+    fn custom_pass_registration() {
+        struct Nitpick;
+        impl Lint for Nitpick {
+            fn name(&self) -> &'static str {
+                "nitpick"
+            }
+            fn run(&self, program: &Program, _cx: &LintContext, out: &mut Vec<Diagnostic>) {
+                if program.ops().len() > 3 {
+                    out.push(Diagnostic::global(DiagCode::UnreachableOp, "too long"));
+                }
+            }
+        }
+        let linter = Linter::empty(LintContext::default()).with(Nitpick);
+        assert_eq!(linter.pass_names(), vec!["nitpick"]);
+        let mut b = ProgramBuilder::new();
+        for _ in 0..4 {
+            b.li(IntReg::new(1), 0);
+        }
+        b.halt();
+        let report = linter.lint(&b.build().unwrap());
+        assert_eq!(report.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn context_tracks_soc_config() {
+        let cx = LintContext::for_soc(&SocConfig::manticore());
+        assert_eq!(cx, LintContext::manticore());
+        let mut small = SocConfig::manticore();
+        small.tcdm_words = 64;
+        assert_eq!(LintContext::for_soc(&small).tcdm_words, 64);
+    }
+}

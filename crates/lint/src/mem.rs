@@ -1,0 +1,274 @@
+//! TCDM address checks (L010–L012), powered by the interval analysis.
+//!
+//! Every check fires only when the interval analysis bounds the address:
+//! precise preamble loads, scalar-argument reads and SSR base snapshots
+//! are checked; loop-carried pointers widen to Top and are skipped.
+
+use mpsoc_isa::{MicroOp, Program};
+
+use crate::cfg::Cfg;
+use crate::diag::{DiagCode, Diagnostic};
+use crate::interval::{self, Value};
+use crate::{Lint, LintContext};
+
+/// Memory/SSR address lint.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemLint;
+
+impl Lint for MemLint {
+    fn name(&self) -> &'static str {
+        "mem"
+    }
+
+    fn run(&self, program: &Program, cx: &LintContext, out: &mut Vec<Diagnostic>) {
+        let ops = program.ops();
+        if ops.is_empty() {
+            return;
+        }
+        let cfg = Cfg::build(program);
+        let states = interval::analyze(program, &cfg);
+        let tcdm_bytes = i128::from(cx.tcdm_words) * 8;
+
+        let check_access = |i: usize, addr: Value, bytes: i64, out: &mut Vec<Diagnostic>| {
+            let Some((lo, hi)) = addr.bounds() else {
+                return;
+            };
+            if lo < 0 || i128::from(hi) + i128::from(bytes) > tcdm_bytes {
+                out.push(Diagnostic::at(
+                    DiagCode::TcdmOutOfBounds,
+                    i,
+                    format!(
+                        "{bytes}-byte access at address {} is outside the {}-byte TCDM",
+                        if lo == hi {
+                            lo.to_string()
+                        } else {
+                            format!("{lo}..={hi}")
+                        },
+                        tcdm_bytes
+                    ),
+                ));
+            }
+            if let Some(a) = addr.as_exact() {
+                if a.rem_euclid(8) != 0 {
+                    out.push(Diagnostic::at(
+                        DiagCode::Misaligned,
+                        i,
+                        format!("address {a} is not 8-byte aligned"),
+                    ));
+                }
+            }
+        };
+
+        for (i, &op) in ops.iter().enumerate() {
+            if !cfg.reachable[i] {
+                continue;
+            }
+            let regs = &states[i];
+            match op {
+                MicroOp::Fld { rs, offset, .. } | MicroOp::Fsd { rs, offset, .. } => {
+                    check_access(i, regs[rs.index()].offset(offset), 8, out);
+                }
+                MicroOp::FsdPair { rs, offset, .. } => {
+                    check_access(i, regs[rs.index()].offset(offset), 16, out);
+                }
+                MicroOp::SsrCfg {
+                    stream,
+                    base,
+                    stride,
+                    count,
+                    ..
+                } => {
+                    if (stream as usize) >= 3 || count == 0 {
+                        continue; // L016 / L013: the SSR pass owns these.
+                    }
+                    let Some(b) = regs[base.index()].as_exact() else {
+                        continue;
+                    };
+                    // Footprint of the whole stream: every address the
+                    // unit will touch, first to last element.
+                    let last = i128::from(b) + i128::from(stride) * i128::from(count - 1);
+                    let (lo, hi) = (i128::from(b).min(last), i128::from(b).max(last));
+                    if lo < 0 || hi + 8 > tcdm_bytes {
+                        out.push(Diagnostic::at(
+                            DiagCode::TcdmOutOfBounds,
+                            i,
+                            format!(
+                                "stream {stream} footprint {lo}..={} leaves the {}-byte TCDM \
+                                 (base {b}, stride {stride}, count {count})",
+                                hi + 8,
+                                tcdm_bytes
+                            ),
+                        ));
+                    }
+                    if b.rem_euclid(8) != 0 || stride.rem_euclid(8) != 0 {
+                        out.push(Diagnostic::at(
+                            DiagCode::Misaligned,
+                            i,
+                            format!(
+                                "stream {stream} base {b} / stride {stride} must be 8-byte \
+                                 aligned"
+                            ),
+                        ));
+                    } else if count > 1 && (stride / 8).rem_euclid(i64::from(cx.tcdm_banks)) == 0 {
+                        out.push(Diagnostic::at(
+                            DiagCode::BankConflictStride,
+                            i,
+                            format!(
+                                "stride {stride} lands every element of stream {stream} in \
+                                 the same one of {} TCDM banks",
+                                cx.tcdm_banks
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_isa::{FpReg, IntReg, ProgramBuilder};
+
+    fn lint(p: &Program) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        MemLint.run(p, &LintContext::manticore(), &mut out);
+        out
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<DiagCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    const TCDM_BYTES: i64 = 32768 * 8;
+
+    #[test]
+    fn in_bounds_aligned_accesses_are_clean() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 1024);
+        b.fld(FpReg::new(3), x1, 0);
+        b.fsd(FpReg::new(3), x1, 8);
+        b.fsd_pair(FpReg::new(3), FpReg::new(3), x1, 16);
+        b.halt();
+        assert!(lint(&b.build().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn load_past_tcdm_end_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, TCDM_BYTES - 8);
+        b.fld(FpReg::new(3), x1, 0); // last word: fine
+        b.fld(FpReg::new(4), x1, 8); // one past: L010
+        b.halt();
+        let diags = lint(&b.build().unwrap());
+        assert_eq!(codes(&diags), vec![DiagCode::TcdmOutOfBounds]);
+        assert_eq!(diags[0].op, Some(2));
+    }
+
+    #[test]
+    fn negative_address_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 0);
+        b.fld(FpReg::new(3), x1, -8);
+        b.halt();
+        assert_eq!(
+            codes(&lint(&b.build().unwrap())),
+            vec![DiagCode::TcdmOutOfBounds]
+        );
+    }
+
+    #[test]
+    fn misaligned_address_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 12);
+        b.fld(FpReg::new(3), x1, 0);
+        b.halt();
+        assert_eq!(
+            codes(&lint(&b.build().unwrap())),
+            vec![DiagCode::Misaligned]
+        );
+    }
+
+    #[test]
+    fn fsd_pair_needs_sixteen_bytes() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, TCDM_BYTES - 8);
+        b.fsd_pair(FpReg::new(3), FpReg::new(4), x1, 0);
+        b.halt();
+        assert_eq!(
+            codes(&lint(&b.build().unwrap())),
+            vec![DiagCode::TcdmOutOfBounds]
+        );
+    }
+
+    #[test]
+    fn ssr_footprint_out_of_bounds_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, TCDM_BYTES - 4 * 8);
+        b.ssr_cfg(0, x1, 8, 8, false); // 8 elements, only 4 fit
+        b.halt();
+        let diags = lint(&b.build().unwrap());
+        assert_eq!(codes(&diags), vec![DiagCode::TcdmOutOfBounds]);
+        assert!(diags[0].message.contains("stream 0"));
+    }
+
+    #[test]
+    fn misaligned_stride_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 0);
+        b.ssr_cfg(0, x1, 12, 4, false);
+        b.halt();
+        assert_eq!(
+            codes(&lint(&b.build().unwrap())),
+            vec![DiagCode::Misaligned]
+        );
+    }
+
+    #[test]
+    fn bank_conflict_stride_is_a_warning() {
+        // 32 banks × 8 bytes: a 256-byte stride hits one bank forever.
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 0);
+        b.ssr_cfg(0, x1, 256, 8, false);
+        b.halt();
+        let diags = lint(&b.build().unwrap());
+        assert_eq!(codes(&diags), vec![DiagCode::BankConflictStride]);
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+    }
+
+    #[test]
+    fn unit_stride_is_not_a_bank_conflict() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 0);
+        b.ssr_cfg(0, x1, 8, 64, false);
+        b.halt();
+        assert!(lint(&b.build().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn widened_loop_pointers_are_not_checked() {
+        let mut b = ProgramBuilder::new();
+        let (x1, x3) = (IntReg::new(1), IntReg::new(3));
+        b.li(x1, 0);
+        b.li(x3, 1_000_000); // walks far past the TCDM if taken literally
+        let top = b.label();
+        b.bind(top);
+        b.fld(FpReg::new(3), x1, 0);
+        b.addi(x1, x1, 8);
+        b.addi(x3, x3, -1);
+        b.bnez(x3, top);
+        b.halt();
+        assert!(lint(&b.build().unwrap()).is_empty());
+    }
+}

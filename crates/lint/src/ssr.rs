@@ -1,0 +1,502 @@
+//! SSR protocol checks (L004–L006, L013, L014, L016).
+//!
+//! The stream semantics this pass models (mirroring the interpreter):
+//!
+//! - `ssr.cfg` snapshots a base address, stride and element count into
+//!   one of three stream units, 0–2. The snapshot happens at config
+//!   time; reconfiguring while streaming is enabled silently retargets
+//!   in-flight streams (L004).
+//! - While `ssr.enable` is in effect, FPU ops (`fmadd`/`fadd`/`fmul`)
+//!   that name `f0`–`f2` pop (reads) or push (writes) the *configured*
+//!   stream of that index instead of the register file. An enabled but
+//!   unconfigured stream register behaves as a plain register.
+//! - Explicit `fld`/`fsd` always move the architectural register file,
+//!   even for `f0`–`f2` — mid-stream they silently bypass the stream
+//!   ports (L006).
+//! - Popping or pushing a drained stream (`remaining == 0`) faults, so
+//!   an enable window that consumes more elements than configured is an
+//!   error; leftovers are a warning (L014).
+
+use mpsoc_isa::{FpReg, MicroOp, Program};
+
+use crate::cfg::Cfg;
+use crate::diag::{DiagCode, Diagnostic};
+use crate::{Lint, LintContext};
+
+/// Forward may-state at one op: bit 0 = streaming may be enabled,
+/// bit 1 = streaming may be disabled, bits 2–4 = stream 0–2 may be
+/// configured. Join is bitwise OR; `0` is the unvisited bottom.
+type State = u8;
+
+const MAY_ON: State = 1 << 0;
+const MAY_OFF: State = 1 << 1;
+
+const fn cfg_bit(stream: usize) -> State {
+    1 << (2 + stream)
+}
+
+fn transfer(state: State, op: MicroOp) -> State {
+    match op {
+        MicroOp::SsrEnable => (state & !MAY_OFF) | MAY_ON,
+        MicroOp::SsrDisable => (state & !MAY_ON) | MAY_OFF,
+        MicroOp::SsrCfg { stream, .. } if (stream as usize) < 3 => state | cfg_bit(stream as usize),
+        _ => state,
+    }
+}
+
+/// Per-op in-states of the enable/config analysis.
+fn in_states(program: &Program, cfg: &Cfg) -> Vec<State> {
+    let ops = program.ops();
+    let mut states = vec![0 as State; ops.len()];
+    if ops.is_empty() {
+        return states;
+    }
+    states[0] = MAY_OFF;
+    let mut work = vec![0usize];
+    while let Some(i) = work.pop() {
+        let out = transfer(states[i], ops[i]);
+        for &s in &cfg.succs[i] {
+            let joined = states[s] | out;
+            if joined != states[s] {
+                states[s] = joined;
+                work.push(s);
+            }
+        }
+    }
+    states
+}
+
+/// For each op, whether `f0`/`f1`/`f2` are stream-mapped there (SSR may
+/// be enabled *and* the stream may be configured). Used by the dataflow
+/// pass to exempt stream-backed registers from register tracking.
+pub(crate) fn stream_mapped(program: &Program, cfg: &Cfg) -> Vec<[bool; 3]> {
+    in_states(program, cfg)
+        .into_iter()
+        .map(|st| {
+            let on = st & MAY_ON != 0;
+            [
+                on && st & cfg_bit(0) != 0,
+                on && st & cfg_bit(1) != 0,
+                on && st & cfg_bit(2) != 0,
+            ]
+        })
+        .collect()
+}
+
+/// SSR protocol lint.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SsrLint;
+
+impl Lint for SsrLint {
+    fn name(&self) -> &'static str {
+        "ssr"
+    }
+
+    fn run(&self, program: &Program, _cx: &LintContext, out: &mut Vec<Diagnostic>) {
+        let ops = program.ops();
+        if ops.is_empty() {
+            return;
+        }
+        let cfg = Cfg::build(program);
+        let states = in_states(program, &cfg);
+
+        let shadowed = |r: FpReg, st: State| -> bool {
+            r.index() < 3 && st & MAY_ON != 0 && st & cfg_bit(r.index()) != 0
+        };
+
+        for (i, &op) in ops.iter().enumerate() {
+            if !cfg.reachable[i] {
+                continue;
+            }
+            let st = states[i];
+            match op {
+                MicroOp::SsrEnable if st & MAY_ON != 0 => {
+                    out.push(Diagnostic::at(
+                        DiagCode::SsrUnbalanced,
+                        i,
+                        "ssr.enable while streaming may already be enabled",
+                    ));
+                }
+                MicroOp::SsrDisable if st & MAY_ON == 0 => {
+                    out.push(Diagnostic::at(
+                        DiagCode::SsrUnbalanced,
+                        i,
+                        "ssr.disable while streaming is disabled",
+                    ));
+                }
+                MicroOp::SsrCfg { stream, count, .. } => {
+                    if stream as usize >= 3 {
+                        out.push(Diagnostic::at(
+                            DiagCode::SsrBadStream,
+                            i,
+                            format!("stream {stream} does not exist (streams 0-2)"),
+                        ));
+                    }
+                    if st & MAY_ON != 0 {
+                        out.push(Diagnostic::at(
+                            DiagCode::SsrCfgWhileEnabled,
+                            i,
+                            format!(
+                                "ssr.cfg of stream {stream} while streaming may be enabled \
+                                 retargets an in-flight stream"
+                            ),
+                        ));
+                    }
+                    if count == 0 {
+                        out.push(Diagnostic::at(
+                            DiagCode::SsrZeroElements,
+                            i,
+                            format!("stream {stream} configured for zero elements"),
+                        ));
+                    }
+                }
+                MicroOp::Fld { fd, .. } if shadowed(fd, st) => {
+                    out.push(Diagnostic::at(
+                        DiagCode::SsrShadowedAccess,
+                        i,
+                        format!(
+                            "fld writes f{} while stream {} maps it; FPU reads will pop \
+                             the stream, not see this value",
+                            fd.index(),
+                            fd.index()
+                        ),
+                    ));
+                }
+                MicroOp::Fsd { fs, .. } if shadowed(fs, st) => {
+                    out.push(Diagnostic::at(
+                        DiagCode::SsrShadowedAccess,
+                        i,
+                        format!(
+                            "fsd reads the stale register file value of f{} while stream \
+                             {} maps it",
+                            fs.index(),
+                            fs.index()
+                        ),
+                    ));
+                }
+                MicroOp::FsdPair { fs1, fs2, .. } => {
+                    for fs in [fs1, fs2] {
+                        if shadowed(fs, st) {
+                            out.push(Diagnostic::at(
+                                DiagCode::SsrShadowedAccess,
+                                i,
+                                format!(
+                                    "fsd.pair reads the stale register file value of f{} \
+                                     while stream {} maps it",
+                                    fs.index(),
+                                    fs.index()
+                                ),
+                            ));
+                        }
+                    }
+                }
+                MicroOp::Halt if st & MAY_ON != 0 => {
+                    out.push(Diagnostic::at(
+                        DiagCode::SsrUnbalanced,
+                        i,
+                        "halt with streaming still enabled",
+                    ));
+                }
+                _ => {}
+            }
+        }
+
+        check_element_counts(program, &cfg, out);
+    }
+}
+
+/// L014: in branch-free programs, compare each enable window's stream
+/// accesses against the configured element count. Each FPU-op operand
+/// occurrence of a mapped register pops/pushes one element (times the
+/// surrounding `frep`'s iteration count). Branchy programs have
+/// data-dependent trip counts, so the check stays silent there.
+fn check_element_counts(program: &Program, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let ops = program.ops();
+    if ops.iter().any(|op| matches!(op, MicroOp::Bnez { .. })) {
+        return;
+    }
+
+    let mut enabled = false;
+    // Per stream: (config op, configured count, elements accessed).
+    let mut windows: [Option<(usize, u64, u64)>; 3] = [None; 3];
+
+    let flush = |windows: &mut [Option<(usize, u64, u64)>; 3], out: &mut Vec<Diagnostic>| {
+        for (s, w) in windows.iter_mut().enumerate() {
+            let Some((at, count, used)) = w.take() else {
+                continue;
+            };
+            if used > count {
+                out.push(Diagnostic::at(
+                    DiagCode::SsrCountMismatch,
+                    at,
+                    format!(
+                        "stream {s} configured for {count} elements but the enable window \
+                         accesses it {used} times; the stream drains and faults"
+                    ),
+                ));
+            } else if used < count {
+                out.push(
+                    Diagnostic::at(
+                        DiagCode::SsrCountMismatch,
+                        at,
+                        format!(
+                            "stream {s} configured for {count} elements but the enable \
+                             window accesses it only {used} times; {} elements are left \
+                             in flight",
+                            count - used
+                        ),
+                    )
+                    .warning(),
+                );
+            }
+        }
+    };
+
+    for (i, &op) in ops.iter().enumerate() {
+        let mult = cfg.frep_body_of[i].map_or(1, |fi| cfg.freps[fi].iterations);
+        let en = enabled;
+        let access = |r: FpReg, windows: &mut [Option<(usize, u64, u64)>; 3]| {
+            if !en || r.index() >= 3 {
+                return;
+            }
+            if let Some((_, _, used)) = &mut windows[r.index()] {
+                *used += mult;
+            }
+        };
+        match op {
+            MicroOp::SsrCfg { stream, count, .. } if (stream as usize) < 3 => {
+                windows[stream as usize] = Some((i, count, 0));
+            }
+            MicroOp::SsrEnable => enabled = true,
+            MicroOp::SsrDisable => {
+                enabled = false;
+                flush(&mut windows, out);
+            }
+            MicroOp::Fmadd { fd, fa, fb, fc } => {
+                for r in [fa, fb, fc, fd] {
+                    access(r, &mut windows);
+                }
+            }
+            MicroOp::Fadd { fd, fa, fb } | MicroOp::Fmul { fd, fa, fb } => {
+                for r in [fa, fb, fd] {
+                    access(r, &mut windows);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsoc_isa::{IntReg, ProgramBuilder};
+
+    fn lint(p: &Program) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        SsrLint.run(p, &LintContext::manticore(), &mut out);
+        out
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<DiagCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    /// The canonical DaxpySsr shape: cfg ×3, enable, frep'd fmadd,
+    /// disable, halt.
+    fn daxpy_ssr(elems: u64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let (x1, x2, x4) = (IntReg::new(1), IntReg::new(2), IntReg::new(4));
+        let a = FpReg::new(31);
+        b.li(x1, 0);
+        b.li(x2, 256);
+        b.li(x4, 512);
+        b.fld(a, x4, 0);
+        b.ssr_cfg(0, x1, 8, elems, false);
+        b.ssr_cfg(1, x2, 8, elems, false);
+        b.ssr_cfg(2, x2, 8, elems, true);
+        b.ssr_enable();
+        b.frep(elems, 1);
+        b.fmadd(FpReg::new(2), a, FpReg::new(0), FpReg::new(1));
+        b.ssr_disable();
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn balanced_ssr_program_is_clean() {
+        assert!(lint(&daxpy_ssr(16)).is_empty());
+    }
+
+    #[test]
+    fn cfg_while_enabled_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 0);
+        b.ssr_cfg(0, x1, 8, 4, false);
+        b.ssr_enable();
+        b.ssr_cfg(0, x1, 8, 4, false); // L004
+        b.ssr_disable();
+        b.halt();
+        let diags = lint(&b.build().unwrap());
+        assert!(codes(&diags).contains(&DiagCode::SsrCfgWhileEnabled));
+        // The mismatch check also fires: configured 4, accessed 0.
+        assert!(diags
+            .iter()
+            .all(|d| d.code != DiagCode::SsrCfgWhileEnabled || d.op == Some(3)));
+    }
+
+    #[test]
+    fn double_enable_and_halt_while_on_are_unbalanced() {
+        let mut b = ProgramBuilder::new();
+        b.ssr_enable();
+        b.ssr_enable(); // L005: double enable
+        b.halt(); // L005: never disabled
+        let diags = lint(&b.build().unwrap());
+        let l005: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::SsrUnbalanced)
+            .collect();
+        assert_eq!(l005.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn disable_while_off_is_unbalanced() {
+        let mut b = ProgramBuilder::new();
+        b.ssr_disable();
+        b.halt();
+        assert_eq!(
+            codes(&lint(&b.build().unwrap())),
+            vec![DiagCode::SsrUnbalanced]
+        );
+    }
+
+    #[test]
+    fn shadowed_fld_and_fsd_are_flagged() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 0);
+        b.ssr_cfg(0, x1, 8, 2, false);
+        b.ssr_enable();
+        b.fld(FpReg::new(0), x1, 0); // L006: write shadowed by stream
+        b.fsd(FpReg::new(0), x1, 8); // L006: reads stale register
+        b.fld(FpReg::new(1), x1, 16); // fine: stream 1 not configured
+        b.ssr_disable();
+        b.halt();
+        let diags = lint(&b.build().unwrap());
+        let l006: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::SsrShadowedAccess)
+            .collect();
+        assert_eq!(l006.len(), 2, "{diags:?}");
+        assert_eq!(l006[0].op, Some(3));
+        assert_eq!(l006[1].op, Some(4));
+    }
+
+    #[test]
+    fn zero_element_stream_is_a_warning() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 0);
+        b.ssr_cfg(0, x1, 8, 0, false);
+        b.halt();
+        let diags = lint(&b.build().unwrap());
+        assert_eq!(codes(&diags), vec![DiagCode::SsrZeroElements]);
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+    }
+
+    #[test]
+    fn bad_stream_index_is_flagged() {
+        let p = Program::from_ops_unchecked(vec![
+            MicroOp::SsrCfg {
+                stream: 7,
+                base: IntReg::new(1),
+                stride: 8,
+                count: 4,
+                write: false,
+            },
+            MicroOp::Halt,
+        ]);
+        assert!(codes(&lint(&p)).contains(&DiagCode::SsrBadStream));
+    }
+
+    #[test]
+    fn overconsumed_stream_is_an_error() {
+        // Stream 0 configured for 4 elements, but the frep'd fmadd pops
+        // it 8 times.
+        let mut b = ProgramBuilder::new();
+        let (x1, x2) = (IntReg::new(1), IntReg::new(2));
+        b.li(x1, 0);
+        b.li(x2, 256);
+        b.ssr_cfg(0, x1, 8, 4, false);
+        b.ssr_cfg(1, x2, 8, 8, false);
+        b.ssr_cfg(2, x2, 8, 8, true);
+        b.ssr_enable();
+        b.frep(8, 1);
+        b.fmadd(FpReg::new(2), FpReg::new(31), FpReg::new(0), FpReg::new(1));
+        b.ssr_disable();
+        b.halt();
+        let diags = lint(&b.build().unwrap());
+        let mismatch: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::SsrCountMismatch)
+            .collect();
+        assert_eq!(mismatch.len(), 1, "{diags:?}");
+        assert_eq!(mismatch[0].severity, crate::Severity::Error);
+        assert!(mismatch[0].message.contains("8 times"));
+    }
+
+    #[test]
+    fn underconsumed_stream_is_a_warning() {
+        let mut b = ProgramBuilder::new();
+        let x1 = IntReg::new(1);
+        b.li(x1, 0);
+        b.ssr_cfg(0, x1, 8, 10, false);
+        b.ssr_enable();
+        b.fadd(FpReg::new(3), FpReg::new(0), FpReg::new(0)); // pops twice
+        b.ssr_disable();
+        b.halt();
+        let diags = lint(&b.build().unwrap());
+        let mismatch: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::SsrCountMismatch)
+            .collect();
+        assert_eq!(mismatch.len(), 1, "{diags:?}");
+        assert_eq!(mismatch[0].severity, crate::Severity::Warning);
+    }
+
+    #[test]
+    fn branchy_programs_skip_the_count_check() {
+        let mut b = ProgramBuilder::new();
+        let (x1, x3) = (IntReg::new(1), IntReg::new(3));
+        b.li(x1, 0);
+        b.li(x3, 4);
+        b.ssr_cfg(0, x1, 8, 4, false);
+        b.ssr_enable();
+        let top = b.label();
+        b.bind(top);
+        b.fadd(FpReg::new(3), FpReg::new(0), FpReg::new(3));
+        b.addi(x3, x3, -1);
+        b.bnez(x3, top);
+        b.ssr_disable();
+        b.halt();
+        // f3 is read uninitialized — that's the dataflow pass's business;
+        // here we only assert no count mismatch is guessed at.
+        let diags = lint(&b.build().unwrap());
+        assert!(
+            !codes(&diags).contains(&DiagCode::SsrCountMismatch),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn stream_mapped_tracks_enable_window_and_configs() {
+        let p = daxpy_ssr(8);
+        let cfg = Cfg::build(&p);
+        let mapped = stream_mapped(&p, &cfg);
+        // At the fmadd (op 9) all three streams are mapped.
+        assert_eq!(mapped[9], [true, true, true]);
+        // Before enable nothing is mapped.
+        assert_eq!(mapped[7], [false, false, false]);
+    }
+}

@@ -25,6 +25,12 @@ pub enum RejectReason {
         /// The `M_min` the deadline would need.
         required: u64,
     },
+    /// The job's generated program failed static verification
+    /// ([`mpsoc_lint`]): it would fault or corrupt TCDM if dispatched.
+    ProgramLint {
+        /// Number of lint errors in the failing report.
+        errors: u32,
+    },
 }
 
 /// The controller's verdict on one arriving job.

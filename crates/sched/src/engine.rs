@@ -24,11 +24,12 @@ use mpsoc_noc::ClusterMask;
 use mpsoc_sim::Cycle;
 use mpsoc_telemetry::{EventKind, EventTrace, Unit};
 
-use crate::admission::{AdmissionController, AdmissionDecision};
+use crate::admission::{AdmissionController, AdmissionDecision, RejectReason};
 use crate::alloc::Allocator;
 use crate::calibrate::ModelTable;
 use crate::error::SchedError;
 use crate::job::Job;
+use crate::lint_gate::LintGate;
 use crate::metrics::{JobOutcome, JobRecord, Metrics, RunReport};
 use crate::policy::{Placement, QueuedJob, SchedContext, SchedPolicy};
 use crate::service::ServiceBackend;
@@ -41,6 +42,7 @@ pub struct Engine {
     backend: ServiceBackend,
     clusters: usize,
     telemetry: EventTrace,
+    lint_gate: Option<LintGate>,
 }
 
 /// A job in flight on a carved partition.
@@ -62,7 +64,16 @@ impl Engine {
             backend,
             clusters,
             telemetry: EventTrace::disabled(),
+            lint_gate: None,
         }
+    }
+
+    /// Enables static program verification at admission: every arriving
+    /// job's worst-case core program is linted (memoized per kernel and
+    /// problem size) and jobs with lint *errors* are rejected with
+    /// [`RejectReason::ProgramLint`] before admission control runs.
+    pub fn enable_lint(&mut self, gate: LintGate) {
+        self.lint_gate = Some(gate);
     }
 
     /// The admission controller in use.
@@ -155,6 +166,24 @@ impl Engine {
                     EventKind::JobArrive,
                     job.id,
                 );
+                if let Some(gate) = self.lint_gate.as_mut() {
+                    if let Some(report) = gate.check(job) {
+                        let errors = report.error_count() as u32;
+                        self.telemetry.instant(
+                            Cycle::new(now),
+                            Unit::SchedHost,
+                            EventKind::Reject,
+                            job.id,
+                        );
+                        records.push(JobRecord {
+                            job: *job,
+                            outcome: JobOutcome::Rejected {
+                                reason: RejectReason::ProgramLint { errors },
+                            },
+                        });
+                        continue;
+                    }
+                }
                 match self.admission.admit(job) {
                     AdmissionDecision::Offload { m_min, predicted } => {
                         // Placeholder until the offload completes; the
@@ -365,6 +394,37 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert_eq!(s1, f0, "host is a serial server");
+    }
+
+    #[test]
+    fn lint_gate_rejects_programs_that_fail_verification() {
+        // A 64-word TCDM cannot hold a 1024-element daxpy: the gate's
+        // static bounds check proves out-of-TCDM accesses and rejects
+        // the job, while a clean small job still schedules normally.
+        let stream = jobs(&[(0, 1024, 1000)]);
+        let tiny = mpsoc_lint::LintContext {
+            tcdm_words: 64,
+            ..mpsoc_lint::LintContext::manticore()
+        };
+
+        let mut gated = engine(8);
+        gated.enable_lint(crate::LintGate::new(tiny, 8));
+        let report = gated.run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(report.metrics.rejected, 1);
+        match report.records[0].outcome {
+            JobOutcome::Rejected {
+                reason: crate::RejectReason::ProgramLint { errors },
+            } => assert!(errors > 0),
+            other => panic!("expected lint rejection, got {other:?}"),
+        }
+
+        // Same machine, real geometry: the gate waves the job through
+        // and the report matches an ungated run exactly.
+        let mut real = engine(8);
+        real.enable_lint(crate::LintGate::manticore());
+        let gated_report = real.run(&stream, &mut FifoFirstFit).expect("run");
+        let plain_report = engine(8).run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(gated_report, plain_report);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// Matrix (`Gemv`) and stencil kernels are excluded — their operand
 /// geometry needs extra parameters and the scheduling problem is
 /// unchanged by them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum KernelId {
     /// `y ← a·x + y` (the paper's kernel).
     Daxpy,

@@ -61,6 +61,7 @@ mod calibrate;
 mod engine;
 mod error;
 mod job;
+mod lint_gate;
 mod metrics;
 mod policy;
 mod service;
@@ -72,6 +73,7 @@ pub use calibrate::{calibrate, CalibrationGrid, KernelModel, ModelTable};
 pub use engine::Engine;
 pub use error::SchedError;
 pub use job::{Job, KernelId};
+pub use lint_gate::LintGate;
 pub use metrics::{JobOutcome, JobRecord, Metrics, RunReport};
 pub use policy::{
     all_policies, EarliestDeadlineFirst, FifoFirstFit, ModelGuided, Placement, QueuedJob,

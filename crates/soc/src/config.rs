@@ -140,6 +140,9 @@ impl SocConfig {
         if self.tcdm_words == 0 {
             return Err("tcdm_words must be positive".to_owned());
         }
+        if self.tcdm_banks == 0 {
+            return Err("tcdm_banks must be positive".to_owned());
+        }
         if self.descriptor_words == 0 {
             return Err("descriptor_words must be positive".to_owned());
         }
@@ -186,6 +189,9 @@ mod tests {
         assert!(cfg.validate().is_err());
         let mut cfg = SocConfig::manticore();
         cfg.cores_per_cluster = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SocConfig::manticore();
+        cfg.tcdm_banks = 0;
         assert!(cfg.validate().is_err());
     }
 

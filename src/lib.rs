@@ -17,9 +17,13 @@
 //! - [`offload`]: the paper's contribution — co-designed offload runtime,
 //!   analytic runtime model (Eq. 1), MAPE validation (Eq. 2) and offload
 //!   decision solver (Eq. 3),
+//! - [`lint`]: static verifier for offload programs and job descriptors
+//!   — dataflow, SSR-protocol and address-interval checks with stable
+//!   diagnostic codes,
 //! - [`sched`]: multi-tenant offload scheduling on top of the decision
-//!   model — admission control, spatial partitioning, pluggable
-//!   policies and a deterministic discrete-event engine,
+//!   model — admission control (optionally lint-gated), spatial
+//!   partitioning, pluggable policies and a deterministic discrete-event
+//!   engine,
 //! - [`telemetry`]: typed-event traces, per-phase cycle attribution with
 //!   Eq. 1 residual audits, and Chrome trace-event (Perfetto) export.
 //!
@@ -33,6 +37,7 @@
 
 pub use mpsoc_isa as isa;
 pub use mpsoc_kernels as kernels;
+pub use mpsoc_lint as lint;
 pub use mpsoc_mem as mem;
 pub use mpsoc_noc as noc;
 pub use mpsoc_offload as offload;
