@@ -34,4 +34,15 @@ cargo run --release -q -p mpsoc-bench --bin offload_profile -- \
 test -s "$trace_dir/smoke.trace.json"
 test -s "$trace_dir/smoke.json"
 
+echo "==> interference smoke test (determinism-checked co-simulation)"
+# The binary asserts its own headline claims (emergent co-resident
+# slowdown, contention-accounted); two seed-equal runs must serialize
+# byte-identically or the shared-SoC session has lost determinism.
+cargo run --release -q -p mpsoc-bench --bin interference -- \
+    --smoke --json "$trace_dir/interference_a.json"
+cargo run --release -q -p mpsoc-bench --bin interference -- \
+    --smoke --json "$trace_dir/interference_b.json"
+test -s "$trace_dir/interference_a.json"
+cmp "$trace_dir/interference_a.json" "$trace_dir/interference_b.json"
+
 echo "==> ci green"

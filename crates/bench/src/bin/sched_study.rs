@@ -3,10 +3,17 @@
 //!
 //! For each machine size, kernel models are calibrated from measured
 //! offloads, one Poisson job stream per load point is generated, and
-//! every policy replays the *same* stream. The table reports
-//! deadline-miss rate, utilization, p95 latency and rejection rate; the
-//! model-guided packer should beat FIFO first-fit on miss rate at equal
-//! utilization.
+//! every policy replays the *same* stream — twice: once against the
+//! `measured` backend (solo service times replayed from a cache, the
+//! study's original contention-blind premise) and once against the
+//! `cosim` backend (every tenant co-simulated on one shared SoC, so
+//! service times stretch under host-queueing and NoC/HBM interference
+//! and each job's `contention_cycles` attribution is real). The table
+//! reports deadline-miss rate, utilization, p95 latency, rejection
+//! rate and mean per-job contention; the model-guided packer should
+//! beat FIFO first-fit on miss rate at equal utilization under the
+//! measured backend, and the cosim rows show how much interference the
+//! solo-run premise hides.
 //!
 //! ```text
 //! cargo run --release -p mpsoc-bench --bin sched_study [-- --json out.json]
@@ -25,6 +32,7 @@ use serde::{Deserialize, Serialize};
 struct SchedStudyRow {
     clusters: usize,
     offered_load: f64,
+    backend: String,
     policy: String,
     jobs: usize,
     offloaded: usize,
@@ -35,6 +43,10 @@ struct SchedStudyRow {
     cluster_utilization: f64,
     p95_latency: u64,
     throughput_per_mcycle: f64,
+    /// Mean `JobRecord::contention_cycles` over offloaded jobs —
+    /// structurally zero under the measured backend, emergent under
+    /// cosim.
+    mean_contention_cycles: f64,
 }
 
 const JOBS: usize = 150;
@@ -64,32 +76,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             };
             let jobs = workload.generate(&table);
 
-            for mut policy in all_policies() {
-                // Fresh SoC per run so measured service times cannot
-                // leak state across policies; the memo cache makes the
-                // repeated measurements cheap within a run.
-                let offloader = Offloader::new(SocConfig::with_clusters(clusters))?;
-                let mut engine = Engine::new(
-                    table.clone(),
-                    clusters,
-                    ServiceBackend::measured(offloader, SEED),
-                );
-                let report = engine.run(&jobs, policy.as_mut())?;
-                let m = report.metrics;
-                rows.push(SchedStudyRow {
-                    clusters,
-                    offered_load: load,
-                    policy: report.policy,
-                    jobs: m.jobs,
-                    offloaded: m.offloaded,
-                    host_runs: m.host_runs,
-                    rejected: m.rejected,
-                    deadline_misses: m.deadline_misses,
-                    miss_rate: m.miss_rate,
-                    cluster_utilization: m.cluster_utilization,
-                    p95_latency: m.p95_latency,
-                    throughput_per_mcycle: m.throughput_per_mcycle,
-                });
+            for backend_name in ["measured", "cosim"] {
+                for mut policy in all_policies() {
+                    // Fresh SoC per run so service times cannot leak
+                    // state across policies; under `measured` the memo
+                    // cache makes repeated measurements cheap, under
+                    // `cosim` every job is simulated in company anyway.
+                    let offloader = Offloader::new(SocConfig::with_clusters(clusters))?;
+                    let backend = match backend_name {
+                        "measured" => ServiceBackend::measured(offloader, SEED),
+                        _ => ServiceBackend::co_simulated(offloader, SEED),
+                    };
+                    let mut engine = Engine::new(table.clone(), clusters, backend);
+                    let report = engine.run(&jobs, policy.as_mut())?;
+                    let m = report.metrics;
+                    let contention: u64 = report.records.iter().map(|r| r.contention_cycles).sum();
+                    rows.push(SchedStudyRow {
+                        clusters,
+                        offered_load: load,
+                        backend: backend_name.to_owned(),
+                        policy: report.policy,
+                        jobs: m.jobs,
+                        offloaded: m.offloaded,
+                        host_runs: m.host_runs,
+                        rejected: m.rejected,
+                        deadline_misses: m.deadline_misses,
+                        miss_rate: m.miss_rate,
+                        cluster_utilization: m.cluster_utilization,
+                        p95_latency: m.p95_latency,
+                        throughput_per_mcycle: m.throughput_per_mcycle,
+                        mean_contention_cycles: contention as f64 / m.offloaded.max(1) as f64,
+                    });
+                }
             }
         }
     }
@@ -100,6 +118,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             vec![
                 r.clusters.to_string(),
                 format!("{:.1}", r.offered_load),
+                r.backend.clone(),
                 r.policy.clone(),
                 r.offloaded.to_string(),
                 r.host_runs.to_string(),
@@ -109,6 +128,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.1}%", r.cluster_utilization * 100.0),
                 r.p95_latency.to_string(),
                 format!("{:.2}", r.throughput_per_mcycle),
+                format!("{:.1}", r.mean_contention_cycles),
             ]
         })
         .collect();
@@ -118,6 +138,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &[
                 "M",
                 "load",
+                "backend",
                 "policy",
                 "offl",
                 "host",
@@ -127,6 +148,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "util%",
                 "p95",
                 "jobs/Mcyc",
+                "cont/job",
             ],
             &table_rows,
         )
@@ -139,7 +161,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for load in LOADS {
             let cell = |name: &str| {
                 rows.iter()
-                    .find(|r| r.clusters == clusters && r.offered_load == load && r.policy == name)
+                    .find(|r| {
+                        r.clusters == clusters
+                            && r.offered_load == load
+                            && r.backend == "measured"
+                            && r.policy == name
+                    })
                     .expect("cell")
             };
             let fifo = cell("fifo");
@@ -160,6 +187,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(
         guided_wins > 0,
         "model-guided must strictly beat FIFO at some load point"
+    );
+
+    // The interference report the measured premise cannot make: the
+    // measured backend is structurally contention-blind, while the
+    // co-simulated rows attribute real shared-resource cycles.
+    assert!(
+        rows.iter()
+            .filter(|r| r.backend == "measured")
+            .all(|r| r.mean_contention_cycles == 0.0),
+        "measured service times cannot observe contention"
+    );
+    let peak = rows
+        .iter()
+        .filter(|r| r.backend == "cosim")
+        .max_by(|a, b| {
+            a.mean_contention_cycles
+                .total_cmp(&b.mean_contention_cycles)
+        })
+        .expect("cosim rows exist");
+    println!(
+        "peak interference: M={} load={} {} — {:.1} contention cycles/job \
+         (invisible to the measured backend)",
+        peak.clusters, peak.offered_load, peak.policy, peak.mean_contention_cycles
     );
 
     if let Some(path) = json_arg() {

@@ -37,14 +37,35 @@ impl MainLayout {
         n: u64,
         partial_slots: u64,
     ) -> Result<Self, OffloadError> {
-        let base = map.main_base();
-        let required = DATA_WORD + x_words + n;
+        Self::plan_at(map, 0, x_words, n, partial_slots)
+    }
+
+    /// Words a job's main-memory region spans (control block + operands):
+    /// the allocation unit of the concurrent-session region allocator.
+    pub fn region_words(x_words: u64, n: u64) -> u64 {
+        DATA_WORD + x_words + n
+    }
+
+    /// Plans the same placement as [`MainLayout::plan`] but shifted
+    /// `region_word` words into main memory, so concurrent tenants get
+    /// fully disjoint control blocks (descriptor, barrier counter, zero
+    /// word, reduction partials) and operand vectors. `plan` is exactly
+    /// `plan_at` with `region_word == 0`.
+    pub fn plan_at(
+        map: &MemoryMap,
+        region_word: u64,
+        x_words: u64,
+        n: u64,
+        partial_slots: u64,
+    ) -> Result<Self, OffloadError> {
+        let required = region_word + Self::region_words(x_words, n);
         if required > map.main_words() || PARTIALS_WORD + partial_slots > DATA_WORD {
             return Err(OffloadError::MainMemoryOverflow {
                 required,
                 capacity: map.main_words(),
             });
         }
+        let base = map.main_base().add_words(region_word);
         Ok(MainLayout {
             desc: base.add_words(DESC_WORD),
             barrier: base.add_words(BARRIER_WORD),
@@ -181,6 +202,23 @@ mod tests {
         assert!(l.barrier < l.partials);
         assert!(l.partials < l.x);
         assert_eq!(l.y, l.x.add_words(1024));
+    }
+
+    #[test]
+    fn plan_at_zero_matches_plan_and_offsets_shift_everything() {
+        let map = MemoryMap::new(4, 1 << 20);
+        let a = MainLayout::plan(&map, 256, 256, 8).unwrap();
+        let b = MainLayout::plan_at(&map, 0, 256, 256, 8).unwrap();
+        assert_eq!(a, b);
+        let span = MainLayout::region_words(256, 256);
+        let c = MainLayout::plan_at(&map, span, 256, 256, 8).unwrap();
+        assert_eq!(c.desc, a.desc.add_words(span));
+        assert_eq!(c.barrier, a.barrier.add_words(span));
+        assert_eq!(c.y, a.y.add_words(span));
+        assert!(matches!(
+            MainLayout::plan_at(&map, (1 << 20) - 10, 256, 256, 8),
+            Err(OffloadError::MainMemoryOverflow { .. })
+        ));
     }
 
     #[test]

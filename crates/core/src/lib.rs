@@ -56,6 +56,8 @@ mod verify;
 
 pub use error::OffloadError;
 pub use model::{mape, ExtendedModel, FitReport, Predictor, RuntimeModel, Sample};
-pub use runtime::{OffloadResult, OffloadRun, Offloader, RuntimeCosts};
+pub use mpsoc_noc::ClusterMask;
+pub use mpsoc_soc::{ContentionReport, JobId};
+pub use runtime::{OffloadResult, OffloadRun, Offloader, RuntimeCosts, SessionStep, TenantRun};
 pub use strategy::{DispatchStrategy, OffloadStrategy, SyncStrategy};
 pub use verify::VerifyReport;

@@ -4,8 +4,10 @@
 use mpsoc_kernels::{GoldenOutput, Kernel, KernelKind};
 use mpsoc_mem::ClusterReg;
 use mpsoc_noc::ClusterMask;
+use mpsoc_sim::Cycle;
 use mpsoc_soc::{
-    ClusterJob, CompletionSignal, HostOp, HostProgram, OffloadOutcome, Soc, SocConfig, Transfer,
+    ClusterJob, CompletionSignal, ContentionReport, HostOp, HostProgram, JobId, OffloadOutcome,
+    SessionProgress, Soc, SocConfig, Transfer,
 };
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +104,54 @@ impl OffloadRun {
     }
 }
 
+/// One tenant's completed offload from a concurrent session
+/// ([`Offloader::submit_at`] / [`Offloader::advance_jobs`]): the
+/// [`OffloadRun`] measured *in company* — its `outcome.total` includes
+/// every cycle spent queueing for the shared host core and every
+/// contention-stretched phase — plus the SoC's per-job interference
+/// attribution.
+#[derive(Debug, Clone)]
+pub struct TenantRun {
+    /// The job handle returned by [`Offloader::submit_at`].
+    pub job: JobId,
+    /// When the job was submitted (session virtual time).
+    pub submitted_at: Cycle,
+    /// When the job's host program retired (session virtual time).
+    pub finished_at: Cycle,
+    /// Cycles the job's host phases queued behind other tenants on the
+    /// serial host core.
+    pub host_wait_cycles: u64,
+    /// Shared-resource interference (NoC stall, HBM queueing, AMO wait)
+    /// attributed to this job.
+    pub contention: ContentionReport,
+    /// The measurement and result, timestamps relative to submission.
+    pub run: OffloadRun,
+}
+
+/// What one [`Offloader::advance_jobs`] step produced.
+#[derive(Debug)]
+pub enum SessionStep {
+    /// A tenant finished; its completed run.
+    Completed(Box<TenantRun>),
+    /// The horizon was reached with jobs still in flight.
+    Horizon,
+    /// No jobs are in flight and no events remain.
+    Idle,
+}
+
+/// Bookkeeping for a submitted-but-not-yet-collected tenant job.
+#[derive(Debug)]
+struct PendingJob {
+    job: JobId,
+    layout: MainLayout,
+    kind: KernelKind,
+    n: u64,
+    m: usize,
+    partial_slots: u64,
+    strategy: OffloadStrategy,
+    region_word: u64,
+}
+
 /// The offload runtime: owns a simulated SoC and runs kernels on it.
 ///
 /// See the [crate-level example](crate) for usage.
@@ -109,6 +159,11 @@ impl OffloadRun {
 pub struct Offloader {
     soc: Soc,
     costs: RuntimeCosts,
+    /// In-flight session jobs awaiting completion.
+    pending: Vec<PendingJob>,
+    /// Live main-memory regions `(start_word, words)`, sorted by start:
+    /// the deterministic first-fit allocator for concurrent tenants.
+    regions: Vec<(u64, u64)>,
 }
 
 impl Offloader {
@@ -121,6 +176,8 @@ impl Offloader {
         Ok(Offloader {
             soc: Soc::new(config)?,
             costs: RuntimeCosts::default(),
+            pending: Vec::new(),
+            regions: Vec::new(),
         })
     }
 
@@ -133,6 +190,8 @@ impl Offloader {
         Ok(Offloader {
             soc: Soc::new(config)?,
             costs,
+            pending: Vec::new(),
+            regions: Vec::new(),
         })
     }
 
@@ -525,6 +584,200 @@ impl Offloader {
         })
     }
 
+    /// Opens a concurrent-job session: resets the SoC's virtual time,
+    /// shared-resource models and statistics, and clears the runtime's
+    /// region allocator. Jobs are then placed with
+    /// [`Offloader::submit_at`] and driven with
+    /// [`Offloader::advance_jobs`]; tenants on disjoint cluster
+    /// partitions overlap in time on the shared NoC, HBM and host core.
+    pub fn begin_jobs(&mut self) {
+        self.soc.begin_jobs();
+        self.pending.clear();
+        self.regions.clear();
+    }
+
+    /// Submits `kernel` over `x`/`y` to the clusters in `mask` at
+    /// session time `at` (clamped forward to "now"), returning a job
+    /// handle. The job's operands live in a private main-memory region
+    /// (deterministic first-fit), so concurrent tenants never alias.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Offloader::offload_to`] can return, plus
+    /// [`mpsoc_soc::SocError::PartitionOverlap`] (via
+    /// [`OffloadError::Soc`]) when `mask` intersects a tenant still in
+    /// flight, and [`OffloadError::MainMemoryOverflow`] when no region
+    /// fits between the live tenants.
+    pub fn submit_at(
+        &mut self,
+        kernel: &dyn Kernel,
+        x: &[f64],
+        y: &[f64],
+        mask: ClusterMask,
+        strategy: OffloadStrategy,
+        at: Cycle,
+    ) -> Result<JobId, OffloadError> {
+        let m = mask.count();
+        if m == 0 {
+            return Err(OffloadError::NoClusters);
+        }
+        let available = self.soc.config().clusters;
+        if mask.highest().expect("non-empty") >= available {
+            return Err(OffloadError::TooManyClusters {
+                requested: mask.highest().expect("non-empty") + 1,
+                available,
+            });
+        }
+        let n = y.len() as u64;
+        let x_words = n * kernel.x_words_per_elem();
+        if x.len() as u64 != x_words {
+            return Err(OffloadError::OperandMismatch {
+                x_len: x.len(),
+                y_len: y.len(),
+            });
+        }
+        let cores = self.soc.config().cores_per_cluster;
+        let partial_slots = (m * cores) as u64;
+
+        let span = MainLayout::region_words(x_words, n);
+        let region_word = self.alloc_region(span)?;
+        let submitted = (|| {
+            let layout =
+                MainLayout::plan_at(self.soc.map(), region_word, x_words, n, partial_slots)?;
+            let geometry = JobGeometry::plan(kernel, n, m, cores, self.soc.config().tcdm_words)?;
+
+            self.soc
+                .main_mut()
+                .store_mut()
+                .write_f64_slice(layout.x, x)?;
+            self.soc
+                .main_mut()
+                .store_mut()
+                .write_f64_slice(layout.y, y)?;
+            self.soc.main_mut().store_mut().write_u64(layout.zero, 0)?;
+
+            for (position, cluster) in mask.iter().enumerate() {
+                let job = self
+                    .build_cluster_job(kernel, &geometry, &layout, position, n, cores, strategy)?;
+                self.soc.bind_job(cluster, job);
+            }
+
+            let program = self.build_host_program(kernel, &layout, n, mask, cores, strategy);
+            let job = self.soc.submit_job(program, mask, at)?;
+            Ok::<_, OffloadError>((job, layout))
+        })();
+        match submitted {
+            Ok((job, layout)) => {
+                self.pending.push(PendingJob {
+                    job,
+                    layout,
+                    kind: kernel.kind(),
+                    n,
+                    m,
+                    partial_slots,
+                    strategy,
+                    region_word,
+                });
+                Ok(job)
+            }
+            Err(e) => {
+                self.free_region(region_word);
+                Err(e)
+            }
+        }
+    }
+
+    /// Advances the session until a tenant completes, the event queue
+    /// drains, or virtual time would pass `horizon`. On completion the
+    /// tenant's result is read back from its region and the region is
+    /// freed for later submissions.
+    ///
+    /// # Errors
+    ///
+    /// Fatal SoC execution errors and result read-back failures.
+    pub fn advance_jobs(&mut self, horizon: Cycle) -> Result<SessionStep, OffloadError> {
+        match self.soc.advance_jobs(horizon)? {
+            SessionProgress::Completed(c) => {
+                let at = self
+                    .pending
+                    .iter()
+                    .position(|p| p.job == c.job)
+                    .expect("completion for a job this runtime never submitted");
+                let p = self.pending.remove(at);
+                self.free_region(p.region_word);
+                let result = match p.kind {
+                    KernelKind::Map => OffloadResult::Vector(
+                        self.soc.main().store().read_f64_slice(p.layout.y, p.n)?,
+                    ),
+                    KernelKind::Reduce => {
+                        let partials = self
+                            .soc
+                            .main()
+                            .store()
+                            .read_f64_slice(p.layout.partials, p.partial_slots)?;
+                        OffloadResult::Scalar(partials.iter().sum())
+                    }
+                };
+                Ok(SessionStep::Completed(Box::new(TenantRun {
+                    job: c.job,
+                    submitted_at: c.submitted_at,
+                    finished_at: c.finished_at,
+                    host_wait_cycles: c.host_wait_cycles,
+                    contention: c.contention,
+                    run: OffloadRun {
+                        outcome: c.outcome,
+                        result,
+                        n: p.n,
+                        m: p.m,
+                        strategy: p.strategy,
+                    },
+                })))
+            }
+            SessionProgress::Horizon => Ok(SessionStep::Horizon),
+            SessionProgress::Idle => Ok(SessionStep::Idle),
+        }
+    }
+
+    /// Current session virtual time.
+    pub fn session_now(&self) -> Cycle {
+        self.soc.session_now()
+    }
+
+    /// Jobs submitted but not yet completed.
+    pub fn jobs_in_flight(&self) -> usize {
+        self.soc.jobs_in_flight()
+    }
+
+    /// First-fit region allocation over the live-region list (kept
+    /// sorted by start word), deterministic across runs.
+    fn alloc_region(&mut self, words: u64) -> Result<u64, OffloadError> {
+        let capacity = self.soc.map().main_words();
+        let mut start = 0u64;
+        for &(live_start, live_words) in &self.regions {
+            if start + words <= live_start {
+                break;
+            }
+            start = live_start + live_words;
+        }
+        if start + words > capacity {
+            return Err(OffloadError::MainMemoryOverflow {
+                required: start + words,
+                capacity,
+            });
+        }
+        let at = self
+            .regions
+            .iter()
+            .position(|&(s, _)| s > start)
+            .unwrap_or(self.regions.len());
+        self.regions.insert(at, (start, words));
+        Ok(start)
+    }
+
+    fn free_region(&mut self, start: u64) {
+        self.regions.retain(|&(s, _)| s != start);
+    }
+
     #[allow(clippy::too_many_arguments)] // internal builder mirroring the job's natural parameters
     fn build_cluster_job(
         &self,
@@ -853,6 +1106,199 @@ mod tests {
             .offload(&kernel, &x, &y, 4, OffloadStrategy::extended())
             .unwrap();
         assert_eq!(a.cycles(), b.cycles());
+    }
+
+    #[test]
+    fn session_single_tenant_matches_blocking_offload() {
+        let kernel = Daxpy::new(2.5);
+        let (x, y) = ramp(256);
+        let mut legacy = offloader(4);
+        let want = legacy
+            .offload(&kernel, &x, &y, 4, OffloadStrategy::extended())
+            .unwrap();
+
+        let mut off = offloader(4);
+        off.begin_jobs();
+        let job = off
+            .submit_at(
+                &kernel,
+                &x,
+                &y,
+                ClusterMask::first(4),
+                OffloadStrategy::extended(),
+                Cycle::ZERO,
+            )
+            .unwrap();
+        let done = match off.advance_jobs(Cycle::MAX).unwrap() {
+            SessionStep::Completed(t) => t,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        assert_eq!(done.job, job);
+        assert_eq!(done.run.cycles(), want.cycles());
+        assert_eq!(done.run.result, want.result);
+        assert_eq!(done.host_wait_cycles, 0);
+        assert!(matches!(
+            off.advance_jobs(Cycle::MAX).unwrap(),
+            SessionStep::Idle
+        ));
+        assert_eq!(off.jobs_in_flight(), 0);
+    }
+
+    #[test]
+    fn concurrent_tenants_verify_and_interfere() {
+        let kernel = Daxpy::new(1.5);
+        let (x, y) = ramp(512);
+        // Solo reference on the same partition shape.
+        let mut solo = offloader(4);
+        let solo_run = solo
+            .offload_to(
+                &kernel,
+                &x,
+                &y,
+                ClusterMask::range(2, 2),
+                OffloadStrategy::extended(),
+            )
+            .unwrap();
+
+        let mut off = offloader(4);
+        off.begin_jobs();
+        let a = off
+            .submit_at(
+                &kernel,
+                &x,
+                &y,
+                ClusterMask::first(2),
+                OffloadStrategy::extended(),
+                Cycle::ZERO,
+            )
+            .unwrap();
+        let b = off
+            .submit_at(
+                &kernel,
+                &x,
+                &y,
+                ClusterMask::range(2, 2),
+                OffloadStrategy::extended(),
+                Cycle::ZERO,
+            )
+            .unwrap();
+        assert_eq!(off.jobs_in_flight(), 2);
+        let mut done = Vec::new();
+        while let SessionStep::Completed(t) = off.advance_jobs(Cycle::MAX).unwrap() {
+            done.push(*t);
+        }
+        assert_eq!(done.len(), 2);
+        for t in &done {
+            assert!(t.run.verify(&kernel, &x, &y).passed(), "job {}", t.job);
+        }
+        let b_run = done.iter().find(|t| t.job == b).unwrap();
+        let a_run = done.iter().find(|t| t.job == a).unwrap();
+        // The second tenant queued behind the first on the serial host.
+        assert!(b_run.host_wait_cycles > 0);
+        assert!(b_run.run.cycles() > solo_run.cycles());
+        assert!(a_run.run.cycles() >= solo_run.cycles());
+    }
+
+    #[test]
+    fn session_rejects_overlapping_partitions_and_recovers() {
+        let kernel = Daxpy::new(1.0);
+        let (x, y) = ramp(128);
+        let mut off = offloader(4);
+        off.begin_jobs();
+        off.submit_at(
+            &kernel,
+            &x,
+            &y,
+            ClusterMask::first(2),
+            OffloadStrategy::extended(),
+            Cycle::ZERO,
+        )
+        .unwrap();
+        let err = off
+            .submit_at(
+                &kernel,
+                &x,
+                &y,
+                ClusterMask::first(4),
+                OffloadStrategy::extended(),
+                Cycle::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            OffloadError::Soc(mpsoc_soc::SocError::PartitionOverlap { .. })
+        ));
+        // The failed submission released its region: a disjoint tenant
+        // still fits and the session drains cleanly.
+        off.submit_at(
+            &kernel,
+            &x,
+            &y,
+            ClusterMask::range(2, 2),
+            OffloadStrategy::extended(),
+            Cycle::ZERO,
+        )
+        .unwrap();
+        let mut completions = 0;
+        while let SessionStep::Completed(_) = off.advance_jobs(Cycle::MAX).unwrap() {
+            completions += 1;
+        }
+        assert_eq!(completions, 2);
+    }
+
+    #[test]
+    fn region_allocator_is_first_fit_and_reuses_freed_space() {
+        let kernel = Daxpy::new(1.0);
+        let (x, y) = ramp(64);
+        let mut off = offloader(4);
+        off.begin_jobs();
+        let first = off
+            .submit_at(
+                &kernel,
+                &x,
+                &y,
+                ClusterMask::single(0),
+                OffloadStrategy::extended(),
+                Cycle::ZERO,
+            )
+            .unwrap();
+        assert_eq!(off.regions.len(), 1);
+        let (first_start, span) = off.regions[0];
+        assert_eq!(first_start, 0);
+        let _second = off
+            .submit_at(
+                &kernel,
+                &x,
+                &y,
+                ClusterMask::single(1),
+                OffloadStrategy::extended(),
+                Cycle::ZERO,
+            )
+            .unwrap();
+        assert_eq!(
+            off.regions[1].0, span,
+            "second tenant packs after the first"
+        );
+        // Drain the first completion, then a third tenant reuses slot 0.
+        let done = loop {
+            match off.advance_jobs(Cycle::MAX).unwrap() {
+                SessionStep::Completed(t) => break t,
+                SessionStep::Horizon => continue,
+                SessionStep::Idle => panic!("jobs still pending"),
+            }
+        };
+        assert_eq!(done.job, first);
+        let at = off.session_now();
+        off.submit_at(
+            &kernel,
+            &x,
+            &y,
+            ClusterMask::single(2),
+            OffloadStrategy::extended(),
+            at,
+        )
+        .unwrap();
+        assert_eq!(off.regions[0].0, 0, "freed head region is reused first");
     }
 
     #[test]

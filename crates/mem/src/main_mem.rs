@@ -137,6 +137,17 @@ impl MainMemory {
         self.bandwidth.slot_of(at)
     }
 
+    /// The next free bandwidth slot: where a transfer requested now would
+    /// actually start once queued traffic drains.
+    ///
+    /// Comparing this against [`MainMemory::bandwidth_slot_of`] *before*
+    /// acquiring exposes the queueing delay a client is about to pay —
+    /// the same quantity `contention.hbm.queue_cycles` aggregates — so a
+    /// concurrent-job SoC can attribute it to the requesting job.
+    pub fn next_free_bandwidth_slot(&self) -> u64 {
+        self.bandwidth.next_free_slot()
+    }
+
     /// Exact-continuation bandwidth reservation for burst-chained DMA
     /// engines (see [`ThroughputResource::acquire_from_slot`]); returns
     /// `(end_slot, completion_cycle)`. The fixed access latency is *not*

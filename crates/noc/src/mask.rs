@@ -67,6 +67,18 @@ impl ClusterMask {
         ClusterMask(1u64 << cluster)
     }
 
+    /// A mask selecting clusters `start..start + count` — the natural
+    /// shape of a tenant partition (e.g. the upper half of the machine
+    /// while another tenant holds the lower half).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count > 64`.
+    pub fn range(start: usize, count: usize) -> Self {
+        assert!(start + count <= 64, "at most 64 clusters are supported");
+        ClusterMask(Self::first(count).0 << start)
+    }
+
     /// Whether `cluster` is selected.
     pub fn contains(self, cluster: usize) -> bool {
         cluster < 64 && (self.0 >> cluster) & 1 == 1
@@ -176,6 +188,22 @@ mod tests {
         assert_eq!(ClusterMask::first(1).bits(), 0b1);
         assert_eq!(ClusterMask::first(4).bits(), 0b1111);
         assert_eq!(ClusterMask::first(64).bits(), u64::MAX);
+    }
+
+    #[test]
+    fn range_builds_partition_masks() {
+        assert_eq!(ClusterMask::range(0, 4), ClusterMask::first(4));
+        assert_eq!(
+            ClusterMask::range(2, 2).iter().collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(ClusterMask::range(16, 16).count(), 16);
+        assert_eq!(
+            ClusterMask::range(0, 16).union(ClusterMask::range(16, 16)),
+            ClusterMask::first(32)
+        );
+        assert_eq!(ClusterMask::range(63, 1).bits(), 1u64 << 63);
+        assert_eq!(ClusterMask::range(5, 0), ClusterMask::EMPTY);
     }
 
     #[test]

@@ -2,16 +2,25 @@
 //! spatial allocation and policy-driven dispatch over one job stream.
 //!
 //! Virtual time advances from event to event (arrivals and partition
-//! completions); concurrency between tenants is spatial, never
-//! simulated concurrently — each offload runs standalone on its carved
-//! partition and contributes its (measured or predicted) cycle count as
-//! the partition's busy interval. Cross-tenant NoC interference is
-//! therefore not modeled; the clusters' TCDMs and the mask-addressed
-//! offload path make partitions independent to first order, which is
-//! exactly the paper's multi-tenant premise.
+//! completions). How concurrent tenants are timed depends on the
+//! service backend:
+//!
+//! - Under [`ServiceBackend::Measured`] and [`ServiceBackend::Analytic`]
+//!   each offload contributes a standalone (measured-solo or predicted)
+//!   cycle count as its partition's busy interval; cross-tenant NoC/HBM
+//!   interference is *not* modeled — the paper's first-order premise
+//!   that TCDMs and the mask-addressed offload path make partitions
+//!   independent.
+//! - Under [`ServiceBackend::CoSimulated`] the engine drives one shared
+//!   SoC session: every placed job is submitted into the same
+//!   event-driven machine, tenants on disjoint partitions overlap on
+//!   the real NoC switch tree, HBM bandwidth/AMO unit and the serial
+//!   host core, and each job's completion time — including its
+//!   contention-stretched phases, attributed in
+//!   [`JobRecord::contention_cycles`] — emerges from the co-simulation.
 //!
 //! Determinism: events are ordered by `(time, sequence)`, all queues are
-//! insertion-ordered, and both service backends are deterministic — so a
+//! insertion-ordered, and every service backend is deterministic — so a
 //! fixed `(workload, policy, machine)` triple always yields a
 //! byte-identical [`RunReport`].
 //!
@@ -117,6 +126,9 @@ impl Engine {
             "job stream must be sorted by arrival time"
         );
         self.telemetry.clear();
+        if matches!(self.backend, ServiceBackend::CoSimulated { .. }) {
+            return self.run_cosimulated(jobs, policy);
+        }
         let mut allocator = Allocator::new(self.clusters);
         let mut records: Vec<JobRecord> = Vec::with_capacity(jobs.len());
         let mut ready: Vec<QueuedJob> = Vec::new();
@@ -154,6 +166,7 @@ impl Engine {
                         finish: t,
                         m: done.m,
                     },
+                    contention_cycles: 0,
                 };
             }
 
@@ -180,6 +193,7 @@ impl Engine {
                             outcome: JobOutcome::Rejected {
                                 reason: RejectReason::ProgramLint { errors },
                             },
+                            contention_cycles: 0,
                         });
                         continue;
                     }
@@ -195,6 +209,7 @@ impl Engine {
                                 finish: 0,
                                 m: 0,
                             },
+                            contention_cycles: 0,
                         });
                         ready.push(QueuedJob {
                             job: *job,
@@ -221,6 +236,7 @@ impl Engine {
                         records.push(JobRecord {
                             job: *job,
                             outcome: JobOutcome::Host { start, finish },
+                            contention_cycles: 0,
                         });
                     }
                     AdmissionDecision::Reject { reason } => {
@@ -233,6 +249,7 @@ impl Engine {
                         records.push(JobRecord {
                             job: *job,
                             outcome: JobOutcome::Rejected { reason },
+                            contention_cycles: 0,
                         });
                     }
                 }
@@ -288,6 +305,249 @@ impl Engine {
                     },
                 );
                 seq += 1;
+            }
+        }
+
+        assert!(ready.is_empty(), "policy left admitted jobs unscheduled");
+        let metrics = Metrics::from_records(&records, self.clusters);
+        Ok(RunReport {
+            policy: policy.name().to_owned(),
+            clusters: self.clusters,
+            metrics,
+            records,
+        })
+    }
+
+    /// The [`ServiceBackend::CoSimulated`] run loop: one shared SoC
+    /// session carries every placed job, and virtual time follows the
+    /// SoC's own event queue instead of pre-charged busy intervals.
+    ///
+    /// The scheduling semantics mirror [`Engine::run`] exactly —
+    /// completions retire before same-cycle arrivals are admitted (the
+    /// session is advanced with the next arrival as its horizon, so any
+    /// completion at or before that instant surfaces first), the policy
+    /// re-picks after every event, and host-fallback jobs occupy the
+    /// virtual serial host server. What changes is where offload
+    /// finish times come from: each placement is *submitted* into the
+    /// shared session and its completion — host queueing, NoC stalls,
+    /// HBM queueing and AMO waits included — emerges from co-simulating
+    /// all in-flight tenants together.
+    fn run_cosimulated(
+        &mut self,
+        jobs: &[Job],
+        policy: &mut dyn SchedPolicy,
+    ) -> Result<RunReport, SchedError> {
+        let ServiceBackend::CoSimulated {
+            offloader,
+            seed,
+            strategy,
+            host_cache,
+        } = &mut self.backend
+        else {
+            unreachable!("run_cosimulated requires a co-simulated backend");
+        };
+        let seed = *seed;
+        let strategy = *strategy;
+        offloader.begin_jobs();
+
+        let mut allocator = Allocator::new(self.clusters);
+        let mut records: Vec<JobRecord> = Vec::with_capacity(jobs.len());
+        let mut ready: Vec<QueuedJob> = Vec::new();
+        // In-flight tenants keyed by their session job handle.
+        let mut running: BTreeMap<mpsoc_offload::JobId, Running> = BTreeMap::new();
+        let mut host_free_at = 0u64;
+        let mut next_arrival = 0usize;
+
+        loop {
+            let arrival_t = jobs.get(next_arrival).map(|j| j.arrival);
+
+            // 1. Drive the shared SoC to the next event. Advancing with
+            //    the next arrival as horizon makes completions win ties:
+            //    a tenant finishing at the arrival cycle retires (and
+            //    frees its partition) before the arrival is admitted.
+            let now = if !running.is_empty() {
+                let horizon = arrival_t.map_or(Cycle::MAX, Cycle::new);
+                match offloader.advance_jobs(horizon)? {
+                    mpsoc_offload::SessionStep::Completed(t) => {
+                        let done = running
+                            .remove(&t.job)
+                            .expect("completion for a tenant the engine never submitted");
+                        allocator.release(done.mask);
+                        let finish = t.finished_at.as_u64();
+                        let part = Unit::Partition(done.mask.iter().next().unwrap_or(0) as u32);
+                        let span =
+                            self.telemetry
+                                .begin(Cycle::new(done.start), part, EventKind::Offload);
+                        self.telemetry
+                            .end(t.finished_at, part, EventKind::Offload, span);
+                        records[done.record_index] = JobRecord {
+                            job: done.job,
+                            outcome: JobOutcome::Offloaded {
+                                start: done.start,
+                                finish,
+                                m: done.m,
+                            },
+                            contention_cycles: t.contention.total_cycles(),
+                        };
+                        finish
+                    }
+                    mpsoc_offload::SessionStep::Horizon | mpsoc_offload::SessionStep::Idle => {
+                        arrival_t.expect("session paused with no arrival pending")
+                    }
+                }
+            } else {
+                match arrival_t {
+                    Some(a) => a,
+                    None => break,
+                }
+            };
+
+            // 2. Admit everything arriving at `now` (identical to the
+            //    legacy path; host fallback runs on the virtual serial
+            //    host server, memoized like the measured backend).
+            while let Some(job) = jobs.get(next_arrival).filter(|j| j.arrival == now) {
+                next_arrival += 1;
+                self.telemetry.instant(
+                    Cycle::new(now),
+                    Unit::SchedHost,
+                    EventKind::JobArrive,
+                    job.id,
+                );
+                if let Some(gate) = self.lint_gate.as_mut() {
+                    if let Some(report) = gate.check(job) {
+                        let errors = report.error_count() as u32;
+                        self.telemetry.instant(
+                            Cycle::new(now),
+                            Unit::SchedHost,
+                            EventKind::Reject,
+                            job.id,
+                        );
+                        records.push(JobRecord {
+                            job: *job,
+                            outcome: JobOutcome::Rejected {
+                                reason: RejectReason::ProgramLint { errors },
+                            },
+                            contention_cycles: 0,
+                        });
+                        continue;
+                    }
+                }
+                match self.admission.admit(job) {
+                    AdmissionDecision::Offload { m_min, predicted } => {
+                        records.push(JobRecord {
+                            job: *job,
+                            outcome: JobOutcome::Offloaded {
+                                start: 0,
+                                finish: 0,
+                                m: 0,
+                            },
+                            contention_cycles: 0,
+                        });
+                        ready.push(QueuedJob {
+                            job: *job,
+                            m_min,
+                            predicted,
+                        });
+                    }
+                    AdmissionDecision::Host { .. } => {
+                        let start = now.max(host_free_at);
+                        let cycles = match host_cache.get(&(job.kernel, job.n)) {
+                            Some(&c) => c,
+                            None => {
+                                let (x, y) = crate::calibrate::operands(job.n, seed ^ job.n);
+                                let (c, _) = offloader.run_on_host(
+                                    job.kernel.instantiate().as_ref(),
+                                    &x,
+                                    &y,
+                                )?;
+                                host_cache.insert((job.kernel, job.n), c);
+                                c
+                            }
+                        };
+                        let finish = start + cycles;
+                        host_free_at = finish;
+                        let span = self.telemetry.begin(
+                            Cycle::new(start),
+                            Unit::SchedHost,
+                            EventKind::HostRun,
+                        );
+                        self.telemetry.end(
+                            Cycle::new(finish),
+                            Unit::SchedHost,
+                            EventKind::HostRun,
+                            span,
+                        );
+                        records.push(JobRecord {
+                            job: *job,
+                            outcome: JobOutcome::Host { start, finish },
+                            contention_cycles: 0,
+                        });
+                    }
+                    AdmissionDecision::Reject { reason } => {
+                        self.telemetry.instant(
+                            Cycle::new(now),
+                            Unit::SchedHost,
+                            EventKind::Reject,
+                            job.id,
+                        );
+                        records.push(JobRecord {
+                            job: *job,
+                            outcome: JobOutcome::Rejected { reason },
+                            contention_cycles: 0,
+                        });
+                    }
+                }
+            }
+
+            // 3. Let the policy place queued jobs until it passes; each
+            //    placement is submitted into the shared session.
+            loop {
+                let ctx = SchedContext {
+                    now,
+                    free_clusters: allocator.free_count(),
+                    total_clusters: self.clusters,
+                    models: self.admission.table(),
+                };
+                let Some(Placement { queue_index, m }) = policy.pick(&ready, &ctx) else {
+                    break;
+                };
+                assert!(queue_index < ready.len(), "policy picked a ghost job");
+                let queued = ready.remove(queue_index);
+                let mask = allocator
+                    .carve(m)
+                    .unwrap_or_else(|| panic!("policy over-allocated: {m} clusters not free"));
+                let record_index = records
+                    .iter()
+                    .position(|r| r.job.id == queued.job.id)
+                    .expect("queued job has a placeholder record");
+                let part = Unit::Partition(mask.iter().next().unwrap_or(0) as u32);
+                if queued.job.arrival < now {
+                    self.telemetry.instant(
+                        Cycle::new(now),
+                        part,
+                        EventKind::QueueWait,
+                        now - queued.job.arrival,
+                    );
+                }
+                let (x, y) = crate::calibrate::operands(queued.job.n, seed ^ queued.job.n);
+                let handle = offloader.submit_at(
+                    queued.job.kernel.instantiate().as_ref(),
+                    &x,
+                    &y,
+                    mask,
+                    strategy,
+                    Cycle::new(now),
+                )?;
+                running.insert(
+                    handle,
+                    Running {
+                        record_index,
+                        mask,
+                        start: now,
+                        job: queued.job,
+                        m,
+                    },
+                );
             }
         }
 
@@ -478,6 +738,98 @@ mod tests {
         traced_engine.enable_telemetry(4096);
         let traced = traced_engine.run(&stream, &mut FifoFirstFit).expect("run");
         assert_eq!(plain, traced);
+    }
+
+    fn cosim_engine(clusters: usize) -> Engine {
+        let offloader =
+            mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(clusters))
+                .expect("soc");
+        Engine::new(
+            ModelTable::paper_defaults(),
+            clusters,
+            ServiceBackend::co_simulated(offloader, 0xBEEF),
+        )
+    }
+
+    #[test]
+    fn cosimulated_backend_schedules_like_the_others() {
+        let stream = jobs(&[(0, 1024, 1200), (0, 1024, 1200), (500, 2048, 3000)]);
+        let report = cosim_engine(8)
+            .run(&stream, &mut FifoFirstFit)
+            .expect("run");
+        assert_eq!(report.metrics.offloaded, 3);
+        for r in &report.records {
+            match r.outcome {
+                JobOutcome::Offloaded { start, finish, m } => {
+                    assert!(finish > start, "{r:?}");
+                    assert!(m >= 1);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // The two co-resident tenants each paid for the shared host
+        // core: their measured finishes cannot both equal a solo run.
+        let (f0, f1) = match (report.records[0].outcome, report.records[1].outcome) {
+            (
+                JobOutcome::Offloaded { finish: f0, .. },
+                JobOutcome::Offloaded { finish: f1, .. },
+            ) => (f0, f1),
+            other => panic!("{other:?}"),
+        };
+        assert_ne!(f0, f1, "serialized marshalling must stagger finishes");
+    }
+
+    #[test]
+    fn cosimulated_runs_are_deterministic() {
+        let stream = jobs(&[
+            (0, 1024, 2000),
+            (0, 2048, 4000),
+            (100, 256, 100_000),
+            (500, 4096, 9000),
+        ]);
+        let a = cosim_engine(8)
+            .run(&stream, &mut FifoFirstFit)
+            .expect("run");
+        let b = cosim_engine(8)
+            .run(&stream, &mut FifoFirstFit)
+            .expect("run");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cosimulated_contention_is_attributed_under_scarce_bandwidth() {
+        // Starve HBM so concurrent DMA + host operand-preparation
+        // traffic queues: the per-job contention attribution must be
+        // nonzero for at least one of the co-resident tenants, and it
+        // is zero under the solo-run measured backend by construction.
+        let mut config = mpsoc_soc::SocConfig::with_clusters(8);
+        config.mem_words_per_cycle = 8;
+        config.host_prep_words_per_cycle = 4;
+        let offloader = mpsoc_offload::Offloader::new(config).expect("soc");
+        let mut engine = Engine::new(
+            ModelTable::paper_defaults(),
+            8,
+            ServiceBackend::co_simulated(offloader, 0xBEEF),
+        );
+        let stream = jobs(&[(0, 2048, 100_000), (0, 2048, 100_000)]);
+        let report = engine.run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(report.metrics.offloaded, 2);
+        let total: u64 = report.records.iter().map(|r| r.contention_cycles).sum();
+        assert!(total > 0, "co-residents must observe shared-HBM queueing");
+    }
+
+    #[test]
+    fn measured_backend_reports_zero_contention() {
+        let stream = jobs(&[(0, 2048, 100_000), (0, 2048, 100_000)]);
+        let offloader =
+            mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(8)).expect("soc");
+        let mut e = Engine::new(
+            ModelTable::paper_defaults(),
+            8,
+            ServiceBackend::measured(offloader, 0xBEEF),
+        );
+        let report = e.run(&stream, &mut FifoFirstFit).expect("run");
+        assert!(report.records.iter().all(|r| r.contention_cycles == 0));
     }
 
     #[test]

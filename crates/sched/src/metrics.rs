@@ -39,6 +39,11 @@ pub struct JobRecord {
     pub job: Job,
     /// What happened to it.
     pub outcome: JobOutcome,
+    /// Shared-resource interference charged to this job (NoC stall +
+    /// HBM queueing + AMO wait cycles) by the co-simulated backend.
+    /// Zero under the measured and analytic backends, whose solo-run
+    /// service times cannot observe cross-tenant contention.
+    pub contention_cycles: u64,
 }
 
 impl JobRecord {
@@ -208,6 +213,7 @@ mod tests {
                 deadline,
             },
             outcome,
+            contention_cycles: 0,
         }
     }
 

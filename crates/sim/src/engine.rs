@@ -49,6 +49,18 @@ pub struct Scheduler<'a, E> {
 }
 
 impl<'a, E> Scheduler<'a, E> {
+    /// Wraps an externally owned queue at simulation time `now`.
+    ///
+    /// This is the building block for models that pump their own
+    /// persistent event queue (pausing, resuming, interleaving external
+    /// submissions) instead of handing ownership to [`Engine::run`]:
+    /// take the queue out, attach a scheduler for one event delivery,
+    /// then put it back. Determinism is unaffected — the queue keeps its
+    /// `(time, seq)` order across attachments.
+    pub fn attach(queue: &'a mut EventQueue<E>, now: Cycle) -> Self {
+        Scheduler { queue, now }
+    }
+
     /// The current simulation time.
     pub fn now(&self) -> Cycle {
         self.now

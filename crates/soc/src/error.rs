@@ -45,6 +45,12 @@ pub enum SocError {
         /// The host-program op index it stopped at.
         pc: usize,
     },
+    /// A submitted job's cluster mask overlaps a job still in flight:
+    /// concurrent tenants must occupy disjoint partitions.
+    PartitionOverlap {
+        /// The contested cluster index.
+        cluster: usize,
+    },
 }
 
 impl fmt::Display for SocError {
@@ -67,6 +73,10 @@ impl fmt::Display for SocError {
             SocError::HostStalled { pc } => write!(
                 f,
                 "simulation went quiescent with the host stalled at op {pc} (missing completion signal?)"
+            ),
+            SocError::PartitionOverlap { cluster } => write!(
+                f,
+                "cluster {cluster} already belongs to a job still in flight"
             ),
         }
     }

@@ -21,6 +21,15 @@
 //! breakdown, per-cluster/per-core reports, statistics and an energy
 //! estimate.
 //!
+//! The substrate is natively **multi-tenant**: [`Soc::begin_jobs`] opens
+//! a session in which any number of jobs on disjoint cluster partitions
+//! run concurrently ([`Soc::submit_job`] / [`Soc::advance_jobs`]),
+//! sharing the NoC, HBM bandwidth, AMO unit and the serial host core.
+//! Cross-tenant interference *emerges* from the shared resource models
+//! and is attributed per job in [`ContentionReport`]s delivered with
+//! each [`JobCompletion`]. [`Soc::run_offload`] is the single-job
+//! wrapper over the same machinery.
+//!
 //! # Example
 //!
 //! A minimal hand-built offload (the `mpsoc-offload` crate automates all
@@ -79,4 +88,6 @@ pub use error::SocError;
 pub use host::{HostOp, HostProgram};
 pub use mpsoc_telemetry::{EventKind, EventTrace, Mark, PhaseBreakdown, TraceEvent, Unit};
 pub use outcome::{OffloadOutcome, PhaseTimestamps};
-pub use soc::{DmaDirection, Soc, SocEvent};
+pub use soc::{
+    ContentionReport, DmaDirection, JobCompletion, JobId, SessionProgress, Soc, SocEvent,
+};

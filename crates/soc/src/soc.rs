@@ -1,30 +1,69 @@
 //! The assembled SoC and its event-driven offload execution.
+//!
+//! The substrate is a **concurrent-job SoC**: any number of in-flight
+//! jobs on disjoint [`ClusterMask`] partitions share the one NoC switch
+//! tree, the HBM bandwidth and atomic units, and the host's credit/IRQ
+//! path. A session is opened with [`Soc::begin_jobs`], jobs enter via
+//! [`Soc::submit_job`] and run concurrently in virtual time under
+//! [`Soc::advance_jobs`], which delivers per-job [`JobCompletion`]
+//! events. The host core is re-entrant but serial: marshalling,
+//! dispatch and ISR work from different jobs interleave one at a time
+//! (a job waiting on an IRQ releases the host; a spin-polling job holds
+//! it, faithfully to a spinning CVA6). Cluster phases of different jobs
+//! proceed truly concurrently, so NoC stalls, HBM queueing and AMO
+//! serialization between tenants *emerge* from the shared resource
+//! models and are attributed per job in [`ContentionReport`]s.
+//!
+//! The legacy single-job API, [`Soc::run_offload`], is a thin wrapper
+//! over the same machinery (one submission at cycle 0, pumped to
+//! quiescence) and is cycle-for-cycle and event-for-event identical to
+//! the historical blocking implementation.
+
+use std::collections::VecDeque;
 
 use mpsoc_isa::{Interpreter, MemoryPort, PortError};
 use mpsoc_mem::{Addr, ClusterReg, MainMemory, MemoryMap, Tcdm};
 use mpsoc_noc::{ClusterMask, Interconnect};
 use mpsoc_sim::stats::StatsRegistry;
 use mpsoc_sim::trace::Tracer;
-use mpsoc_sim::{Cycle, Engine, RunResult, Scheduler, Simulate, StepBudget};
+use mpsoc_sim::{Cycle, EventQueue, Scheduler, Simulate};
 use mpsoc_telemetry::{EventKind, EventTrace, PhaseBreakdown, Unit};
 
 use crate::cluster::ClusterState;
 use crate::energy::EnergyActivity;
 use crate::host::{HostOp, HostState, HostStatus};
 use crate::{
-    ClusterJob, ClusterPhase, HostProgram, OffloadOutcome, PhaseTimestamps, SocConfig, SocError,
+    ClusterJob, ClusterPhase, ClusterTiming, HostProgram, OffloadOutcome, PhaseTimestamps,
+    SocConfig, SocError,
 };
+
+/// Identifier of a job within a concurrent-SoC session.
+///
+/// IDs are assigned by [`Soc::submit_job`] starting at 1; ID 0 is
+/// reserved for the legacy single-job path and renders as "untagged" in
+/// telemetry, keeping single-job traces byte-identical.
+pub type JobId = u64;
 
 /// Simulation events of the SoC.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SocEvent {
-    /// The host executes its next runtime op.
-    HostStep,
-    /// One iteration of the host's software-barrier polling loop.
-    HostPoll,
-    /// The credit-counter completion interrupt reaches the host.
-    HostIrq,
+    /// The host executes the next runtime op of the job in `slot`.
+    HostStep {
+        /// Job-slot index of the program being stepped.
+        slot: usize,
+    },
+    /// One iteration of the software-barrier polling loop of `slot`.
+    HostPoll {
+        /// Job-slot index of the polling program.
+        slot: usize,
+    },
+    /// The credit-counter completion interrupt for `slot` reaches the
+    /// host.
+    HostIrq {
+        /// Job-slot index the interrupt belongs to.
+        slot: usize,
+    },
     /// A posted store arrives at a cluster mailbox register.
     MailboxWrite {
         /// Target cluster.
@@ -124,6 +163,89 @@ struct DmaChain {
     resume_slot: u64,
 }
 
+/// Shared-resource interference charged to one job: the cycles this
+/// job's own requests spent queued behind *other* traffic on the NoC
+/// injection port, the HBM bandwidth queue and the memory atomic unit.
+///
+/// In a single-job run these are all zero (or whatever the job inflicts
+/// on itself across its own clusters); under co-residency they grow
+/// with the tenants sharing the machine — the quantity the solo-run
+/// service model cannot see.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct ContentionReport {
+    /// Cycles the host stalled injecting this job's dispatch stores.
+    pub noc_stall_cycles: u64,
+    /// Cycles this job's HBM requests (DMA bursts and host-side
+    /// marshalling traffic) queued behind already-reserved bandwidth.
+    pub hbm_queue_cycles: f64,
+    /// Cycles this job's barrier AMOs waited for the atomic unit.
+    pub amo_wait_cycles: u64,
+}
+
+impl ContentionReport {
+    /// Total interference in whole cycles (NoC stall + HBM queue + AMO
+    /// wait), the scalar the scheduler reports per job.
+    pub fn total_cycles(&self) -> u64 {
+        self.noc_stall_cycles + self.hbm_queue_cycles.round() as u64 + self.amo_wait_cycles
+    }
+}
+
+/// Delivered when a submitted job's host program reaches
+/// [`HostOp::End`]: the per-job outcome plus session-level attribution.
+#[derive(Debug, Clone)]
+pub struct JobCompletion {
+    /// The job's session ID.
+    pub job: JobId,
+    /// The partition it ran on.
+    pub mask: ClusterMask,
+    /// When the job was submitted (absolute session time).
+    pub submitted_at: Cycle,
+    /// When its host program ended (absolute session time).
+    pub finished_at: Cycle,
+    /// Cycles the job spent waiting for the serial host core while
+    /// other jobs held it (admission queueing, ISR serialization).
+    pub host_wait_cycles: u64,
+    /// Shared-resource interference attributed to this job.
+    pub contention: ContentionReport,
+    /// The per-job outcome; timestamps are relative to `submitted_at`,
+    /// so a solo job's outcome reads exactly like [`Soc::run_offload`]'s.
+    pub outcome: OffloadOutcome,
+}
+
+/// What [`Soc::advance_jobs`] did.
+#[derive(Debug)]
+pub enum SessionProgress {
+    /// A job completed (at `completion.finished_at` ≤ the horizon);
+    /// events past that instant have not been processed yet.
+    Completed(Box<JobCompletion>),
+    /// Every event at or before the horizon was processed; jobs are
+    /// still in flight.
+    Horizon,
+    /// The event queue drained: nothing is running or pending.
+    Idle,
+}
+
+/// One in-flight (or finished) job of the current session.
+#[derive(Debug)]
+struct JobSlot {
+    id: JobId,
+    mask: ClusterMask,
+    host: HostState,
+    irq_pending: bool,
+    credit: crate::CreditCounter,
+    phases: PhaseTimestamps,
+    activity: EnergyActivity,
+    contention: ContentionReport,
+    submitted_at: Cycle,
+    /// Earliest cycle the job may (re)acquire the host.
+    not_before: Cycle,
+    host_wait_cycles: u64,
+    /// TCDM conflict counters of `mask`'s clusters at submission, so the
+    /// job is charged only its own conflicts when clusters are reused.
+    conflict_base: Vec<u64>,
+    done: bool,
+}
+
 /// The simulated heterogeneous MPSoC.
 ///
 /// Construct with [`Soc::new`], load operand data through
@@ -136,14 +258,21 @@ pub struct Soc {
     map: MemoryMap,
     main: MainMemory,
     noc: Interconnect,
-    credit: crate::CreditCounter,
     clusters: Vec<ClusterState>,
     tcdms: Vec<Tcdm>,
     dma: Vec<Option<DmaChain>>,
-    host: Option<HostState>,
-    irq_pending: bool,
-    phases: PhaseTimestamps,
-    activity: EnergyActivity,
+    // --- concurrent-job session state ---
+    queue: EventQueue<SocEvent>,
+    session_now: Cycle,
+    events_delivered: u64,
+    jobs: Vec<JobSlot>,
+    cluster_owner: Vec<Option<usize>>,
+    host_active: Option<usize>,
+    host_ready: VecDeque<usize>,
+    next_job_id: JobId,
+    completions: VecDeque<JobCompletion>,
+    session_tcdm_conflicts: u64,
+    stats_folded: bool,
     stats: StatsRegistry,
     tracer: Tracer,
     telemetry: EventTrace,
@@ -174,19 +303,26 @@ impl Soc {
             .collect();
         let clusters = vec![ClusterState::default(); config.clusters];
         let dma = vec![None; config.clusters];
+        let cluster_owner = vec![None; config.clusters];
         Ok(Soc {
             config,
             map,
             main,
             noc,
-            credit: crate::CreditCounter::new(),
             clusters,
             tcdms,
             dma,
-            host: None,
-            irq_pending: false,
-            phases: PhaseTimestamps::default(),
-            activity: EnergyActivity::default(),
+            queue: EventQueue::new(),
+            session_now: Cycle::ZERO,
+            events_delivered: 0,
+            jobs: Vec::new(),
+            cluster_owner,
+            host_active: None,
+            host_ready: VecDeque::new(),
+            next_job_id: 1,
+            completions: VecDeque::new(),
+            session_tcdm_conflicts: 0,
+            stats_folded: false,
             stats: StatsRegistry::new(),
             tracer: Tracer::disabled(),
             telemetry: EventTrace::disabled(),
@@ -275,6 +411,25 @@ impl Soc {
         }
     }
 
+    /// The job slot currently owning `cluster`, if any.
+    fn owner_of(&self, cluster: usize) -> Option<usize> {
+        self.cluster_owner[cluster]
+    }
+
+    /// The HBM queueing delay (in cycles) a request entering at
+    /// bandwidth slot `min_slot` is about to pay behind already-reserved
+    /// traffic — the per-request quantity `contention.hbm.queue_cycles`
+    /// aggregates, computed *before* acquiring so it can be attributed
+    /// to the requesting job.
+    fn hbm_queue_delay_from(&self, min_slot: u64) -> f64 {
+        let free = self.main.next_free_bandwidth_slot();
+        if free > min_slot {
+            (free - min_slot) as f64 / self.config.mem_words_per_cycle as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Starts one DMA task (one stage, one direction) on `cluster`'s
     /// engine; data is moved eagerly (the timing model alone decides
     /// *when* it completes).
@@ -309,7 +464,9 @@ impl Soc {
             }
             total += t.words;
         }
-        self.activity.dma_words += total;
+        if let Some(slot) = self.owner_of(cluster) {
+            self.jobs[slot].activity.dma_words += total;
+        }
         if total == 0 {
             sched.schedule_at(
                 at,
@@ -342,6 +499,20 @@ impl Soc {
         } else {
             chain.resume_slot.max(self.main.bandwidth_slot_of(now))
         };
+        // Attribute the queueing this burst is about to pay (behind any
+        // other job's reserved bandwidth) to the cluster's owner.
+        let queued = self.hbm_queue_delay_from(min_slot);
+        if queued > 0.0 {
+            if let Some(slot) = self.owner_of(cluster) {
+                self.jobs[slot].contention.hbm_queue_cycles += queued;
+            }
+            self.telemetry.instant(
+                now,
+                Unit::MainMem,
+                EventKind::HbmQueue,
+                queued.round() as u64,
+            );
+        }
         let (end_slot, done) = self.main.acquire_bandwidth_slots(min_slot, burst);
         chain.resume_slot = end_slot;
         chain.remaining -= burst;
@@ -383,7 +554,9 @@ impl Soc {
                     error,
                 })?;
             latest = latest.max(report.finish);
-            self.activity.core_ops += report.retired;
+            if let Some(slot) = self.owner_of(cluster) {
+                self.jobs[slot].activity.core_ops += report.retired;
+            }
             self.clusters[cluster].core_reports.push(report);
         }
         Ok(latest)
@@ -505,26 +678,62 @@ impl Soc {
         }
     }
 
-    fn host_step(&mut self, sched: &mut Scheduler<SocEvent>, now: Cycle) {
-        let Some(host) = &mut self.host else {
+    /// Charges the HBM queueing delay a host-side transfer entering at
+    /// `at` is about to pay to job `slot` — the same per-request quantity
+    /// [`MainMemory::transfer`] folds into `contention.hbm.queue_cycles`,
+    /// computed *before* acquiring so it can be attributed.
+    fn charge_host_hbm_queue(&mut self, slot: usize, at: Cycle, words: u64) {
+        if words == 0 {
             return;
-        };
-        let Some(op) = host.current().cloned() else {
-            self.fail(SocError::HostStalled {
-                pc: self.host.as_ref().map_or(0, |h| h.pc),
-            });
+        }
+        let queued = self.hbm_queue_delay_from(self.main.bandwidth_slot_of(at));
+        if queued > 0.0 {
+            self.jobs[slot].contention.hbm_queue_cycles += queued;
+        }
+    }
+
+    /// Hands the serial host core to `slot`; it resumes at `now` or its
+    /// `not_before`, whichever is later, and the difference is charged as
+    /// host-wait (time spent queued behind other tenants' host phases).
+    fn activate_host(&mut self, sched: &mut Scheduler<SocEvent>, now: Cycle, slot: usize) {
+        let start = now.max(self.jobs[slot].not_before);
+        self.jobs[slot].host_wait_cycles +=
+            start.saturating_sub(self.jobs[slot].not_before).as_u64();
+        self.host_active = Some(slot);
+        sched.schedule_at(start, SocEvent::HostStep { slot });
+    }
+
+    /// Releases the serial host core from `slot` and wakes the next
+    /// queued job, if any.
+    fn release_host(&mut self, sched: &mut Scheduler<SocEvent>, now: Cycle, slot: usize) {
+        debug_assert_eq!(self.host_active, Some(slot));
+        self.host_active = None;
+        if let Some(next) = self.host_ready.pop_front() {
+            self.activate_host(sched, now, next);
+        }
+    }
+
+    fn host_step(&mut self, sched: &mut Scheduler<SocEvent>, now: Cycle, slot: usize) {
+        let Some(op) = self.jobs[slot].host.current().cloned() else {
+            let pc = self.jobs[slot].host.pc;
+            self.fail(SocError::HostStalled { pc });
             return;
         };
         match op {
             HostOp::Compute(cycles) => {
-                host.pc += 1;
-                host.busy_cycles += cycles;
-                sched.schedule_at(now + Cycle::new(cycles), SocEvent::HostStep);
+                let job = &mut self.jobs[slot];
+                job.host.pc += 1;
+                job.host.busy_cycles += cycles;
+                sched.schedule_at(now + Cycle::new(cycles), SocEvent::HostStep { slot });
             }
             HostOp::WriteWords { addr, values } => {
-                host.pc += 1;
-                host.busy_cycles += values.len() as u64;
                 let count = values.len() as u64;
+                {
+                    let job = &mut self.jobs[slot];
+                    job.host.pc += 1;
+                    job.host.busy_cycles += count;
+                    job.activity.mem_words += count;
+                }
                 let next = now + Cycle::new(count);
                 for (i, v) in values.iter().enumerate() {
                     if let Err(e) = self
@@ -536,32 +745,37 @@ impl Soc {
                         return;
                     }
                 }
+                self.charge_host_hbm_queue(slot, now, count);
                 self.main.transfer(now, count);
-                self.activity.mem_words += count;
-                sched.schedule_at(next, SocEvent::HostStep);
+                sched.schedule_at(next, SocEvent::HostStep { slot });
             }
             HostOp::PrepareOperands { words } => {
-                host.pc += 1;
                 let cycles = words.div_ceil(self.config.host_prep_words_per_cycle);
-                host.busy_cycles += cycles;
+                {
+                    let job = &mut self.jobs[slot];
+                    job.host.pc += 1;
+                    job.host.busy_cycles += cycles;
+                    job.activity.mem_words += words;
+                }
+                self.charge_host_hbm_queue(slot, now, words);
                 self.main.transfer(now, words);
-                self.activity.mem_words += words;
-                sched.schedule_at(now + Cycle::new(cycles), SocEvent::HostStep);
+                sched.schedule_at(now + Cycle::new(cycles), SocEvent::HostStep { slot });
             }
             HostOp::StoreMailbox {
                 cluster,
                 reg,
                 value,
             } => {
-                host.pc += 1;
+                self.jobs[slot].host.pc += 1;
                 let d = self.noc.host_unicast(now, cluster);
-                self.activity.noc_stores += 1;
+                self.jobs[slot].activity.noc_stores += 1;
                 self.telemetry
                     .instant(now, Unit::Host, EventKind::DispatchStart, cluster as u64);
                 let stall = d
                     .injected
                     .saturating_sub(now + self.noc.config().inject_cycles);
                 if stall > Cycle::ZERO {
+                    self.jobs[slot].contention.noc_stall_cycles += stall.as_u64();
                     self.telemetry
                         .instant(now, Unit::Noc, EventKind::NocStall, stall.as_u64());
                 }
@@ -573,12 +787,12 @@ impl Soc {
                         value,
                     },
                 );
-                sched.schedule_at(d.injected, SocEvent::HostStep);
+                sched.schedule_at(d.injected, SocEvent::HostStep { slot });
             }
             HostOp::MulticastMailbox { mask, reg, value } => {
-                host.pc += 1;
+                self.jobs[slot].host.pc += 1;
                 let mc = self.noc.host_multicast(now, mask);
-                self.activity.noc_stores += mc.delivered.len() as u64;
+                self.jobs[slot].activity.noc_stores += mc.delivered.len() as u64;
                 self.telemetry.instant(
                     now,
                     Unit::Host,
@@ -589,6 +803,7 @@ impl Soc {
                     .injected
                     .saturating_sub(now + self.noc.config().inject_cycles);
                 if stall > Cycle::ZERO {
+                    self.jobs[slot].contention.noc_stall_cycles += stall.as_u64();
                     self.telemetry
                         .instant(now, Unit::Noc, EventKind::NocStall, stall.as_u64());
                 }
@@ -602,55 +817,64 @@ impl Soc {
                         },
                     );
                 }
-                sched.schedule_at(mc.injected, SocEvent::HostStep);
+                sched.schedule_at(mc.injected, SocEvent::HostStep { slot });
             }
             HostOp::CreditArm { threshold } => {
-                host.pc += 1;
-                self.credit.arm(threshold);
-                self.irq_pending = false;
-                self.activity.sync_ops += 1;
+                let job = &mut self.jobs[slot];
+                job.host.pc += 1;
+                job.credit.arm(threshold);
+                job.irq_pending = false;
+                job.activity.sync_ops += 1;
                 self.telemetry
                     .instant(now, Unit::CreditUnit, EventKind::CreditArm, threshold);
                 let injected = now + self.noc.config().inject_cycles;
-                sched.schedule_at(injected, SocEvent::HostStep);
+                sched.schedule_at(injected, SocEvent::HostStep { slot });
             }
             HostOp::StoreUncachedMain { addr, value } => {
-                host.pc += 1;
+                self.jobs[slot].host.pc += 1;
                 if let Err(e) = self.main.store_mut().write_u64(addr, value) {
                     self.fail(e.into());
                     return;
                 }
+                self.charge_host_hbm_queue(slot, now, 1);
                 self.main.transfer(now, 1);
-                self.activity.mem_words += 1;
+                self.jobs[slot].activity.mem_words += 1;
                 let injected = now + self.noc.config().inject_cycles;
-                sched.schedule_at(injected, SocEvent::HostStep);
+                sched.schedule_at(injected, SocEvent::HostStep { slot });
             }
             HostOp::PollUntilEq { .. } => {
-                host.status = HostStatus::Polling;
-                sched.schedule_at(now, SocEvent::HostPoll);
+                // A spinning CVA6 holds the core: the host stays occupied
+                // for the whole polling loop, faithful to the baseline.
+                self.jobs[slot].host.status = HostStatus::Polling;
+                sched.schedule_at(now, SocEvent::HostPoll { slot });
             }
             HostOp::WaitIrq => {
-                if self.irq_pending {
-                    self.irq_pending = false;
-                    host.pc += 1;
-                    sched.schedule_at(now, SocEvent::HostStep);
+                let job = &mut self.jobs[slot];
+                if job.irq_pending {
+                    job.irq_pending = false;
+                    job.host.pc += 1;
+                    sched.schedule_at(now, SocEvent::HostStep { slot });
                 } else {
-                    host.status = HostStatus::WaitingIrq;
+                    // Parking on the IRQ frees the serial host core for
+                    // whichever job is queued behind it.
+                    job.host.status = HostStatus::WaitingIrq;
+                    self.release_host(sched, now, slot);
                 }
             }
             HostOp::End => {
-                host.status = HostStatus::Done(now);
+                self.jobs[slot].host.status = HostStatus::Done(now);
+                self.finish_job(now, slot);
+                self.release_host(sched, now, slot);
             }
         }
     }
 
-    fn host_poll(&mut self, sched: &mut Scheduler<SocEvent>, now: Cycle) {
-        let Some(host) = &self.host else { return };
+    fn host_poll(&mut self, sched: &mut Scheduler<SocEvent>, now: Cycle, slot: usize) {
         let Some(HostOp::PollUntilEq {
             addr,
             value,
             spin_cycles,
-        }) = host.current().cloned()
+        }) = self.jobs[slot].host.current().cloned()
         else {
             return;
         };
@@ -667,20 +891,126 @@ impl Soc {
             }
         };
         let arrival = now + one_way * 2 + Cycle::new(self.config.mem_latency);
-        self.activity.sync_ops += 1;
+        self.jobs[slot].activity.sync_ops += 1;
         self.telemetry
             .instant(now, Unit::Host, EventKind::BarrierPoll, observed);
-        let host = self.host.as_mut().expect("host present");
-        host.poll_iterations += 1;
-        host.busy_cycles += spin_cycles;
+        let job = &mut self.jobs[slot];
+        job.host.poll_iterations += 1;
+        job.host.busy_cycles += spin_cycles;
         if observed == value {
-            self.phases.sync_done = arrival;
-            host.pc += 1;
-            host.status = HostStatus::Running;
-            sched.schedule_at(arrival, SocEvent::HostStep);
+            job.phases.sync_done = arrival;
+            job.host.pc += 1;
+            job.host.status = HostStatus::Running;
+            sched.schedule_at(arrival, SocEvent::HostStep { slot });
         } else {
-            sched.schedule_at(arrival + Cycle::new(spin_cycles), SocEvent::HostPoll);
+            sched.schedule_at(
+                arrival + Cycle::new(spin_cycles),
+                SocEvent::HostPoll { slot },
+            );
         }
+    }
+
+    /// The session job an event belongs to (0 = untagged): host events
+    /// carry their slot, cluster/memory events resolve through the
+    /// partition owner.
+    fn event_job(&self, event: &SocEvent) -> JobId {
+        let slot = match event {
+            SocEvent::HostStep { slot }
+            | SocEvent::HostPoll { slot }
+            | SocEvent::HostIrq { slot } => Some(*slot),
+            SocEvent::MailboxWrite { cluster, .. }
+            | SocEvent::ClusterWake { cluster }
+            | SocEvent::ClusterDesc { cluster }
+            | SocEvent::DmaBurst { cluster }
+            | SocEvent::ClusterDmaTaskDone { cluster, .. }
+            | SocEvent::ClusterComputeDone { cluster, .. }
+            | SocEvent::CreditArrive { cluster }
+            | SocEvent::BarrierArrive { cluster, .. } => self.owner_of(*cluster),
+        };
+        slot.map_or(0, |s| self.jobs[s].id)
+    }
+
+    /// Seals job `slot` at its end time `now`: frees its partition,
+    /// snapshots per-cluster results (timestamps shifted to be relative
+    /// to the job's submission, so a solo job's outcome reads exactly
+    /// like the legacy single-job path's) and queues the
+    /// [`JobCompletion`].
+    fn finish_job(&mut self, now: Cycle, slot: usize) {
+        self.jobs[slot].done = true;
+        let mask = self.jobs[slot].mask;
+        for cluster in mask.iter() {
+            self.cluster_owner[cluster] = None;
+        }
+        let submitted = self.jobs[slot].submitted_at;
+        let total = now.saturating_sub(submitted);
+        let rel = |t: Cycle| t.saturating_sub(submitted);
+
+        let mut clusters = Vec::new();
+        let mut core_reports = Vec::new();
+        let mut tcdm_conflicts = 0;
+        for (i, cluster) in mask.iter().enumerate() {
+            let t = self.clusters[cluster].timing;
+            clusters.push((
+                cluster,
+                ClusterTiming {
+                    woken_at: rel(t.woken_at),
+                    desc_at: rel(t.desc_at),
+                    dma_in_at: rel(t.dma_in_at),
+                    compute_at: rel(t.compute_at),
+                    dma_out_at: rel(t.dma_out_at),
+                    complete_at: rel(t.complete_at),
+                },
+            ));
+            core_reports.push(self.clusters[cluster].core_reports.clone());
+            tcdm_conflicts += self.tcdms[cluster].conflicts() - self.jobs[slot].conflict_base[i];
+        }
+        self.session_tcdm_conflicts += tcdm_conflicts;
+
+        let events_delivered = self.events_delivered;
+        let job = &mut self.jobs[slot];
+        job.phases.host_issue_done = job.phases.host_issue_done.max(job.phases.last_dispatch);
+        job.activity.host_cycles = job.host.busy_cycles;
+        job.activity.cluster_cycles = mask.count() as u64 * total.as_u64();
+        let energy = self.config.energy.evaluate(&job.activity);
+
+        let phases = PhaseTimestamps {
+            host_issue_done: rel(job.phases.host_issue_done),
+            last_dispatch: rel(job.phases.last_dispatch),
+            last_dma_in: rel(job.phases.last_dma_in),
+            last_compute: rel(job.phases.last_compute),
+            last_dma_out: rel(job.phases.last_dma_out),
+            sync_done: rel(job.phases.sync_done),
+        };
+        let phase_breakdown = PhaseBreakdown::from_milestones(
+            phases.last_dispatch,
+            phases.last_dma_in,
+            phases.last_compute,
+            phases.last_dma_out,
+            total,
+        );
+        let outcome = OffloadOutcome {
+            total,
+            phases,
+            phase_breakdown,
+            clusters,
+            core_reports,
+            energy,
+            host_busy_cycles: job.host.busy_cycles,
+            poll_iterations: job.host.poll_iterations,
+            tcdm_conflicts,
+            // Session-level counter at completion time; the single-job
+            // wrapper overwrites this with the final count at quiescence.
+            events_delivered,
+        };
+        self.completions.push_back(JobCompletion {
+            job: job.id,
+            mask,
+            submitted_at: submitted,
+            finished_at: now,
+            host_wait_cycles: job.host_wait_cycles,
+            contention: job.contention,
+            outcome,
+        });
     }
 }
 
@@ -691,22 +1021,33 @@ impl Simulate for Soc {
         if self.fatal.is_some() {
             return;
         }
+        // Ambient attribution: every telemetry record produced while
+        // handling this event is tagged with the owning job (0 when the
+        // owner is the legacy wrapper or the partition is free).
+        self.telemetry.set_job(self.event_job(&event));
         match event {
-            SocEvent::HostStep => self.host_step(sched, now),
-            SocEvent::HostPoll => self.host_poll(sched, now),
-            SocEvent::HostIrq => {
-                self.phases.sync_done = now;
+            SocEvent::HostStep { slot } => self.host_step(sched, now, slot),
+            SocEvent::HostPoll { slot } => self.host_poll(sched, now, slot),
+            SocEvent::HostIrq { slot } => {
+                self.jobs[slot].phases.sync_done = now;
                 self.telemetry.instant(now, Unit::Host, EventKind::Irq, 0);
-                let Some(host) = &mut self.host else { return };
-                match host.status {
+                match self.jobs[slot].host.status {
                     HostStatus::WaitingIrq => {
-                        host.status = HostStatus::Running;
-                        host.pc += 1;
-                        sched.schedule_at(now, SocEvent::HostStep);
+                        let job = &mut self.jobs[slot];
+                        job.host.status = HostStatus::Running;
+                        job.host.pc += 1;
+                        // The ISR runs on the serial host core: take it
+                        // if free, else queue behind the jobs holding it.
+                        job.not_before = now;
+                        if self.host_active.is_none() {
+                            self.activate_host(sched, now, slot);
+                        } else {
+                            self.host_ready.push_back(slot);
+                        }
                     }
                     _ => {
                         // IRQ raced ahead of WaitIrq; latch it.
-                        self.irq_pending = true;
+                        self.jobs[slot].irq_pending = true;
                     }
                 }
             }
@@ -725,7 +1066,10 @@ impl Simulate for Soc {
                         self.clusters[cluster].mailbox_job_ptr = value;
                     }
                     ClusterReg::Wakeup => {
-                        self.phases.last_dispatch = self.phases.last_dispatch.max(now);
+                        if let Some(slot) = self.owner_of(cluster) {
+                            let phases = &mut self.jobs[slot].phases;
+                            phases.last_dispatch = phases.last_dispatch.max(now);
+                        }
                         self.telemetry.instant(
                             now,
                             Unit::Cluster(cluster as u32),
@@ -761,7 +1105,9 @@ impl Simulate for Soc {
                     self.telemetry
                         .begin(now, Unit::Cluster(cluster as u32), EventKind::DescFetch);
                 let fetched = now + Cycle::new(self.desc_fetch_cycles());
-                self.activity.mem_words += self.config.descriptor_words;
+                if let Some(slot) = self.owner_of(cluster) {
+                    self.jobs[slot].activity.mem_words += self.config.descriptor_words;
+                }
                 sched.schedule_at(fetched, SocEvent::ClusterDesc { cluster });
             }
             SocEvent::ClusterDesc { cluster } => {
@@ -817,7 +1163,10 @@ impl Simulate for Soc {
                         self.clusters[cluster].timing.dma_in_at =
                             self.clusters[cluster].timing.dma_in_at.max(now);
                         if self.clusters[cluster].stages.iter().all(|s| s.in_done) {
-                            self.phases.last_dma_in = self.phases.last_dma_in.max(now);
+                            if let Some(slot) = self.owner_of(cluster) {
+                                let phases = &mut self.jobs[slot].phases;
+                                phases.last_dma_in = phases.last_dma_in.max(now);
+                            }
                         }
                     }
                     DmaDirection::Out => {
@@ -825,7 +1174,10 @@ impl Simulate for Soc {
                         self.clusters[cluster].timing.dma_out_at =
                             self.clusters[cluster].timing.dma_out_at.max(now);
                         if self.clusters[cluster].stages.iter().all(|s| s.out_done) {
-                            self.phases.last_dma_out = self.phases.last_dma_out.max(now);
+                            if let Some(slot) = self.owner_of(cluster) {
+                                let phases = &mut self.jobs[slot].phases;
+                                phases.last_dma_out = phases.last_dma_out.max(now);
+                            }
                         }
                     }
                 }
@@ -844,13 +1196,15 @@ impl Simulate for Soc {
                 self.clusters[cluster].timing.compute_at =
                     self.clusters[cluster].timing.compute_at.max(now);
                 if self.clusters[cluster].stages.iter().all(|s| s.compute_done) {
-                    self.phases.last_compute = self.phases.last_compute.max(now);
+                    if let Some(slot) = self.owner_of(cluster) {
+                        let phases = &mut self.jobs[slot].phases;
+                        phases.last_compute = phases.last_compute.max(now);
+                    }
                 }
                 self.cluster_dispatch(sched, now, cluster);
             }
             SocEvent::CreditArrive { cluster } => {
                 self.clusters[cluster].timing.complete_at = now;
-                self.activity.sync_ops += 1;
                 self.stats.incr("credit.increments");
                 self.telemetry.instant(
                     now,
@@ -858,16 +1212,18 @@ impl Simulate for Soc {
                     EventKind::CreditReturn,
                     cluster as u64,
                 );
-                if let Some(fire_at) = self.credit.increment(now) {
-                    sched.schedule_at(
-                        fire_at + Cycle::new(self.config.irq_latency),
-                        SocEvent::HostIrq,
-                    );
+                if let Some(slot) = self.owner_of(cluster) {
+                    self.jobs[slot].activity.sync_ops += 1;
+                    if let Some(fire_at) = self.jobs[slot].credit.increment(now) {
+                        sched.schedule_at(
+                            fire_at + Cycle::new(self.config.irq_latency),
+                            SocEvent::HostIrq { slot },
+                        );
+                    }
                 }
             }
             SocEvent::BarrierArrive { cluster, addr } => {
                 self.clusters[cluster].timing.complete_at = now;
-                self.activity.sync_ops += 1;
                 self.stats.incr("barrier.amos");
                 self.telemetry.instant(
                     now,
@@ -875,8 +1231,24 @@ impl Simulate for Soc {
                     EventKind::BarrierArrive,
                     cluster as u64,
                 );
-                if let Err(e) = self.main.amo_add(now, addr, 1) {
-                    self.fail(e.into());
+                if let Some(slot) = self.owner_of(cluster) {
+                    self.jobs[slot].activity.sync_ops += 1;
+                }
+                match self.main.amo_add(now, addr, 1) {
+                    Ok((_, done)) => {
+                        // Completion past the AMO's own service and access
+                        // latency is time queued on the shared atomic unit.
+                        let wait = done
+                            .saturating_sub(now)
+                            .as_u64()
+                            .saturating_sub(self.config.amo_service + self.config.mem_latency);
+                        if wait > 0 {
+                            if let Some(slot) = self.owner_of(cluster) {
+                                self.jobs[slot].contention.amo_wait_cycles += wait;
+                            }
+                        }
+                    }
+                    Err(e) => self.fail(e.into()),
                 }
             }
         }
@@ -884,23 +1256,8 @@ impl Simulate for Soc {
 }
 
 impl Soc {
-    /// Runs one offload: executes `program` on the host against the jobs
-    /// bound to the clusters in `mask`, from cycle 0 to host completion.
-    ///
-    /// # Errors
-    ///
-    /// - [`SocError::MissingJob`] / [`SocError::ProgramCount`] for
-    ///   inconsistent bindings,
-    /// - [`SocError::Core`] / [`SocError::Memory`] for faults during
-    ///   execution,
-    /// - [`SocError::HostStalled`] if the simulation ends without the
-    ///   host program reaching [`HostOp::End`] (e.g. a completion signal
-    ///   that can never fire).
-    pub fn run_offload(
-        &mut self,
-        program: HostProgram,
-        mask: ClusterMask,
-    ) -> Result<OffloadOutcome, SocError> {
+    /// Checks that every cluster in `mask` has a well-formed job bound.
+    fn validate_bindings(&self, mask: ClusterMask) -> Result<(), SocError> {
         for cluster in mask.iter() {
             let state = &self.clusters[cluster];
             let Some(job) = &state.job else {
@@ -923,16 +1280,27 @@ impl Soc {
                 }
             }
         }
+        Ok(())
+    }
 
-        // Reset per-offload state (data in main memory persists).
-        self.host = Some(HostState::new(program));
-        self.irq_pending = false;
-        self.phases = PhaseTimestamps::default();
-        self.activity = EnergyActivity::default();
+    /// Opens a concurrent-job session: clears execution and bookkeeping
+    /// state from previous runs (operand data in main memory and cluster
+    /// job bindings persist), so identical sessions replay identically.
+    pub fn begin_jobs(&mut self) {
+        self.queue.clear();
+        self.session_now = Cycle::ZERO;
+        self.events_delivered = 0;
+        self.jobs.clear();
+        self.cluster_owner.fill(None);
+        self.host_active = None;
+        self.host_ready.clear();
+        self.next_job_id = 1;
+        self.completions.clear();
+        self.session_tcdm_conflicts = 0;
+        self.stats_folded = false;
         self.stats.clear();
         self.telemetry.clear();
         self.fatal = None;
-        self.credit.reset();
         self.main.reset_timing();
         self.noc.reset();
         for cluster in &mut self.clusters {
@@ -952,69 +1320,231 @@ impl Soc {
             tcdm.reset_timing();
         }
         self.dma.fill(None);
+    }
 
-        let mut engine = Engine::new(&mut *self);
-        engine.schedule_at(Cycle::ZERO, SocEvent::HostStep);
+    /// Submits a job into the open session at absolute session time `at`
+    /// (clamped up to the current session time): its host program starts
+    /// marshalling as soon as the serial host core is free. Returns the
+    /// assigned [`JobId`].
+    ///
+    /// # Errors
+    ///
+    /// - [`SocError::MissingJob`] / [`SocError::ProgramCount`] for
+    ///   inconsistent bindings on `mask`,
+    /// - [`SocError::PartitionOverlap`] if any cluster in `mask` belongs
+    ///   to a job still in flight.
+    pub fn submit_job(
+        &mut self,
+        program: HostProgram,
+        mask: ClusterMask,
+        at: Cycle,
+    ) -> Result<JobId, SocError> {
+        let id = self.next_job_id;
+        self.submit_with_id(id, program, mask, at)?;
+        self.next_job_id += 1;
+        Ok(id)
+    }
+
+    fn submit_with_id(
+        &mut self,
+        id: JobId,
+        program: HostProgram,
+        mask: ClusterMask,
+        at: Cycle,
+    ) -> Result<(), SocError> {
+        self.validate_bindings(mask)?;
+        for cluster in mask.iter() {
+            if self.cluster_owner[cluster].is_some() {
+                return Err(SocError::PartitionOverlap { cluster });
+            }
+        }
+        let at = at.max(self.session_now);
+        let slot = self.jobs.len();
+        let conflict_base = mask.iter().map(|c| self.tcdms[c].conflicts()).collect();
+        for cluster in mask.iter() {
+            self.cluster_owner[cluster] = Some(slot);
+            // Re-arm cluster execution state: a partition may be reused
+            // by successive jobs within one session.
+            let state = &mut self.clusters[cluster];
+            state.phase = ClusterPhase::Idle;
+            state.timing = Default::default();
+            state.core_reports.clear();
+            state.stages.clear();
+            state.dma_busy = false;
+            state.compute_busy = false;
+            state.completed = false;
+            state.wake_span = 0;
+            state.desc_span = 0;
+            state.dma_span = 0;
+            state.compute_span = 0;
+            self.dma[cluster] = None;
+        }
+        self.jobs.push(JobSlot {
+            id,
+            mask,
+            host: HostState::new(program),
+            irq_pending: false,
+            credit: crate::CreditCounter::new(),
+            phases: PhaseTimestamps::default(),
+            activity: EnergyActivity::default(),
+            contention: ContentionReport::default(),
+            submitted_at: at,
+            not_before: at,
+            host_wait_cycles: 0,
+            conflict_base,
+            done: false,
+        });
+        if self.host_active.is_none() {
+            // The host is free: the job starts marshalling at `at`.
+            self.host_active = Some(slot);
+            self.queue.push(at, SocEvent::HostStep { slot });
+        } else {
+            self.host_ready.push_back(slot);
+        }
+        Ok(())
+    }
+
+    /// Delivers the next scheduled event; returns its time, or `None`
+    /// when the queue has drained.
+    fn pump_one(&mut self) -> Option<Cycle> {
+        let scheduled = self.queue.pop()?;
+        let (time, event) = scheduled.into_parts();
+        self.session_now = time;
+        self.events_delivered += 1;
+        // Detach the queue so the handler can borrow `self` mutably; new
+        // events land in the same queue object, preserving FIFO order.
+        let mut queue = std::mem::replace(&mut self.queue, EventQueue::new());
+        let mut sched = Scheduler::attach(&mut queue, time);
+        self.handle(&mut sched, time, event);
+        debug_assert!(self.queue.is_empty());
+        self.queue = queue;
+        Some(time)
+    }
+
+    /// Advances the session until the next job completion, the `horizon`
+    /// (inclusive), or quiescence — whichever comes first. On a
+    /// completion, events past the completion instant have not been
+    /// processed yet, so callers observe completions in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fatal error ([`SocError::Core`],
+    /// [`SocError::Memory`], [`SocError::HostStalled`]) raised by any
+    /// job; the session is dead afterwards.
+    pub fn advance_jobs(&mut self, horizon: Cycle) -> Result<SessionProgress, SocError> {
+        loop {
+            if let Some(e) = self.fatal.take() {
+                return Err(e);
+            }
+            if let Some(done) = self.completions.pop_front() {
+                return Ok(SessionProgress::Completed(Box::new(done)));
+            }
+            match self.queue.peek_time() {
+                None => return Ok(SessionProgress::Idle),
+                Some(t) if t > horizon => return Ok(SessionProgress::Horizon),
+                Some(_) => {
+                    self.pump_one();
+                }
+            }
+        }
+    }
+
+    /// Current session virtual time: the timestamp of the last delivered
+    /// event.
+    pub fn session_now(&self) -> Cycle {
+        self.session_now
+    }
+
+    /// Jobs submitted this session that have not yet completed.
+    pub fn jobs_in_flight(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.done).count()
+    }
+
+    /// Folds the per-resource contention registries (NoC, main memory,
+    /// TCDM) into the session stats under the stable `contention.*`
+    /// prefix, plus per-job tagged copies (`contention.job<id>.*`) of
+    /// each job's attributed share. Idempotent within one session; call
+    /// after the last completion.
+    pub fn fold_session_stats(&mut self) {
+        if self.stats_folded {
+            return;
+        }
+        self.stats_folded = true;
+        self.stats.merge(self.noc.stats());
+        self.stats.merge(self.main.stats());
+        self.stats.add(
+            "contention.tcdm.bank_conflicts",
+            self.session_tcdm_conflicts,
+        );
+        for job in &self.jobs {
+            if job.id == 0 {
+                continue;
+            }
+            let prefix = format!("contention.job{}", job.id);
+            self.stats.add(
+                &format!("{prefix}.noc_stall_cycles"),
+                job.contention.noc_stall_cycles,
+            );
+            self.stats.add(
+                &format!("{prefix}.hbm_queue_cycles"),
+                job.contention.hbm_queue_cycles.round() as u64,
+            );
+            self.stats.add(
+                &format!("{prefix}.amo_wait_cycles"),
+                job.contention.amo_wait_cycles,
+            );
+            self.stats
+                .add(&format!("{prefix}.host_wait_cycles"), job.host_wait_cycles);
+        }
+    }
+
+    /// Runs one offload: executes `program` on the host against the jobs
+    /// bound to the clusters in `mask`, from cycle 0 to host completion.
+    ///
+    /// This is the legacy single-job path, now a thin wrapper over the
+    /// concurrent-job session machinery (one submission at cycle 0,
+    /// pumped to quiescence) — cycle-for-cycle and event-for-event
+    /// identical to the historical blocking implementation.
+    ///
+    /// # Errors
+    ///
+    /// - [`SocError::MissingJob`] / [`SocError::ProgramCount`] for
+    ///   inconsistent bindings,
+    /// - [`SocError::Core`] / [`SocError::Memory`] for faults during
+    ///   execution,
+    /// - [`SocError::HostStalled`] if the simulation ends without the
+    ///   host program reaching [`HostOp::End`] (e.g. a completion signal
+    ///   that can never fire).
+    pub fn run_offload(
+        &mut self,
+        program: HostProgram,
+        mask: ClusterMask,
+    ) -> Result<OffloadOutcome, SocError> {
+        // Validate before touching any state: binding errors must leave
+        // the SoC exactly as it was (historical behaviour).
+        self.validate_bindings(mask)?;
+        self.begin_jobs();
+        self.submit_with_id(0, program, mask, Cycle::ZERO)
+            .expect("bindings validated and no job in flight");
         // 50M events is far beyond any legitimate offload in this study;
         // hitting it means a stuck polling loop.
-        let result = engine.run(StepBudget::events(50_000_000));
-        let events_delivered = engine.events_delivered();
-        drop(engine);
-
+        let mut budget = 50_000_000u64;
+        while budget > 0 && self.pump_one().is_some() {
+            budget -= 1;
+        }
         if let Some(error) = self.fatal.take() {
             return Err(error);
         }
-        let host = self.host.take().expect("host installed above");
-        let total = match host.status {
-            HostStatus::Done(at) => at,
-            _ => {
-                let _ = result; // quiescent or budget-exhausted: either way the host hung
-                return Err(SocError::HostStalled { pc: host.pc });
-            }
+        let Some(completion) = self.completions.pop_front() else {
+            // Quiescent (or budget-exhausted) without End: the host hung.
+            return Err(SocError::HostStalled {
+                pc: self.jobs[0].host.pc,
+            });
         };
-        debug_assert_eq!(result, RunResult::Quiescent);
-
-        self.phases.host_issue_done = self.phases.host_issue_done.max(self.phases.last_dispatch);
-        self.activity.host_cycles = host.busy_cycles;
-        self.activity.cluster_cycles = mask.count() as u64 * total.as_u64();
-        let energy = self.config.energy.evaluate(&self.activity);
-
-        let mut clusters = Vec::new();
-        let mut core_reports = Vec::new();
-        let mut tcdm_conflicts = 0;
-        for cluster in mask.iter() {
-            clusters.push((cluster, self.clusters[cluster].timing));
-            core_reports.push(self.clusters[cluster].core_reports.clone());
-            tcdm_conflicts += self.tcdms[cluster].conflicts();
-        }
-
-        // Fold per-resource contention counters from the NoC and the
-        // main-memory system into the offload's registry under the
-        // stable `contention.*` prefix.
-        self.stats.merge(self.noc.stats());
-        self.stats.merge(self.main.stats());
-        self.stats
-            .add("contention.tcdm.bank_conflicts", tcdm_conflicts);
-
-        let phase_breakdown = PhaseBreakdown::from_milestones(
-            self.phases.last_dispatch,
-            self.phases.last_dma_in,
-            self.phases.last_compute,
-            self.phases.last_dma_out,
-            total,
-        );
-        Ok(OffloadOutcome {
-            total,
-            phases: self.phases,
-            phase_breakdown,
-            clusters,
-            core_reports,
-            energy,
-            host_busy_cycles: host.busy_cycles,
-            poll_iterations: host.poll_iterations,
-            tcdm_conflicts,
-            events_delivered,
-        })
+        self.fold_session_stats();
+        let mut outcome = completion.outcome;
+        outcome.events_delivered = self.events_delivered;
+        Ok(outcome)
     }
 }
 
@@ -1382,6 +1912,217 @@ mod tests {
             .filter(|name| name.starts_with("contention."))
             .collect();
         assert!(names.contains(&"contention.tcdm.bank_conflicts"));
+    }
+
+    #[test]
+    fn partition_overlap_is_rejected() {
+        let mut soc = small_soc(2);
+        for c in 0..2 {
+            soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+        }
+        let hp = || {
+            HostProgram::new(vec![
+                HostOp::CreditArm { threshold: 1 },
+                HostOp::StoreMailbox {
+                    cluster: 0,
+                    reg: ClusterReg::Wakeup,
+                    value: 1,
+                },
+                HostOp::WaitIrq,
+                HostOp::End,
+            ])
+        };
+        soc.begin_jobs();
+        soc.submit_job(hp(), ClusterMask::single(0), Cycle::ZERO)
+            .unwrap();
+        let err = soc
+            .submit_job(hp(), ClusterMask::single(0), Cycle::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, SocError::PartitionOverlap { cluster: 0 }));
+    }
+
+    #[test]
+    fn session_single_job_matches_legacy_wrapper() {
+        let build = || {
+            let mut soc = small_soc(2);
+            for c in 0..2 {
+                soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+            }
+            soc
+        };
+        let program = || {
+            HostProgram::new(vec![
+                HostOp::Compute(40),
+                HostOp::CreditArm { threshold: 2 },
+                HostOp::MulticastMailbox {
+                    mask: ClusterMask::first(2),
+                    reg: ClusterReg::Wakeup,
+                    value: 1,
+                },
+                HostOp::WaitIrq,
+                HostOp::End,
+            ])
+        };
+        let mut legacy = build();
+        let a = legacy
+            .run_offload(program(), ClusterMask::first(2))
+            .unwrap();
+
+        let mut session = build();
+        session.begin_jobs();
+        let id = session
+            .submit_job(program(), ClusterMask::first(2), Cycle::ZERO)
+            .unwrap();
+        let done = match session.advance_jobs(Cycle::MAX).unwrap() {
+            SessionProgress::Completed(c) => c,
+            other => panic!("expected a completion, got {other:?}"),
+        };
+        assert_eq!(done.job, id);
+        assert_eq!(done.submitted_at, Cycle::ZERO);
+        assert_eq!(done.host_wait_cycles, 0, "solo job never queues");
+        assert_eq!(done.outcome.total, a.total);
+        assert_eq!(done.outcome.phases, a.phases);
+        assert_eq!(done.outcome.phase_breakdown, a.phase_breakdown);
+        assert_eq!(done.outcome.host_busy_cycles, a.host_busy_cycles);
+        assert!(matches!(
+            session.advance_jobs(Cycle::MAX).unwrap(),
+            SessionProgress::Idle
+        ));
+    }
+
+    #[test]
+    fn concurrent_tenants_serialize_on_the_host_and_both_complete() {
+        let build = || {
+            let mut soc = small_soc(2);
+            for c in 0..2 {
+                soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+            }
+            soc
+        };
+        let hp = |cluster: usize| {
+            HostProgram::new(vec![
+                HostOp::Compute(500),
+                HostOp::CreditArm { threshold: 1 },
+                HostOp::StoreMailbox {
+                    cluster,
+                    reg: ClusterReg::Wakeup,
+                    value: 1,
+                },
+                HostOp::WaitIrq,
+                HostOp::End,
+            ])
+        };
+        // Tenant B's solo-run reference on an otherwise idle SoC.
+        let solo = build().run_offload(hp(1), ClusterMask::single(1)).unwrap();
+
+        let mut soc = build();
+        soc.begin_jobs();
+        let a = soc
+            .submit_job(hp(0), ClusterMask::single(0), Cycle::ZERO)
+            .unwrap();
+        let b = soc
+            .submit_job(hp(1), ClusterMask::single(1), Cycle::ZERO)
+            .unwrap();
+        let mut done = Vec::new();
+        while let SessionProgress::Completed(c) = soc.advance_jobs(Cycle::MAX).unwrap() {
+            done.push(*c);
+        }
+        assert_eq!(done.len(), 2);
+        assert_eq!(soc.jobs_in_flight(), 0);
+        assert!(done.iter().any(|c| c.job == a));
+        let b_done = done.iter().find(|c| c.job == b).expect("job b completed");
+        // Tenant B could not start marshalling until tenant A's 500-cycle
+        // marshalling phase released the serial host core.
+        assert!(
+            b_done.host_wait_cycles >= 500,
+            "host wait {} cycles",
+            b_done.host_wait_cycles
+        );
+        assert!(
+            b_done.outcome.total > solo.total,
+            "co-resident total {} must exceed solo {}",
+            b_done.outcome.total.as_u64(),
+            solo.total.as_u64()
+        );
+        soc.fold_session_stats();
+        assert!(
+            soc.stats()
+                .counter(&format!("contention.job{b}.host_wait_cycles"))
+                >= 500
+        );
+    }
+
+    #[test]
+    fn session_partitions_are_reusable_after_completion() {
+        let mut soc = small_soc(1);
+        soc.bind_job(0, nop_job(CompletionSignal::Credit, 2));
+        let hp = || {
+            HostProgram::new(vec![
+                HostOp::CreditArm { threshold: 1 },
+                HostOp::StoreMailbox {
+                    cluster: 0,
+                    reg: ClusterReg::Wakeup,
+                    value: 1,
+                },
+                HostOp::WaitIrq,
+                HostOp::End,
+            ])
+        };
+        soc.begin_jobs();
+        let first = soc
+            .submit_job(hp(), ClusterMask::single(0), Cycle::ZERO)
+            .unwrap();
+        let done = match soc.advance_jobs(Cycle::MAX).unwrap() {
+            SessionProgress::Completed(c) => c,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        assert_eq!(done.job, first);
+        // Same partition, second tenant, later in the same session.
+        let at = soc.session_now();
+        let second = soc.submit_job(hp(), ClusterMask::single(0), at).unwrap();
+        let done2 = match soc.advance_jobs(Cycle::MAX).unwrap() {
+            SessionProgress::Completed(c) => c,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        assert_eq!(done2.job, second);
+        assert_eq!(
+            done2.outcome.total, done.outcome.total,
+            "a re-run on a drained SoC takes the same relative time"
+        );
+    }
+
+    #[test]
+    fn concurrent_sessions_are_deterministic() {
+        let run = || {
+            let mut soc = small_soc(2);
+            for c in 0..2 {
+                soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+            }
+            let hp = |cluster: usize| {
+                HostProgram::new(vec![
+                    HostOp::Compute(100),
+                    HostOp::CreditArm { threshold: 1 },
+                    HostOp::StoreMailbox {
+                        cluster,
+                        reg: ClusterReg::Wakeup,
+                        value: 1,
+                    },
+                    HostOp::WaitIrq,
+                    HostOp::End,
+                ])
+            };
+            soc.begin_jobs();
+            soc.submit_job(hp(0), ClusterMask::single(0), Cycle::ZERO)
+                .unwrap();
+            soc.submit_job(hp(1), ClusterMask::single(1), Cycle::ZERO)
+                .unwrap();
+            let mut finishes = Vec::new();
+            while let SessionProgress::Completed(c) = soc.advance_jobs(Cycle::MAX).unwrap() {
+                finishes.push((c.job, c.finished_at, c.host_wait_cycles));
+            }
+            finishes
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -96,6 +96,11 @@ pub fn chrome_trace_value(trace: &EventTrace) -> Value {
         if event.arg != 0 {
             args.push(("arg", Value::U64(event.arg)));
         }
+        // Job attribution from the concurrent-job SoC; omitted when
+        // untagged so single-job traces export byte-identically.
+        if event.job != 0 {
+            args.push(("job", Value::U64(event.job)));
+        }
         if !args.is_empty() {
             entry.push(("args", obj(args)));
         }
@@ -262,6 +267,20 @@ mod tests {
         assert!(json.contains("\"displayTimeUnit\""));
         assert!(json.contains("\"thread_name\""));
         assert!(json.contains("\"cluster0.dma\""));
+    }
+
+    #[test]
+    fn job_tags_export_only_when_set() {
+        let untagged = chrome_trace_json(&sample_trace());
+        assert!(!untagged.contains("\"job\""));
+
+        let mut t = EventTrace::enabled(16);
+        t.set_job(2);
+        let s = t.begin(Cycle::new(10), Unit::ClusterDma(1), EventKind::DmaIn);
+        t.end(Cycle::new(20), Unit::ClusterDma(1), EventKind::DmaIn, s);
+        let tagged = chrome_trace_json(&t);
+        assert!(tagged.contains("\"job\": 2"));
+        validate_chrome_trace(&tagged).expect("tagged trace stays schema-valid");
     }
 
     #[test]

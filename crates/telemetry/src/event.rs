@@ -191,6 +191,10 @@ pub struct TraceEvent {
     pub span: u64,
     /// Kind-specific payload (stall cycles, conflict count, job id, ...).
     pub arg: u64,
+    /// The concurrent-SoC job the event is attributed to; zero means
+    /// "untagged" (single-job runs and scheduler-side events), so legacy
+    /// traces render and export byte-identically.
+    pub job: u64,
 }
 
 impl fmt::Display for TraceEvent {
@@ -213,6 +217,9 @@ impl fmt::Display for TraceEvent {
         }
         if self.arg != 0 {
             write!(f, " arg={}", self.arg)?;
+        }
+        if self.job != 0 {
+            write!(f, " job={}", self.job)?;
         }
         Ok(())
     }
@@ -269,10 +276,15 @@ mod tests {
             mark: Mark::Begin,
             span: 7,
             arg: 0,
+            job: 0,
         };
         let s = e.to_string();
         assert!(s.contains("cluster1.dma"));
         assert!(s.contains("dma_in"));
         assert!(s.contains("span=7"));
+        assert!(!s.contains("job="), "untagged events omit the job field");
+
+        let tagged = TraceEvent { job: 3, ..e };
+        assert!(tagged.to_string().contains("job=3"));
     }
 }

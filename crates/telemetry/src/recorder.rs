@@ -37,6 +37,7 @@ pub struct EventTrace {
     events: VecDeque<TraceEvent>,
     dropped: u64,
     next_span: u64,
+    current_job: u64,
 }
 
 impl EventTrace {
@@ -48,6 +49,7 @@ impl EventTrace {
             events: VecDeque::new(),
             dropped: 0,
             next_span: 1,
+            current_job: 0,
         }
     }
 
@@ -59,6 +61,20 @@ impl EventTrace {
     /// `true` when events are being collected.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Sets the ambient job ID stamped onto subsequently recorded events
+    /// (via [`EventTrace::begin`], [`EventTrace::end`] and
+    /// [`EventTrace::instant`]). Zero — the default — means "untagged";
+    /// a concurrent-job SoC sets this before delivering each event to
+    /// attribute the resulting trace records to the owning tenant.
+    pub fn set_job(&mut self, job: u64) {
+        self.current_job = job;
+    }
+
+    /// The ambient job ID in effect (zero when untagged).
+    pub fn current_job(&self) -> u64 {
+        self.current_job
     }
 
     /// Records a fully-formed event (no-op when disabled).
@@ -89,6 +105,7 @@ impl EventTrace {
             mark: Mark::Begin,
             span,
             arg: 0,
+            job: self.current_job,
         });
         span
     }
@@ -106,6 +123,7 @@ impl EventTrace {
             mark: Mark::End,
             span,
             arg: 0,
+            job: self.current_job,
         });
     }
 
@@ -122,6 +140,7 @@ impl EventTrace {
             mark: Mark::Instant,
             span: 0,
             arg,
+            job: self.current_job,
         });
     }
 
@@ -141,6 +160,7 @@ impl EventTrace {
         self.events.clear();
         self.dropped = 0;
         self.next_span = if self.enabled { 1 } else { 0 };
+        self.current_job = 0;
     }
 
     /// Renders the events as a multi-line report.
@@ -222,6 +242,21 @@ mod tests {
         assert_eq!(first, again);
         assert_eq!(t.events().len(), 1);
         assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ambient_job_id_tags_events_until_changed() {
+        let mut t = EventTrace::enabled(16);
+        t.instant(Cycle::new(1), Unit::Host, EventKind::Irq, 0);
+        t.set_job(7);
+        let span = t.begin(Cycle::new(2), Unit::Cluster(0), EventKind::Wake);
+        t.end(Cycle::new(3), Unit::Cluster(0), EventKind::Wake, span);
+        t.set_job(0);
+        t.instant(Cycle::new(4), Unit::Host, EventKind::Irq, 0);
+        let jobs: Vec<u64> = t.events().iter().map(|e| e.job).collect();
+        assert_eq!(jobs, vec![0, 7, 7, 0]);
+        t.clear();
+        assert_eq!(t.current_job(), 0, "clear resets the ambient job");
     }
 
     #[test]

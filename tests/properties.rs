@@ -4,10 +4,12 @@
 
 use proptest::prelude::*;
 
-use mpsoc::kernels::{Axpby, Daxpy, Dot, Kernel, Scale, Sum, VecAdd};
+use mpsoc::kernels::{Axpby, Daxpy, Dot, Kernel, Memset, Scale, Sum, VecAdd};
+use mpsoc::noc::ClusterMask;
 use mpsoc::offload::decision::{max_problem_size, min_clusters};
-use mpsoc::offload::{OffloadStrategy, Offloader, RuntimeModel, Sample};
+use mpsoc::offload::{OffloadStrategy, Offloader, RuntimeModel, Sample, SessionStep};
 use mpsoc::sim::rng::SplitMix64;
+use mpsoc::sim::Cycle;
 use mpsoc::soc::SocConfig;
 
 fn operands(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
@@ -27,6 +29,63 @@ fn kernel_by_index(i: u8) -> Box<dyn Kernel> {
         3 => Box::new(VecAdd::new()),
         4 => Box::new(Dot::new()),
         _ => Box::new(Sum::new()),
+    }
+}
+
+/// The concurrent-session contract: a *single* job routed through the
+/// submit/advance path is cycle-identical to the legacy blocking
+/// `offload` path — for every zoo kernel under every dispatch × sync
+/// combination. This is what licenses `run_offload` (and every
+/// fig1/eq1/eq2 artifact built on it) to be a thin wrapper over the
+/// multi-tenant substrate.
+#[test]
+fn session_path_is_cycle_identical_to_blocking_path_for_the_zoo() {
+    let kernels: Vec<Box<dyn Kernel>> = vec![
+        Box::new(Daxpy::new(1.75)),
+        Box::new(Axpby::new(-0.25, 2.0)),
+        Box::new(Scale::new(3.5)),
+        Box::new(VecAdd::new()),
+        Box::new(Memset::new(7.5)),
+        Box::new(Dot::new()),
+        Box::new(Sum::new()),
+    ];
+    let (x, y) = operands(257, 0xC0FFEE);
+    for kernel in &kernels {
+        for strategy in OffloadStrategy::all() {
+            let mut legacy = Offloader::new(SocConfig::with_clusters(4)).expect("soc");
+            let want = legacy
+                .offload(kernel.as_ref(), &x, &y, 4, strategy)
+                .expect("blocking offload");
+
+            let mut session = Offloader::new(SocConfig::with_clusters(4)).expect("soc");
+            session.begin_jobs();
+            session
+                .submit_at(
+                    kernel.as_ref(),
+                    &x,
+                    &y,
+                    ClusterMask::first(4),
+                    strategy,
+                    Cycle::ZERO,
+                )
+                .expect("submit");
+            let got = loop {
+                match session.advance_jobs(Cycle::MAX).expect("advance") {
+                    SessionStep::Completed(t) => break t,
+                    SessionStep::Horizon => continue,
+                    SessionStep::Idle => panic!("session drained without a completion"),
+                }
+            };
+            let tag = format!("{} {strategy}", kernel.name());
+            assert_eq!(got.run.cycles(), want.cycles(), "total: {tag}");
+            assert_eq!(got.run.outcome.phases, want.outcome.phases, "phases: {tag}");
+            assert_eq!(
+                got.run.outcome.host_busy_cycles, want.outcome.host_busy_cycles,
+                "host busy: {tag}"
+            );
+            assert_eq!(got.run.result, want.result, "result: {tag}");
+            assert_eq!(got.host_wait_cycles, 0, "solo tenant never queues: {tag}");
+        }
     }
 }
 
