@@ -45,4 +45,16 @@ cargo run --release -q -p mpsoc-bench --bin interference -- \
 test -s "$trace_dir/interference_a.json"
 cmp "$trace_dir/interference_a.json" "$trace_dir/interference_b.json"
 
+echo "==> fault_sweep smoke test (self-healing offload under injected faults)"
+# The binary asserts the robustness claims itself (100% single-transient
+# recovery, verified-or-typed outcomes, smooth quarantine degradation);
+# two runs must serialize byte-identically — fault injection is a pure
+# function of (seed, site, occurrence), so determinism must survive it.
+cargo run --release -q -p mpsoc-bench --bin fault_sweep -- \
+    --smoke --json "$trace_dir/fault_a.json"
+cargo run --release -q -p mpsoc-bench --bin fault_sweep -- \
+    --smoke --json "$trace_dir/fault_b.json"
+test -s "$trace_dir/fault_a.json"
+cmp "$trace_dir/fault_a.json" "$trace_dir/fault_b.json"
+
 echo "==> ci green"

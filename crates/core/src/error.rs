@@ -50,6 +50,19 @@ pub enum OffloadError {
         /// Kernel name.
         kernel: String,
     },
+    /// Self-healing offload exhausted its retry budget without a
+    /// verified-correct completion.
+    RetriesExhausted {
+        /// Attempts made (initial dispatch plus retries).
+        attempts: u32,
+    },
+    /// After quarantine the surviving machine cannot run the job: no
+    /// healthy clusters remain, or the Eq. 3 deadline check says the
+    /// degraded cluster count is infeasible (and host fallback is off).
+    DegradedInfeasible {
+        /// Healthy clusters remaining.
+        available: usize,
+    },
 }
 
 impl fmt::Display for OffloadError {
@@ -79,6 +92,16 @@ impl fmt::Display for OffloadError {
             OffloadError::PipelineUnsupported { kernel } => {
                 write!(f, "kernel '{kernel}' does not support pipelined offload")
             }
+            OffloadError::RetriesExhausted { attempts } => {
+                write!(
+                    f,
+                    "no verified-correct completion after {attempts} attempts"
+                )
+            }
+            OffloadError::DegradedInfeasible { available } => write!(
+                f,
+                "job is infeasible on the degraded machine ({available} healthy clusters)"
+            ),
         }
     }
 }

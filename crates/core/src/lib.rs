@@ -50,6 +50,7 @@ pub mod decision;
 mod error;
 mod layout;
 pub mod model;
+mod recovery;
 mod runtime;
 mod strategy;
 mod verify;
@@ -58,6 +59,9 @@ pub use error::OffloadError;
 pub use model::{mape, ExtendedModel, FitReport, Predictor, RuntimeModel, Sample};
 pub use mpsoc_noc::ClusterMask;
 pub use mpsoc_soc::{ContentionReport, JobId};
+pub use recovery::{
+    AttemptOutcome, AttemptRecord, RecoveredResult, RecoveryPolicy, ResilientReport,
+};
 pub use runtime::{OffloadResult, OffloadRun, Offloader, RuntimeCosts, SessionStep, TenantRun};
 pub use strategy::{DispatchStrategy, OffloadStrategy, SyncStrategy};
 pub use verify::VerifyReport;

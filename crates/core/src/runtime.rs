@@ -60,6 +60,27 @@ pub enum OffloadResult {
     Scalar(f64),
 }
 
+impl OffloadResult {
+    /// Verifies this result against the kernel's golden reference over
+    /// the original operands (see [`OffloadRun::verify`]).
+    pub fn verify(&self, kernel: &dyn Kernel, x: &[f64], y: &[f64]) -> VerifyReport {
+        match (kernel.golden(x, y), self) {
+            (GoldenOutput::Vector(want), OffloadResult::Vector(got)) => {
+                VerifyReport::compare_vectors(got, &want, 0.0)
+            }
+            (GoldenOutput::Scalar(want), OffloadResult::Scalar(got)) => {
+                VerifyReport::compare_scalars(*got, want, 1e-9)
+            }
+            (GoldenOutput::Vector(want), OffloadResult::Scalar(_)) => {
+                VerifyReport::compare_vectors(&[], &want, 0.0)
+            }
+            (GoldenOutput::Scalar(want), OffloadResult::Vector(_)) => {
+                VerifyReport::compare_scalars(f64::NAN, want, 1e-9)
+            }
+        }
+    }
+}
+
 /// One completed offload: measurement plus result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OffloadRun {
@@ -87,20 +108,7 @@ impl OffloadRun {
     /// reference both use fused multiply-add); reductions are compared
     /// with a relative tolerance because the combination order differs.
     pub fn verify(&self, kernel: &dyn Kernel, x: &[f64], y: &[f64]) -> VerifyReport {
-        match (kernel.golden(x, y), &self.result) {
-            (GoldenOutput::Vector(want), OffloadResult::Vector(got)) => {
-                VerifyReport::compare_vectors(got, &want, 0.0)
-            }
-            (GoldenOutput::Scalar(want), OffloadResult::Scalar(got)) => {
-                VerifyReport::compare_scalars(*got, want, 1e-9)
-            }
-            (GoldenOutput::Vector(want), OffloadResult::Scalar(_)) => {
-                VerifyReport::compare_vectors(&[], &want, 0.0)
-            }
-            (GoldenOutput::Scalar(want), OffloadResult::Vector(_)) => {
-                VerifyReport::compare_scalars(f64::NAN, want, 1e-9)
-            }
-        }
+        self.result.verify(kernel, x, y)
     }
 }
 
@@ -124,6 +132,13 @@ pub struct TenantRun {
     /// Shared-resource interference (NoC stall, HBM queueing, AMO wait)
     /// attributed to this job.
     pub contention: ContentionReport,
+    /// Bitmask of the job's clusters whose DMA engine flagged a CRC
+    /// mismatch — the architecturally visible corruption signal the
+    /// self-healing runtime retries on. Zero on every fault-free run.
+    pub corrupt_clusters: u64,
+    /// Injected faults attributed to this job (diagnostic ground truth;
+    /// recovery keys off observable signals only).
+    pub faults_injected: u64,
     /// The measurement and result, timestamps relative to submission.
     pub run: OffloadRun,
 }
@@ -164,6 +179,12 @@ pub struct Offloader {
     /// Live main-memory regions `(start_word, words)`, sorted by start:
     /// the deterministic first-fit allocator for concurrent tenants.
     regions: Vec<(u64, u64)>,
+    /// Per-cluster fault-implication strikes accumulated by the
+    /// self-healing path (see [`Offloader::offload_resilient`]).
+    pub(crate) strikes: Vec<u32>,
+    /// Clusters quarantined after reaching the strike limit; excluded
+    /// from every future resilient dispatch.
+    pub(crate) quarantined: ClusterMask,
 }
 
 impl Offloader {
@@ -173,11 +194,14 @@ impl Offloader {
     ///
     /// Returns [`OffloadError::Soc`] for an invalid configuration.
     pub fn new(config: SocConfig) -> Result<Self, OffloadError> {
+        let clusters = config.clusters;
         Ok(Offloader {
             soc: Soc::new(config)?,
             costs: RuntimeCosts::default(),
             pending: Vec::new(),
             regions: Vec::new(),
+            strikes: vec![0; clusters],
+            quarantined: ClusterMask::default(),
         })
     }
 
@@ -187,11 +211,14 @@ impl Offloader {
     ///
     /// Returns [`OffloadError::Soc`] for an invalid configuration.
     pub fn with_costs(config: SocConfig, costs: RuntimeCosts) -> Result<Self, OffloadError> {
+        let clusters = config.clusters;
         Ok(Offloader {
             soc: Soc::new(config)?,
             costs,
             pending: Vec::new(),
             regions: Vec::new(),
+            strikes: vec![0; clusters],
+            quarantined: ClusterMask::default(),
         })
     }
 
@@ -724,6 +751,8 @@ impl Offloader {
                     finished_at: c.finished_at,
                     host_wait_cycles: c.host_wait_cycles,
                     contention: c.contention,
+                    corrupt_clusters: c.corrupt_clusters,
+                    faults_injected: c.faults_injected,
                     run: OffloadRun {
                         outcome: c.outcome,
                         result,

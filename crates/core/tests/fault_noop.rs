@@ -1,0 +1,82 @@
+//! The fault layer's no-op guarantee, enforced end to end: installing a
+//! zero-fault [`FaultPlan`] (any seed, every site disarmed) must leave
+//! every offload **byte-identical** to a run with no plan installed —
+//! across the kernel zoo and all dispatch × sync strategies. Every
+//! fault hook in the SoC must therefore be a single untaken branch when
+//! its site is disarmed; any timing or RNG perturbation shows up here
+//! as a serialization diff.
+
+use mpsoc_kernels::{Axpby, Daxpy, Dot, Kernel, Memset, Scale, Sum, VecAdd};
+use mpsoc_offload::{OffloadStrategy, Offloader};
+use mpsoc_soc::{FaultPlan, SocConfig};
+use proptest::prelude::*;
+
+/// The kernel zoo, freshly instantiated (kernels are stateless).
+fn zoo() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(Daxpy::new(2.0)),
+        Box::new(Axpby::new(1.5, -0.5)),
+        Box::new(Scale::new(3.0)),
+        Box::new(VecAdd),
+        Box::new(Memset::new(7.0)),
+        Box::new(Dot),
+        Box::new(Sum),
+    ]
+}
+
+fn operands(n: usize, kernel: &dyn Kernel) -> (Vec<f64>, Vec<f64>) {
+    let x_len = n * kernel.x_words_per_elem() as usize;
+    let x: Vec<f64> = (0..x_len).map(|i| (i % 61) as f64 * 0.25 - 3.0).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i % 17) as f64 + 0.5).collect();
+    (x, y)
+}
+
+/// One offload serialized to its JSON artifact bytes.
+fn run_bytes(
+    kernel: &dyn Kernel,
+    n: usize,
+    m: usize,
+    strategy: OffloadStrategy,
+    plan: Option<FaultPlan>,
+) -> String {
+    let mut off = Offloader::new(SocConfig::with_clusters(m)).expect("soc");
+    if let Some(plan) = plan {
+        off.install_faults(plan);
+    }
+    let (x, y) = operands(n, kernel);
+    let run = off.offload(kernel, &x, &y, m, strategy).expect("offload");
+    serde_json::to_string(&run).expect("serialize")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Zero-fault plans are observationally invisible, whatever their
+    /// seed: the serialized run artifact is byte-identical.
+    #[test]
+    fn zero_fault_plan_keeps_runs_byte_identical(
+        seed in any::<u64>(),
+        n in 64usize..512,
+        m in 1usize..5,
+    ) {
+        for kernel in zoo() {
+            for strategy in OffloadStrategy::all() {
+                let clean = run_bytes(kernel.as_ref(), n, m, strategy, None);
+                let planned = run_bytes(
+                    kernel.as_ref(),
+                    n,
+                    m,
+                    strategy,
+                    Some(FaultPlan::with_seed(seed)),
+                );
+                prop_assert_eq!(
+                    &clean,
+                    &planned,
+                    "kernel {} under {:?} diverged with a zero-fault plan",
+                    kernel.name(),
+                    strategy
+                );
+            }
+        }
+    }
+}

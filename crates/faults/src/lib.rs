@@ -1,0 +1,753 @@
+//! # mpsoc-faults
+//!
+//! Deterministic, seeded fault injection for the MPSoC simulator.
+//!
+//! A production MPSoC serving millions of offloads cannot assume every
+//! dispatch beat, DMA burst and credit increment lands. This crate
+//! defines *where* faults can strike (the [`FaultKind`] injection
+//! points, each wired into a specific hardware model in `mpsoc-noc`,
+//! `mpsoc-mem` and `mpsoc-soc`) and *when* they strike (a [`FaultPlan`]
+//! of per-site rates and forced occurrences, drawn from the workspace's
+//! [`SplitMix64`] stream).
+//!
+//! ## Determinism
+//!
+//! Fault decisions are a stateless pseudo-random function of
+//! `(plan seed, site salt, occurrence index)` — not a shared consumed
+//! stream. Two consequences:
+//!
+//! - Two identical processes running the same plan see the *same* fault
+//!   sequence (CI can require byte-identical artifacts under injected
+//!   faults).
+//! - Occurrence counters persist across offload attempts on one SoC, so
+//!   a *retry* of a faulted job sees fresh coin flips: transient faults
+//!   are transient, exactly as on hardware, without sacrificing
+//!   cross-process reproducibility.
+//!
+//! ## The no-op guarantee
+//!
+//! [`FaultPlan::none`] (all rates zero, no forced occurrences, no dead
+//! clusters, no outages) must be observationally identical to running
+//! without any plan installed: every hook reduces to a single untaken
+//! branch, no RNG is consumed, and all timing artifacts stay
+//! byte-stable. `mpsoc-offload` carries a property test enforcing this
+//! across the kernel zoo and all dispatch × sync strategies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mpsoc_sim::rng::SplitMix64;
+use mpsoc_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Golden-ratio increment used to decorrelate occurrence indices before
+/// they enter the per-site PRF (same constant as SplitMix64's stream
+/// increment).
+const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The hardware points where a fault can strike.
+///
+/// Each variant corresponds to one hook wired into a hardware model;
+/// the salt keeps the per-site PRF streams independent even under equal
+/// seeds and occurrence indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A multicast (or sequential) dispatch beat to one cluster is
+    /// silently dropped: the mailbox write never arrives.
+    DispatchDrop,
+    /// A dispatch beat is duplicated: the mailbox write lands twice.
+    DispatchDup,
+    /// A cluster's wakeup fires but the cores never come out of reset —
+    /// the worker never wakes.
+    WakeLoss,
+    /// A completion credit increment is lost on its way to the credit
+    /// counter; the barrier threshold is never reached.
+    CreditLoss,
+    /// A DMA burst is corrupted in flight. The engine's checksum unit
+    /// detects the corruption and flags the cluster.
+    DmaCorrupt,
+    /// A DMA burst stalls for extra cycles before completing (link-level
+    /// retry); timing-only, no data loss.
+    DmaStall,
+    /// An atomic fetch-add at the HBM AMO unit is acknowledged but the
+    /// memory update is lost.
+    AmoDrop,
+    /// A delivery fell into a NoC outage window and was deferred until
+    /// the link came back up.
+    NocOutage,
+    /// A cluster configured as permanently dead refused to wake.
+    DeadCluster,
+}
+
+impl FaultKind {
+    /// Every stochastic site kind, in a fixed order (excludes the
+    /// window-based [`FaultKind::NocOutage`] and static
+    /// [`FaultKind::DeadCluster`], which are not coin-flip sites).
+    pub const SITES: [FaultKind; 7] = [
+        FaultKind::DispatchDrop,
+        FaultKind::DispatchDup,
+        FaultKind::WakeLoss,
+        FaultKind::CreditLoss,
+        FaultKind::DmaCorrupt,
+        FaultKind::DmaStall,
+        FaultKind::AmoDrop,
+    ];
+
+    /// Short stable lowercase name (used in reports and tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::DispatchDrop => "dispatch_drop",
+            FaultKind::DispatchDup => "dispatch_dup",
+            FaultKind::WakeLoss => "wake_loss",
+            FaultKind::CreditLoss => "credit_loss",
+            FaultKind::DmaCorrupt => "dma_corrupt",
+            FaultKind::DmaStall => "dma_stall",
+            FaultKind::AmoDrop => "amo_drop",
+            FaultKind::NocOutage => "noc_outage",
+            FaultKind::DeadCluster => "dead_cluster",
+        }
+    }
+
+    /// The per-site PRF salt.
+    const fn salt(self) -> u64 {
+        match self {
+            FaultKind::DispatchDrop => 0xD15B_A7C4_0001_A001,
+            FaultKind::DispatchDup => 0xD15B_A7C4_0002_B003,
+            FaultKind::WakeLoss => 0xD15B_A7C4_0003_C005,
+            FaultKind::CreditLoss => 0xD15B_A7C4_0004_D007,
+            FaultKind::DmaCorrupt => 0xD15B_A7C4_0005_E009,
+            FaultKind::DmaStall => 0xD15B_A7C4_0006_F00B,
+            FaultKind::AmoDrop => 0xD15B_A7C4_0007_A00D,
+            FaultKind::NocOutage => 0xD15B_A7C4_0008_B00F,
+            FaultKind::DeadCluster => 0xD15B_A7C4_0009_C011,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Specification of one stochastic fault site: a biased coin plus an
+/// optional list of occurrence indices that fire deterministically
+/// (`forced`), which is how experiments inject *exactly one* transient
+/// fault at a chosen point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Probability in `[0, 1]` that any given occurrence faults.
+    pub rate: f64,
+    /// Occurrence indices (0-based, per site) that always fault.
+    pub forced: Vec<u64>,
+}
+
+impl SiteSpec {
+    /// A site that never fires.
+    pub fn off() -> Self {
+        SiteSpec {
+            rate: 0.0,
+            forced: Vec::new(),
+        }
+    }
+
+    /// A purely stochastic site.
+    pub fn rate(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        SiteSpec {
+            rate,
+            forced: Vec::new(),
+        }
+    }
+
+    /// A site that fires exactly at the given occurrence index — the
+    /// canonical "single transient fault".
+    pub fn once_at(occurrence: u64) -> Self {
+        SiteSpec {
+            rate: 0.0,
+            forced: vec![occurrence],
+        }
+    }
+
+    /// Whether this site can ever fire.
+    pub fn is_armed(&self) -> bool {
+        self.rate > 0.0 || !self.forced.is_empty()
+    }
+}
+
+impl Default for SiteSpec {
+    fn default() -> Self {
+        SiteSpec::off()
+    }
+}
+
+/// A transient NoC link outage: deliveries whose arrival cycle falls in
+/// `[start, end)` are deferred to `end` (the link replays them once it
+/// is back up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// First cycle of the outage.
+    pub start: u64,
+    /// First cycle after the outage (deliveries resume here).
+    pub end: u64,
+}
+
+impl OutageWindow {
+    /// Defers `at` to the end of the window if it falls inside it.
+    pub fn defer(&self, at: Cycle) -> Option<Cycle> {
+        let t = at.as_u64();
+        (t >= self.start && t < self.end).then(|| Cycle::new(self.end))
+    }
+}
+
+/// A complete, serializable fault-injection plan.
+///
+/// All fields default to "never fault"; [`FaultPlan::none`] is the
+/// explicit no-op plan with the byte-identical guarantee documented at
+/// the crate root.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the per-site PRF streams.
+    pub seed: u64,
+    /// Dropped dispatch beats ([`FaultKind::DispatchDrop`]).
+    pub dispatch_drop: SiteSpec,
+    /// Duplicated dispatch beats ([`FaultKind::DispatchDup`]).
+    pub dispatch_dup: SiteSpec,
+    /// Lost cluster wakeups ([`FaultKind::WakeLoss`]).
+    pub wake_loss: SiteSpec,
+    /// Lost credit increments ([`FaultKind::CreditLoss`]).
+    pub credit_loss: SiteSpec,
+    /// Corrupted DMA bursts ([`FaultKind::DmaCorrupt`]).
+    pub dma_corrupt: SiteSpec,
+    /// Stalled DMA bursts ([`FaultKind::DmaStall`]).
+    pub dma_stall: SiteSpec,
+    /// Lost AMO updates ([`FaultKind::AmoDrop`]).
+    pub amo_drop: SiteSpec,
+    /// Extra cycles a stalled DMA burst takes.
+    pub dma_stall_cycles: u64,
+    /// Clusters that never wake, as a bitmask (bit `i` = cluster `i`).
+    pub dead_clusters: u64,
+    /// Transient NoC link outages.
+    pub noc_outages: Vec<OutageWindow>,
+}
+
+impl FaultPlan {
+    /// The explicit no-fault plan: observationally identical to running
+    /// without any plan installed.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            dispatch_drop: SiteSpec::off(),
+            dispatch_dup: SiteSpec::off(),
+            wake_loss: SiteSpec::off(),
+            credit_loss: SiteSpec::off(),
+            dma_corrupt: SiteSpec::off(),
+            dma_stall: SiteSpec::off(),
+            amo_drop: SiteSpec::off(),
+            dma_stall_cycles: 0,
+            dead_clusters: 0,
+            noc_outages: Vec::new(),
+        }
+    }
+
+    /// A no-fault plan carrying a seed (convenient base to build on).
+    pub fn with_seed(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Whether the plan can never inject anything.
+    pub fn is_noop(&self) -> bool {
+        !self.dispatch_drop.is_armed()
+            && !self.dispatch_dup.is_armed()
+            && !self.wake_loss.is_armed()
+            && !self.credit_loss.is_armed()
+            && !self.dma_corrupt.is_armed()
+            && !self.dma_stall.is_armed()
+            && !self.amo_drop.is_armed()
+            && self.dead_clusters == 0
+            && self.noc_outages.is_empty()
+    }
+
+    /// The spec of one stochastic site.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the non-site kinds [`FaultKind::NocOutage`] and
+    /// [`FaultKind::DeadCluster`].
+    pub fn spec(&self, kind: FaultKind) -> &SiteSpec {
+        match kind {
+            FaultKind::DispatchDrop => &self.dispatch_drop,
+            FaultKind::DispatchDup => &self.dispatch_dup,
+            FaultKind::WakeLoss => &self.wake_loss,
+            FaultKind::CreditLoss => &self.credit_loss,
+            FaultKind::DmaCorrupt => &self.dma_corrupt,
+            FaultKind::DmaStall => &self.dma_stall,
+            FaultKind::AmoDrop => &self.amo_drop,
+            FaultKind::NocOutage | FaultKind::DeadCluster => {
+                panic!("{kind} is not a stochastic site")
+            }
+        }
+    }
+
+    /// Builds the live state for one stochastic site.
+    pub fn site(&self, kind: FaultKind) -> FaultSite {
+        let spec = self.spec(kind);
+        let mut forced = spec.forced.clone();
+        forced.sort_unstable();
+        FaultSite {
+            seed: self.seed,
+            salt: kind.salt(),
+            rate: spec.rate,
+            forced,
+            occurrences: 0,
+            fired: 0,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Live state of one stochastic fault site: the plan's coin plus a
+/// persistent occurrence counter.
+///
+/// The decision for occurrence `i` is
+/// `SplitMix64::new(seed ^ salt ^ mix(i)).next_f64() < rate` — a pure
+/// function of the plan and the index, so identical processes agree on
+/// the fault sequence while retries (which advance the counter) see
+/// fresh draws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSite {
+    seed: u64,
+    salt: u64,
+    rate: f64,
+    forced: Vec<u64>,
+    occurrences: u64,
+    fired: u64,
+}
+
+impl FaultSite {
+    /// A site that never fires (no plan installed).
+    pub fn off() -> Self {
+        FaultPlan::none().site(FaultKind::DispatchDrop)
+    }
+
+    /// Whether this site can ever fire. Hooks check this first so a
+    /// disarmed site is a single untaken branch: no counter bump, no
+    /// RNG.
+    pub fn is_armed(&self) -> bool {
+        self.rate > 0.0 || !self.forced.is_empty()
+    }
+
+    /// Draws the next occurrence's fate.
+    pub fn fire(&mut self) -> bool {
+        if !self.is_armed() {
+            return false;
+        }
+        let i = self.occurrences;
+        self.occurrences += 1;
+        let hit = if self.forced.binary_search(&i).is_ok() {
+            true
+        } else if self.rate > 0.0 {
+            SplitMix64::new(self.seed ^ self.salt ^ i.wrapping_mul(MIX)).next_f64() < self.rate
+        } else {
+            false
+        };
+        if hit {
+            self.fired += 1;
+        }
+        hit
+    }
+
+    /// Occurrences drawn so far.
+    pub fn occurrences(&self) -> u64 {
+        self.occurrences
+    }
+
+    /// Occurrences that faulted so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+}
+
+/// One injected fault, for attribution, stats and telemetry.
+///
+/// Records are the injector's *ground truth* log. Recovery code must
+/// not read it — detection works from observable hardware state (missed
+/// watchdog deadlines, checksum flags, incomplete clusters) — but
+/// benches and stats use it to validate detection coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Cycle the fault was injected.
+    pub at: Cycle,
+    /// What struck.
+    pub kind: FaultKind,
+    /// Cluster involved, when the site is cluster-attributable.
+    pub cluster: Option<usize>,
+    /// Job the faulted transaction belonged to.
+    pub job: u64,
+}
+
+/// Aggregate injected-fault counts, serializable for JSON artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Dropped dispatch beats.
+    pub dispatch_drop: u64,
+    /// Duplicated dispatch beats.
+    pub dispatch_dup: u64,
+    /// Lost wakeups.
+    pub wake_loss: u64,
+    /// Lost credit increments.
+    pub credit_loss: u64,
+    /// Corrupted DMA bursts.
+    pub dma_corrupt: u64,
+    /// Stalled DMA bursts.
+    pub dma_stall: u64,
+    /// Dropped AMO updates.
+    pub amo_drop: u64,
+    /// Deliveries deferred by NoC outages.
+    pub noc_outage: u64,
+    /// Wakeups refused by permanently dead clusters.
+    pub dead_cluster: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of all kinds.
+    pub fn total(&self) -> u64 {
+        self.dispatch_drop
+            + self.dispatch_dup
+            + self.wake_loss
+            + self.credit_loss
+            + self.dma_corrupt
+            + self.dma_stall
+            + self.amo_drop
+            + self.noc_outage
+            + self.dead_cluster
+    }
+
+    fn bump(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::DispatchDrop => self.dispatch_drop += 1,
+            FaultKind::DispatchDup => self.dispatch_dup += 1,
+            FaultKind::WakeLoss => self.wake_loss += 1,
+            FaultKind::CreditLoss => self.credit_loss += 1,
+            FaultKind::DmaCorrupt => self.dma_corrupt += 1,
+            FaultKind::DmaStall => self.dma_stall += 1,
+            FaultKind::AmoDrop => self.amo_drop += 1,
+            FaultKind::NocOutage => self.noc_outage += 1,
+            FaultKind::DeadCluster => self.dead_cluster += 1,
+        }
+    }
+}
+
+/// The aggregate injector a SoC owns: live site states, the static
+/// dead-cluster set, the ground-truth fault log and running stats.
+///
+/// NoC outage windows and the AMO site are *not* held here — they are
+/// installed directly into the interconnect and main-memory models,
+/// which report their own counts.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    dispatch_drop: FaultSite,
+    dispatch_dup: FaultSite,
+    wake_loss: FaultSite,
+    credit_loss: FaultSite,
+    dma_corrupt: FaultSite,
+    dma_stall: FaultSite,
+    records: Vec<FaultRecord>,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            dispatch_drop: plan.site(FaultKind::DispatchDrop),
+            dispatch_dup: plan.site(FaultKind::DispatchDup),
+            wake_loss: plan.site(FaultKind::WakeLoss),
+            credit_loss: plan.site(FaultKind::CreditLoss),
+            dma_corrupt: plan.site(FaultKind::DmaCorrupt),
+            dma_stall: plan.site(FaultKind::DmaStall),
+            records: Vec::new(),
+            stats: FaultStats::default(),
+            plan,
+        }
+    }
+
+    /// The no-op injector (equivalent to no plan installed).
+    pub fn noop() -> Self {
+        FaultInjector::new(FaultPlan::none())
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether the injector can never fault anything.
+    pub fn is_noop(&self) -> bool {
+        self.plan.is_noop()
+    }
+
+    fn site_mut(&mut self, kind: FaultKind) -> &mut FaultSite {
+        match kind {
+            FaultKind::DispatchDrop => &mut self.dispatch_drop,
+            FaultKind::DispatchDup => &mut self.dispatch_dup,
+            FaultKind::WakeLoss => &mut self.wake_loss,
+            FaultKind::CreditLoss => &mut self.credit_loss,
+            FaultKind::DmaCorrupt => &mut self.dma_corrupt,
+            FaultKind::DmaStall => &mut self.dma_stall,
+            FaultKind::AmoDrop | FaultKind::NocOutage | FaultKind::DeadCluster => {
+                panic!("{kind} is not injected through the SoC injector")
+            }
+        }
+    }
+
+    /// Draws one occurrence at site `kind`; on a hit, logs the fault.
+    /// Disarmed sites return `false` without consuming anything.
+    pub fn fire(&mut self, kind: FaultKind, at: Cycle, cluster: Option<usize>, job: u64) -> bool {
+        let site = self.site_mut(kind);
+        if !site.is_armed() {
+            return false;
+        }
+        if site.fire() {
+            self.note(kind, at, cluster, job);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Logs a fault decided elsewhere (dead clusters, units owning their
+    /// own sites).
+    pub fn note(&mut self, kind: FaultKind, at: Cycle, cluster: Option<usize>, job: u64) {
+        self.records.push(FaultRecord {
+            at,
+            kind,
+            cluster,
+            job,
+        });
+        self.stats.bump(kind);
+    }
+
+    /// Whether `cluster` is configured to never wake.
+    pub fn cluster_is_dead(&self, cluster: usize) -> bool {
+        cluster < 64 && (self.plan.dead_clusters >> cluster) & 1 == 1
+    }
+
+    /// Extra cycles a stalled DMA burst takes.
+    pub fn dma_stall_cycles(&self) -> u64 {
+        self.plan.dma_stall_cycles
+    }
+
+    /// The ground-truth fault log since the last [`FaultInjector::clear_records`].
+    pub fn records(&self) -> &[FaultRecord] {
+        &self.records
+    }
+
+    /// Clears the fault log (site counters persist — retries must see
+    /// fresh draws, not a replay).
+    pub fn clear_records(&mut self) {
+        self.records.clear();
+    }
+
+    /// Running injected-fault counts since construction.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::noop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn noop_plan_never_fires_and_consumes_nothing() {
+        let mut inj = FaultInjector::noop();
+        assert!(inj.is_noop());
+        for kind in FaultKind::SITES {
+            if kind == FaultKind::AmoDrop {
+                continue;
+            }
+            for _ in 0..100 {
+                assert!(!inj.fire(kind, Cycle::new(5), Some(0), 0));
+            }
+        }
+        assert_eq!(inj.stats().total(), 0);
+        assert!(inj.records().is_empty());
+        // Disarmed sites must not even advance their counters.
+        assert_eq!(inj.dispatch_drop.occurrences(), 0);
+    }
+
+    #[test]
+    fn forced_occurrence_fires_exactly_once() {
+        let mut plan = FaultPlan::with_seed(7);
+        plan.credit_loss = SiteSpec::once_at(3);
+        let mut inj = FaultInjector::new(plan);
+        let fired: Vec<bool> = (0..8)
+            .map(|i| inj.fire(FaultKind::CreditLoss, Cycle::new(i), Some(1), 42))
+            .collect();
+        assert_eq!(
+            fired,
+            vec![false, false, false, true, false, false, false, false]
+        );
+        assert_eq!(inj.stats().credit_loss, 1);
+        assert_eq!(inj.records().len(), 1);
+        assert_eq!(inj.records()[0].kind, FaultKind::CreditLoss);
+        assert_eq!(inj.records()[0].cluster, Some(1));
+        assert_eq!(inj.records()[0].job, 42);
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_seed_and_index() {
+        let plan = {
+            let mut p = FaultPlan::with_seed(0xFA_117);
+            p.dispatch_drop = SiteSpec::rate(0.3);
+            p
+        };
+        let draw = |n: usize| -> Vec<bool> {
+            let mut inj = FaultInjector::new(plan.clone());
+            (0..n)
+                .map(|_| inj.fire(FaultKind::DispatchDrop, Cycle::ZERO, None, 0))
+                .collect()
+        };
+        assert_eq!(draw(200), draw(200));
+        // A different seed decorrelates the stream.
+        let other = {
+            let mut p = plan.clone();
+            p.seed ^= 1;
+            let mut inj = FaultInjector::new(p);
+            (0..200)
+                .map(|_| inj.fire(FaultKind::DispatchDrop, Cycle::ZERO, None, 0))
+                .collect::<Vec<bool>>()
+        };
+        assert_ne!(draw(200), other);
+    }
+
+    #[test]
+    fn sites_are_independent_streams() {
+        let mut plan = FaultPlan::with_seed(9);
+        plan.dispatch_drop = SiteSpec::rate(0.5);
+        plan.credit_loss = SiteSpec::rate(0.5);
+        let mut inj = FaultInjector::new(plan);
+        let a: Vec<bool> = (0..64)
+            .map(|_| inj.fire(FaultKind::DispatchDrop, Cycle::ZERO, None, 0))
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|_| inj.fire(FaultKind::CreditLoss, Cycle::ZERO, None, 0))
+            .collect();
+        assert_ne!(a, b, "salts must decorrelate sites");
+    }
+
+    #[test]
+    fn rates_are_respected_in_the_long_run() {
+        let mut plan = FaultPlan::with_seed(3);
+        plan.dma_stall = SiteSpec::rate(0.2);
+        let mut site = plan.site(FaultKind::DmaStall);
+        let n = 20_000;
+        let mut hits = 0;
+        for _ in 0..n {
+            if site.fire() {
+                hits += 1;
+            }
+        }
+        let observed = hits as f64 / n as f64;
+        assert!(
+            (observed - 0.2).abs() < 0.02,
+            "observed rate {observed} too far from 0.2"
+        );
+    }
+
+    #[test]
+    fn outage_windows_defer_only_inside() {
+        let w = OutageWindow {
+            start: 100,
+            end: 150,
+        };
+        assert_eq!(w.defer(Cycle::new(99)), None);
+        assert_eq!(w.defer(Cycle::new(100)), Some(Cycle::new(150)));
+        assert_eq!(w.defer(Cycle::new(149)), Some(Cycle::new(150)));
+        assert_eq!(w.defer(Cycle::new(150)), None);
+    }
+
+    #[test]
+    fn dead_clusters_decode_from_the_bitmask() {
+        let mut plan = FaultPlan::none();
+        plan.dead_clusters = 0b1010;
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.cluster_is_dead(0));
+        assert!(inj.cluster_is_dead(1));
+        assert!(!inj.cluster_is_dead(2));
+        assert!(inj.cluster_is_dead(3));
+        assert!(!inj.cluster_is_dead(64));
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let mut plan = FaultPlan::with_seed(11);
+        plan.dispatch_drop = SiteSpec::rate(0.1);
+        plan.wake_loss = SiteSpec::once_at(2);
+        plan.dma_stall_cycles = 400;
+        plan.dead_clusters = 0b100;
+        plan.noc_outages = vec![OutageWindow { start: 10, end: 20 }];
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(plan, back);
+    }
+
+    proptest! {
+        /// Any plan with every site disarmed is a no-op, regardless of
+        /// seed or stall parameter.
+        #[test]
+        fn disarmed_plans_are_noops(seed in any::<u64>(), stall in 0u64..10_000) {
+            let mut plan = FaultPlan::with_seed(seed);
+            plan.dma_stall_cycles = stall; // irrelevant while the site is off
+            prop_assert!(plan.is_noop());
+            let mut inj = FaultInjector::new(plan);
+            for _ in 0..32 {
+                prop_assert!(!inj.fire(FaultKind::DispatchDrop, Cycle::ZERO, None, 0));
+                prop_assert!(!inj.fire(FaultKind::CreditLoss, Cycle::ZERO, None, 0));
+            }
+            prop_assert_eq!(inj.stats().total(), 0);
+        }
+
+        /// The PRF never depends on call interleaving: drawing sites in
+        /// different orders yields the same per-site sequences.
+        #[test]
+        fn interleaving_does_not_change_streams(seed in any::<u64>()) {
+            let mut plan = FaultPlan::with_seed(seed);
+            plan.dispatch_drop = SiteSpec::rate(0.4);
+            plan.dma_corrupt = SiteSpec::rate(0.4);
+            // Sequential: all drops, then all corrupts.
+            let mut a = FaultInjector::new(plan.clone());
+            let drops_a: Vec<bool> =
+                (0..32).map(|_| a.fire(FaultKind::DispatchDrop, Cycle::ZERO, None, 0)).collect();
+            let corrupts_a: Vec<bool> =
+                (0..32).map(|_| a.fire(FaultKind::DmaCorrupt, Cycle::ZERO, None, 0)).collect();
+            // Interleaved.
+            let mut b = FaultInjector::new(plan);
+            let mut drops_b = Vec::new();
+            let mut corrupts_b = Vec::new();
+            for _ in 0..32 {
+                drops_b.push(b.fire(FaultKind::DispatchDrop, Cycle::ZERO, None, 0));
+                corrupts_b.push(b.fire(FaultKind::DmaCorrupt, Cycle::ZERO, None, 0));
+            }
+            prop_assert_eq!(drops_a, drops_b);
+            prop_assert_eq!(corrupts_a, corrupts_b);
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! The shared main-memory system (HBM-class).
 
+use mpsoc_faults::FaultSite;
 use mpsoc_sim::stats::StatsRegistry;
 use mpsoc_sim::{Cycle, ThroughputResource, UnitResource};
 
@@ -41,6 +42,7 @@ pub struct MainMemory {
     latency: Cycle,
     atomic_unit: UnitResource,
     atomic_service: Cycle,
+    amo_faults: FaultSite,
     stats: StatsRegistry,
 }
 
@@ -68,8 +70,22 @@ impl MainMemory {
             latency,
             atomic_unit: UnitResource::new(),
             atomic_service,
+            amo_faults: FaultSite::off(),
             stats: StatsRegistry::new(),
         }
+    }
+
+    /// Installs the AMO-drop fault site (fault injection): occurrences
+    /// it selects are acknowledged and timed normally but the memory
+    /// update is silently lost. The default disarmed site is a single
+    /// untaken branch.
+    pub fn set_amo_faults(&mut self, site: FaultSite) {
+        self.amo_faults = site;
+    }
+
+    /// AMO updates dropped by fault injection so far.
+    pub fn amo_drops(&self) -> u64 {
+        self.amo_faults.fired()
     }
 
     /// Collected statistics: HBM queueing and atomic-unit contention
@@ -179,7 +195,15 @@ impl MainMemory {
             self.stats
                 .observe("contention.hbm.amo_wait_cycles", (start - at).as_f64());
         }
-        let value = self.store.fetch_add_u64(addr, delta)?;
+        // A dropped AMO is acknowledged with the *stale* value and full
+        // timing: the requester cannot tell locally that the update was
+        // lost, exactly like a silent datapath fault.
+        let value = if self.amo_faults.is_armed() && self.amo_faults.fire() {
+            self.stats.incr("faults.amo_drops");
+            self.store.read_u64(addr)?
+        } else {
+            self.store.fetch_add_u64(addr, delta)?
+        };
         Ok((value, start + self.atomic_service + self.latency))
     }
 
@@ -291,6 +315,30 @@ mod tests {
 
         m.reset_timing();
         assert_eq!(m.stats().counter("contention.hbm.queue_events"), 0);
+    }
+
+    #[test]
+    fn dropped_amo_keeps_timing_but_loses_the_update() {
+        use mpsoc_faults::{FaultKind, FaultPlan, SiteSpec};
+        let mut m = mem();
+        let mut plan = FaultPlan::with_seed(1);
+        plan.amo_drop = SiteSpec::once_at(1); // second AMO faults
+        m.set_amo_faults(plan.site(FaultKind::AmoDrop));
+        let addr = Addr::new(0x8000_0000);
+        let (v1, t1) = m.amo_add(Cycle::ZERO, addr, 1).unwrap();
+        let (v2, t2) = m.amo_add(Cycle::ZERO, addr, 1).unwrap();
+        let (v3, t3) = m.amo_add(Cycle::ZERO, addr, 1).unwrap();
+        // The dropped AMO acknowledges the stale value; the next one
+        // lands on the un-incremented counter.
+        assert_eq!((v1, v2, v3), (1, 1, 2));
+        // Timing is identical to the fault-free test above.
+        assert_eq!(
+            (t1, t2, t3),
+            (Cycle::new(24), Cycle::new(28), Cycle::new(32))
+        );
+        assert_eq!(m.amo_drops(), 1);
+        assert_eq!(m.stats().counter("faults.amo_drops"), 1);
+        assert_eq!(m.store().read_u64(addr).unwrap(), 2);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The interconnect timing engine.
 
+use mpsoc_faults::OutageWindow;
 use mpsoc_sim::stats::StatsRegistry;
 use mpsoc_sim::{Cycle, UnitResource};
 
@@ -59,6 +60,8 @@ pub struct Interconnect {
     host_inject: UnitResource,
     cluster_ingress: Vec<UnitResource>,
     host_ingress: UnitResource,
+    outages: Vec<OutageWindow>,
+    outage_deferrals: u64,
     stats: StatsRegistry,
 }
 
@@ -80,8 +83,52 @@ impl Interconnect {
             host_inject: UnitResource::new(),
             cluster_ingress: vec![UnitResource::new(); clusters],
             host_ingress: UnitResource::new(),
+            outages: Vec::new(),
+            outage_deferrals: 0,
             stats: StatsRegistry::new(),
         }
+    }
+
+    /// Installs transient link-outage windows (fault injection).
+    /// Deliveries whose arrival falls inside a window are deferred until
+    /// the link is back up; an empty set restores fault-free behavior.
+    pub fn set_outages(&mut self, outages: Vec<OutageWindow>) {
+        self.outages = outages;
+    }
+
+    /// Deliveries deferred by outage windows so far.
+    pub fn outage_deferrals(&self) -> u64 {
+        self.outage_deferrals
+    }
+
+    /// Applies outage windows to a delivery time: if `at` falls inside
+    /// any window, the link holds the flit and replays it at the latest
+    /// covering window's end. With no outages installed this is a single
+    /// untaken branch.
+    fn through_outages(&mut self, at: Cycle) -> Cycle {
+        if self.outages.is_empty() {
+            return at;
+        }
+        let mut t = at;
+        let mut deferred = false;
+        // A deferral can land inside a later window; iterate to a fixed
+        // point (windows are finitely many and strictly ordered by end).
+        loop {
+            match self.outages.iter().filter_map(|w| w.defer(t)).max() {
+                Some(later) if later > t => {
+                    t = later;
+                    deferred = true;
+                }
+                _ => break,
+            }
+        }
+        if deferred {
+            self.outage_deferrals += 1;
+            self.stats.incr("faults.noc_outage_deferrals");
+            self.stats
+                .observe("faults.noc_outage_delay", t.saturating_sub(at).as_f64());
+        }
+        t
     }
 
     /// The configuration in effect.
@@ -137,7 +184,7 @@ impl Interconnect {
         let arrival = injected + self.one_way();
         let granted = self.cluster_ingress[cluster].acquire(arrival, self.cfg.ingress_cycles);
         self.note_contention(arrival, granted);
-        let delivered = granted + self.cfg.ingress_cycles;
+        let delivered = self.through_outages(granted + self.cfg.ingress_cycles);
         self.stats.incr("noc.unicast_stores");
         Delivery {
             injected,
@@ -171,7 +218,8 @@ impl Interconnect {
         for cluster in mask.iter() {
             let granted = self.cluster_ingress[cluster].acquire(arrival, self.cfg.ingress_cycles);
             self.note_contention(arrival, granted);
-            delivered.push((cluster, granted + self.cfg.ingress_cycles));
+            let at = self.through_outages(granted + self.cfg.ingress_cycles);
+            delivered.push((cluster, at));
         }
         self.stats.incr("noc.multicast_stores");
         self.stats
@@ -196,7 +244,7 @@ impl Interconnect {
         let granted = self.host_ingress.acquire(arrival, self.cfg.ingress_cycles);
         self.note_contention(arrival, granted);
         self.stats.incr("noc.upstream_stores");
-        granted + self.cfg.ingress_cycles
+        self.through_outages(granted + self.cfg.ingress_cycles)
     }
 
     /// Latency of a non-posted host read of a shared device at the tree
@@ -220,16 +268,20 @@ impl Interconnect {
     pub fn credit_upstream(&mut self, at: Cycle, cluster: usize) -> Cycle {
         assert!(cluster < self.clusters, "cluster {cluster} out of range");
         self.stats.incr("noc.credit_stores");
-        at + self.one_way() + self.cfg.ingress_cycles
+        let arrival = at + self.one_way() + self.cfg.ingress_cycles;
+        self.through_outages(arrival)
     }
 
     /// Resets all port reservations and statistics (between experiments).
+    /// Installed outage windows stay in force; the deferral count resets
+    /// with the other statistics.
     pub fn reset(&mut self) {
         self.host_inject.reset();
         self.host_ingress.reset();
         for port in &mut self.cluster_ingress {
             port.reset();
         }
+        self.outage_deferrals = 0;
         self.stats.clear();
     }
 }
@@ -342,6 +394,45 @@ mod tests {
         n.cluster_upstream(Cycle::ZERO, 0);
         n.cluster_upstream(Cycle::ZERO, 1);
         assert_eq!(n.stats().counter("contention.noc.grant_conflicts"), 1);
+    }
+
+    #[test]
+    fn outage_windows_defer_deliveries() {
+        let mut n = noc();
+        // Fault-free baseline: delivery at 12 (see unicast test above).
+        let baseline = n.host_unicast(Cycle::ZERO, 7).delivered;
+        assert_eq!(baseline, Cycle::new(12));
+
+        // An outage covering the arrival defers it to the window's end.
+        let mut n = noc();
+        n.set_outages(vec![OutageWindow { start: 10, end: 40 }]);
+        let d = n.host_unicast(Cycle::ZERO, 7);
+        assert_eq!(d.delivered, Cycle::new(40));
+        assert_eq!(n.outage_deferrals(), 1);
+        assert_eq!(n.stats().counter("faults.noc_outage_deferrals"), 1);
+
+        // A deferral that lands inside a second window chains through it.
+        let mut n = noc();
+        n.set_outages(vec![
+            OutageWindow { start: 10, end: 40 },
+            OutageWindow { start: 40, end: 55 },
+        ]);
+        assert_eq!(n.host_unicast(Cycle::ZERO, 7).delivered, Cycle::new(55));
+
+        // Outside any window: byte-identical to the fault-free path.
+        let mut n = noc();
+        n.set_outages(vec![OutageWindow {
+            start: 500,
+            end: 600,
+        }]);
+        assert_eq!(n.host_unicast(Cycle::ZERO, 7).delivered, baseline);
+        assert_eq!(n.outage_deferrals(), 0);
+
+        // The credit sideband and upstream path are covered too.
+        let mut n = noc();
+        n.set_outages(vec![OutageWindow { start: 0, end: 30 }]);
+        assert_eq!(n.credit_upstream(Cycle::ZERO, 0), Cycle::new(30));
+        assert_eq!(n.cluster_upstream(Cycle::ZERO, 0), Cycle::new(30));
     }
 
     #[test]

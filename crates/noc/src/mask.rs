@@ -139,6 +139,12 @@ impl ClusterMask {
     pub fn intersection(self, other: ClusterMask) -> ClusterMask {
         ClusterMask(self.0 & other.0)
     }
+
+    /// Set subtraction: the clusters in `self` but not in `other` — the
+    /// surviving partition after quarantining `other`.
+    pub fn without(self, other: ClusterMask) -> ClusterMask {
+        ClusterMask(self.0 & !other.0)
+    }
 }
 
 impl FromIterator<usize> for ClusterMask {
@@ -234,6 +240,22 @@ mod tests {
         let b: ClusterMask = [2, 3, 4, 5].into_iter().collect();
         assert_eq!(a.union(b).count(), 6);
         assert_eq!(a.intersection(b).iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(a.without(b).iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(b.without(a).iter().collect::<Vec<_>>(), vec![4, 5]);
+    }
+
+    #[test]
+    fn without_subtracts() {
+        let all = ClusterMask::first(8);
+        assert_eq!(all.without(ClusterMask::EMPTY), all);
+        assert_eq!(all.without(all), ClusterMask::EMPTY);
+        assert_eq!(ClusterMask::EMPTY.without(all), ClusterMask::EMPTY);
+        // Subtracting a foreign set is a no-op.
+        assert_eq!(all.without(ClusterMask::range(8, 4)), all);
+        let quarantined = ClusterMask::single(3);
+        let survivors = all.without(quarantined);
+        assert_eq!(survivors.count(), 7);
+        assert!(!survivors.contains(3));
     }
 
     #[test]

@@ -37,6 +37,25 @@ proptest! {
         let inter: Vec<usize> = sa.intersection(&sb).copied().collect();
         prop_assert_eq!(ma.union(mb).iter().collect::<Vec<_>>(), union);
         prop_assert_eq!(ma.intersection(mb).iter().collect::<Vec<_>>(), inter);
+        let diff: Vec<usize> = sa.difference(&sb).copied().collect();
+        prop_assert_eq!(ma.without(mb).iter().collect::<Vec<_>>(), diff);
+    }
+
+    /// Subtraction laws that quarantine re-planning relies on: the
+    /// survivors and the removed set partition the original mask, and
+    /// subtracting twice changes nothing.
+    #[test]
+    fn mask_without_partitions(
+        a in prop::collection::vec(0usize..64, 0..32),
+        b in prop::collection::vec(0usize..64, 0..32),
+    ) {
+        let ma: ClusterMask = a.into_iter().collect();
+        let mb: ClusterMask = b.into_iter().collect();
+        let survivors = ma.without(mb);
+        prop_assert!(survivors.intersection(mb).is_empty());
+        prop_assert_eq!(survivors.union(ma.intersection(mb)), ma);
+        prop_assert_eq!(survivors.without(mb), survivors);
+        prop_assert_eq!(survivors.count() + ma.intersection(mb).count(), ma.count());
     }
 
     /// Multicast delivery time is the same no matter how many clusters

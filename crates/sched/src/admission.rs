@@ -31,6 +31,15 @@ pub enum RejectReason {
         /// Number of lint errors in the failing report.
         errors: u32,
     },
+    /// The full machine could serve the job, but cluster quarantine has
+    /// shrunk the pool below the Eq. 3 minimum partition (and the host
+    /// is too slow as well).
+    DegradedMachine {
+        /// The `M_min` the deadline would need.
+        required: u64,
+        /// Healthy (non-quarantined) clusters remaining.
+        healthy: u64,
+    },
 }
 
 /// The controller's verdict on one arriving job.
@@ -86,11 +95,19 @@ impl AdmissionController {
     /// (queueing delay is the scheduler's problem; admission bounds
     /// feasibility, not timeliness).
     pub fn admit(&self, job: &Job) -> AdmissionDecision {
+        self.admit_with_clusters(job, self.clusters)
+    }
+
+    /// [`AdmissionController::admit`] against an explicit machine size —
+    /// the engine passes the *healthy* cluster count here, so quarantine
+    /// shrinks what admission reasons about without rebuilding the
+    /// controller.
+    pub fn admit_with_clusters(&self, job: &Job, clusters: u64) -> AdmissionDecision {
         let model = self.table.get(job.kernel);
         let budget = job.deadline as f64;
         let host_predicted = model.host.predict(job.n);
         let host_meets_deadline = host_predicted <= budget;
-        match decide(&model.accel, job.n, budget, self.clusters) {
+        match decide(&model.accel, job.n, budget, clusters) {
             Decision::Offload { m } => {
                 // Below break-even the host is faster even than the
                 // deadline-minimal partition: keep the job local and

@@ -35,6 +35,23 @@ impl Allocator {
         }
     }
 
+    /// An allocator over clusters `0..total` with `quarantined` removed
+    /// from the free set: quarantined clusters are never granted and —
+    /// since [`Allocator::release`] only accepts previously carved
+    /// masks — can never re-enter the pool.
+    ///
+    /// A fully quarantined machine yields an allocator that never
+    /// grants anything — every job must go to the host or be rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `total` is out of range (see [`Allocator::new`]).
+    pub fn with_quarantine(total: usize, quarantined: ClusterMask) -> Self {
+        let mut a = Allocator::new(total);
+        a.free = a.free.without(quarantined);
+        a
+    }
+
     /// The machine size.
     pub fn total(&self) -> usize {
         self.total

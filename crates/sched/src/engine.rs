@@ -50,6 +50,7 @@ pub struct Engine {
     admission: AdmissionController,
     backend: ServiceBackend,
     clusters: usize,
+    quarantined: ClusterMask,
     telemetry: EventTrace,
     lint_gate: Option<LintGate>,
 }
@@ -72,8 +73,60 @@ impl Engine {
             admission: AdmissionController::new(table, clusters as u64),
             backend,
             clusters,
+            quarantined: ClusterMask::EMPTY,
             telemetry: EventTrace::disabled(),
             lint_gate: None,
+        }
+    }
+
+    /// Retires `mask` from the allocatable pool — typically clusters a
+    /// resilient execution layer has diagnosed as faulty. Quarantine is
+    /// cumulative and applies to every subsequent [`Engine::run`]: the
+    /// allocator never grants a quarantined cluster, and jobs whose
+    /// Eq. 3 minimum partition exceeds the surviving pool are rejected
+    /// with [`RejectReason::DegradedMachine`].
+    ///
+    /// Quarantining also drops the measured backend's memoized solo-run
+    /// offload timings ([`ServiceBackend::invalidate_measurements`]):
+    /// they may have been taken on partitions containing the cluster
+    /// now known to be faulty.
+    pub fn quarantine(&mut self, mask: ClusterMask) {
+        self.quarantined = self
+            .quarantined
+            .union(mask.intersection(ClusterMask::first(self.clusters)));
+        self.backend.invalidate_measurements();
+    }
+
+    /// The clusters currently quarantined.
+    pub fn quarantined(&self) -> ClusterMask {
+        self.quarantined
+    }
+
+    /// Healthy (non-quarantined) clusters.
+    fn healthy_clusters(&self) -> usize {
+        self.clusters - self.quarantined.count()
+    }
+
+    /// Admission against the surviving pool. When the *full* machine
+    /// could have served the job but the quarantined one cannot, the
+    /// rejection is reported as [`RejectReason::DegradedMachine`] so
+    /// capacity lost to faults is distinguishable from a job that was
+    /// simply too big.
+    fn admit_degraded(
+        admission: &AdmissionController,
+        job: &Job,
+        healthy: usize,
+    ) -> AdmissionDecision {
+        let healthy = healthy as u64;
+        match admission.admit_with_clusters(job, healthy) {
+            AdmissionDecision::Reject {
+                reason: RejectReason::NotEnoughClusters { required },
+            } if healthy < admission.clusters() && required <= admission.clusters() => {
+                AdmissionDecision::Reject {
+                    reason: RejectReason::DegradedMachine { required, healthy },
+                }
+            }
+            decision => decision,
         }
     }
 
@@ -129,7 +182,8 @@ impl Engine {
         if matches!(self.backend, ServiceBackend::CoSimulated { .. }) {
             return self.run_cosimulated(jobs, policy);
         }
-        let mut allocator = Allocator::new(self.clusters);
+        let healthy = self.healthy_clusters();
+        let mut allocator = Allocator::with_quarantine(self.clusters, self.quarantined);
         let mut records: Vec<JobRecord> = Vec::with_capacity(jobs.len());
         let mut ready: Vec<QueuedJob> = Vec::new();
         // Completion events keyed by (finish, sequence): BTreeMap pops
@@ -167,6 +221,8 @@ impl Engine {
                         m: done.m,
                     },
                     contention_cycles: 0,
+                    retries: 0,
+                    faults_observed: 0,
                 };
             }
 
@@ -194,11 +250,13 @@ impl Engine {
                                 reason: RejectReason::ProgramLint { errors },
                             },
                             contention_cycles: 0,
+                            retries: 0,
+                            faults_observed: 0,
                         });
                         continue;
                     }
                 }
-                match self.admission.admit(job) {
+                match Self::admit_degraded(&self.admission, job, healthy) {
                     AdmissionDecision::Offload { m_min, predicted } => {
                         // Placeholder until the offload completes; the
                         // queue remembers where to write the outcome.
@@ -210,6 +268,8 @@ impl Engine {
                                 m: 0,
                             },
                             contention_cycles: 0,
+                            retries: 0,
+                            faults_observed: 0,
                         });
                         ready.push(QueuedJob {
                             job: *job,
@@ -237,6 +297,8 @@ impl Engine {
                             job: *job,
                             outcome: JobOutcome::Host { start, finish },
                             contention_cycles: 0,
+                            retries: 0,
+                            faults_observed: 0,
                         });
                     }
                     AdmissionDecision::Reject { reason } => {
@@ -250,6 +312,8 @@ impl Engine {
                             job: *job,
                             outcome: JobOutcome::Rejected { reason },
                             contention_cycles: 0,
+                            retries: 0,
+                            faults_observed: 0,
                         });
                     }
                 }
@@ -260,7 +324,7 @@ impl Engine {
                 let ctx = SchedContext {
                     now,
                     free_clusters: allocator.free_count(),
-                    total_clusters: self.clusters,
+                    total_clusters: healthy,
                     models: self.admission.table(),
                 };
                 let Some(Placement { queue_index, m }) = policy.pick(&ready, &ctx) else {
@@ -337,6 +401,8 @@ impl Engine {
         jobs: &[Job],
         policy: &mut dyn SchedPolicy,
     ) -> Result<RunReport, SchedError> {
+        let healthy = self.healthy_clusters();
+        let mut allocator = Allocator::with_quarantine(self.clusters, self.quarantined);
         let ServiceBackend::CoSimulated {
             offloader,
             seed,
@@ -350,7 +416,6 @@ impl Engine {
         let strategy = *strategy;
         offloader.begin_jobs();
 
-        let mut allocator = Allocator::new(self.clusters);
         let mut records: Vec<JobRecord> = Vec::with_capacity(jobs.len());
         let mut ready: Vec<QueuedJob> = Vec::new();
         // In-flight tenants keyed by their session job handle.
@@ -369,9 +434,9 @@ impl Engine {
                 let horizon = arrival_t.map_or(Cycle::MAX, Cycle::new);
                 match offloader.advance_jobs(horizon)? {
                     mpsoc_offload::SessionStep::Completed(t) => {
-                        let done = running
-                            .remove(&t.job)
-                            .expect("completion for a tenant the engine never submitted");
+                        let Some(done) = running.remove(&t.job) else {
+                            return Err(SchedError::UnknownCompletion { job: t.job });
+                        };
                         allocator.release(done.mask);
                         let finish = t.finished_at.as_u64();
                         let part = Unit::Partition(done.mask.iter().next().unwrap_or(0) as u32);
@@ -388,11 +453,22 @@ impl Engine {
                                 m: done.m,
                             },
                             contention_cycles: t.contention.total_cycles(),
+                            retries: 0,
+                            faults_observed: t.faults_injected,
                         };
                         finish
                     }
                     mpsoc_offload::SessionStep::Horizon | mpsoc_offload::SessionStep::Idle => {
-                        arrival_t.expect("session paused with no arrival pending")
+                        // With no arrival left to advance virtual time,
+                        // a paused session means an in-flight tenant
+                        // will never complete (reachable under injected
+                        // faults: a wedged barrier or a dead cluster).
+                        let Some(t) = arrival_t else {
+                            return Err(SchedError::SessionStalled {
+                                in_flight: running.len(),
+                            });
+                        };
+                        t
                     }
                 }
             } else {
@@ -428,11 +504,13 @@ impl Engine {
                                 reason: RejectReason::ProgramLint { errors },
                             },
                             contention_cycles: 0,
+                            retries: 0,
+                            faults_observed: 0,
                         });
                         continue;
                     }
                 }
-                match self.admission.admit(job) {
+                match Self::admit_degraded(&self.admission, job, healthy) {
                     AdmissionDecision::Offload { m_min, predicted } => {
                         records.push(JobRecord {
                             job: *job,
@@ -442,6 +520,8 @@ impl Engine {
                                 m: 0,
                             },
                             contention_cycles: 0,
+                            retries: 0,
+                            faults_observed: 0,
                         });
                         ready.push(QueuedJob {
                             job: *job,
@@ -481,6 +561,8 @@ impl Engine {
                             job: *job,
                             outcome: JobOutcome::Host { start, finish },
                             contention_cycles: 0,
+                            retries: 0,
+                            faults_observed: 0,
                         });
                     }
                     AdmissionDecision::Reject { reason } => {
@@ -494,6 +576,8 @@ impl Engine {
                             job: *job,
                             outcome: JobOutcome::Rejected { reason },
                             contention_cycles: 0,
+                            retries: 0,
+                            faults_observed: 0,
                         });
                     }
                 }
@@ -505,7 +589,7 @@ impl Engine {
                 let ctx = SchedContext {
                     now,
                     free_clusters: allocator.free_count(),
-                    total_clusters: self.clusters,
+                    total_clusters: healthy,
                     models: self.admission.table(),
                 };
                 let Some(Placement { queue_index, m }) = policy.pick(&ready, &ctx) else {
@@ -830,6 +914,123 @@ mod tests {
         );
         let report = e.run(&stream, &mut FifoFirstFit).expect("run");
         assert!(report.records.iter().all(|r| r.contention_cycles == 0));
+    }
+
+    #[test]
+    fn quarantined_clusters_leave_the_allocator_pool() {
+        // Two 1-cluster jobs arriving together overlap on a healthy
+        // machine; with all but one cluster quarantined they serialize.
+        let stream = jobs(&[(0, 1024, 100_000), (0, 1024, 100_000)]);
+        let mut degraded = engine(8);
+        degraded.quarantine(ClusterMask::range(1, 7));
+        assert_eq!(degraded.quarantined().count(), 7);
+        let report = degraded.run(&stream, &mut FifoFirstFit).expect("run");
+        let (f0, s1) = match (report.records[0].outcome, report.records[1].outcome) {
+            (JobOutcome::Offloaded { finish: f0, .. }, JobOutcome::Offloaded { start: s1, .. }) => {
+                (f0, s1)
+            }
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(s1, f0, "one healthy cluster is a serial server");
+    }
+
+    #[test]
+    fn degraded_machine_rejections_are_typed() {
+        // Feasible on the full 8-cluster machine, infeasible on the 2
+        // healthy survivors — and distinguishable from a plain
+        // NotEnoughClusters rejection.
+        let stream = jobs(&[(0, 1024, 700)]);
+        let full = engine(8).run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(full.metrics.offloaded, 1);
+
+        let mut degraded = engine(8);
+        degraded.quarantine(ClusterMask::range(2, 6));
+        let report = degraded.run(&stream, &mut FifoFirstFit).expect("run");
+        match report.records[0].outcome {
+            JobOutcome::Rejected {
+                reason: crate::RejectReason::DegradedMachine { required, healthy },
+            } => {
+                assert!(required > 2, "required {required}");
+                assert_eq!(healthy, 2);
+            }
+            other => panic!("expected a degraded-machine rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_tolerates_a_fully_dead_machine() {
+        // Everything quarantined: offloadable jobs are rejected (or go
+        // to the host) instead of panicking in the allocator.
+        let stream = jobs(&[(0, 1024, 1000), (0, 64, 100_000)]);
+        let mut e = engine(8);
+        e.quarantine(ClusterMask::first(8));
+        let report = e.run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(report.metrics.offloaded, 0);
+        assert_eq!(report.metrics.rejected, 1);
+        assert_eq!(report.metrics.host_runs, 1);
+    }
+
+    #[test]
+    fn quarantine_invalidates_measured_solo_timings() {
+        let offloader =
+            mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(8)).expect("soc");
+        let mut backend = ServiceBackend::measured(offloader, 0xBEEF);
+        backend
+            .offload_cycles(KernelId::Daxpy, 512, ClusterMask::first(2))
+            .expect("offload");
+        let cache_len = |b: &ServiceBackend| match b {
+            ServiceBackend::Measured { offload_cache, .. } => offload_cache.len(),
+            _ => unreachable!(),
+        };
+        assert_eq!(cache_len(&backend), 1);
+        let mut e = Engine::new(ModelTable::paper_defaults(), 8, backend);
+        e.quarantine(ClusterMask::single(7));
+        assert_eq!(cache_len(&e.backend), 0, "quarantine must drop the cache");
+    }
+
+    #[test]
+    fn cosimulated_records_carry_observed_faults() {
+        // A single transient DMA stall: the job still completes (late),
+        // and its record reports the injected fault.
+        let mut offloader =
+            mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(8)).expect("soc");
+        let mut plan = mpsoc_soc::FaultPlan::with_seed(21);
+        plan.dma_stall = mpsoc_soc::SiteSpec::once_at(0);
+        plan.dma_stall_cycles = 300;
+        offloader.install_faults(plan);
+        let mut e = Engine::new(
+            ModelTable::paper_defaults(),
+            8,
+            ServiceBackend::co_simulated(offloader, 0xBEEF),
+        );
+        let stream = jobs(&[(0, 1024, 100_000)]);
+        let report = e.run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(report.metrics.offloaded, 1);
+        assert_eq!(report.records[0].faults_observed, 1);
+        assert_eq!(report.records[0].retries, 0);
+    }
+
+    #[test]
+    fn wedged_cosimulated_session_is_a_typed_error() {
+        // A lost completion credit wedges the tenant's barrier: with no
+        // arrival left to advance time, the engine must surface a typed
+        // SessionStalled error instead of panicking.
+        let mut offloader =
+            mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(8)).expect("soc");
+        let mut plan = mpsoc_soc::FaultPlan::with_seed(23);
+        plan.credit_loss = mpsoc_soc::SiteSpec::once_at(0);
+        offloader.install_faults(plan);
+        let mut e = Engine::new(
+            ModelTable::paper_defaults(),
+            8,
+            ServiceBackend::co_simulated(offloader, 0xBEEF),
+        );
+        let stream = jobs(&[(0, 1024, 100_000)]);
+        let err = e.run(&stream, &mut FifoFirstFit).unwrap_err();
+        match err {
+            SchedError::SessionStalled { in_flight } => assert_eq!(in_flight, 1),
+            other => panic!("expected SessionStalled, got {other}"),
+        }
     }
 
     #[test]

@@ -10,6 +10,20 @@ pub enum SchedError {
     Offload(OffloadError),
     /// Fitting a kernel's runtime model failed.
     Fit(FitError),
+    /// The co-simulated session went quiet with tenants still in flight
+    /// and no arrival left to advance virtual time: an in-flight job
+    /// will never complete (e.g. a wedged completion barrier after an
+    /// injected fault).
+    SessionStalled {
+        /// Tenants stuck in flight.
+        in_flight: usize,
+    },
+    /// The co-simulated session delivered a completion for a job the
+    /// engine never submitted.
+    UnknownCompletion {
+        /// The session's job handle.
+        job: u64,
+    },
 }
 
 impl std::fmt::Display for SchedError {
@@ -17,6 +31,14 @@ impl std::fmt::Display for SchedError {
         match self {
             SchedError::Offload(e) => write!(f, "offload failed: {e}"),
             SchedError::Fit(e) => write!(f, "model fit failed: {e}"),
+            SchedError::SessionStalled { in_flight } => write!(
+                f,
+                "co-simulated session stalled with {in_flight} tenant(s) in flight \
+                 that will never complete"
+            ),
+            SchedError::UnknownCompletion { job } => {
+                write!(f, "completion for unknown session job {job}")
+            }
         }
     }
 }
@@ -26,6 +48,7 @@ impl std::error::Error for SchedError {
         match self {
             SchedError::Offload(e) => Some(e),
             SchedError::Fit(e) => Some(e),
+            SchedError::SessionStalled { .. } | SchedError::UnknownCompletion { .. } => None,
         }
     }
 }

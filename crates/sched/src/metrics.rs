@@ -44,6 +44,15 @@ pub struct JobRecord {
     /// Zero under the measured and analytic backends, whose solo-run
     /// service times cannot observe cross-tenant contention.
     pub contention_cycles: u64,
+    /// Re-dispatch attempts this job needed beyond the first (the
+    /// virtual-time engine dispatches exactly once, so this is nonzero
+    /// only for records produced by a resilient execution layer).
+    pub retries: u32,
+    /// Faults injected into this job's offload, as reported by the
+    /// co-simulated SoC's injector. Zero under the measured and
+    /// analytic backends (no fault plan is in the loop) and on
+    /// fault-free machines.
+    pub faults_observed: u64,
 }
 
 impl JobRecord {
@@ -214,6 +223,8 @@ mod tests {
             },
             outcome,
             contention_cycles: 0,
+            retries: 0,
+            faults_observed: 0,
         }
     }
 

@@ -33,7 +33,8 @@ pub struct SchedContext<'a> {
     pub now: u64,
     /// Clusters currently free.
     pub free_clusters: usize,
-    /// Machine size.
+    /// Usable machine size: total clusters minus any quarantined ones —
+    /// the largest partition the allocator could ever grant.
     pub total_clusters: usize,
     /// Per-kernel fitted models (for policies that re-predict).
     pub models: &'a ModelTable,

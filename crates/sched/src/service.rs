@@ -104,6 +104,22 @@ impl ServiceBackend {
         }
     }
 
+    /// Drops memoized solo-run offload measurements.
+    ///
+    /// Called when the machine changes under the cache — above all on
+    /// cluster quarantine: past measurements may have been taken on a
+    /// partition containing the cluster now known to be faulty (a
+    /// stalling DMA inflates the cached cycle count, a corrupting one
+    /// invalidates the run entirely), so the `(kernel, N, M)` entries
+    /// can no longer be trusted. Host runtimes never touch clusters and
+    /// stay cached. Analytic and co-simulated backends hold no offload
+    /// cache; the call is a no-op there.
+    pub fn invalidate_measurements(&mut self) {
+        if let ServiceBackend::Measured { offload_cache, .. } = self {
+            offload_cache.clear();
+        }
+    }
+
     /// Cycles one offload of `kernel` over `n` elements takes on the
     /// partition `mask`.
     ///

@@ -29,6 +29,7 @@ pub struct CreditCounter {
     count: u64,
     armed: bool,
     fired: bool,
+    lost: u64,
 }
 
 impl CreditCounter {
@@ -37,12 +38,14 @@ impl CreditCounter {
         CreditCounter::default()
     }
 
-    /// Programs `threshold` and arms the unit, clearing the count.
+    /// Programs `threshold` and arms the unit, clearing the count and
+    /// any recorded losses.
     pub fn arm(&mut self, threshold: u64) {
         self.threshold = threshold;
         self.count = 0;
         self.armed = true;
         self.fired = false;
+        self.lost = 0;
     }
 
     /// Disarms and clears the unit (the memory-mapped `Reset` register).
@@ -75,6 +78,27 @@ impl CreditCounter {
             return Some(at);
         }
         None
+    }
+
+    /// Absorbs a credit that was lost in flight (fault injection): the
+    /// wire glitched at time `at`, the counter never saw the increment.
+    /// Models the *absence* of a hardware event, so the count and the
+    /// interrupt logic are untouched — only the loss is recorded so
+    /// diagnostics can distinguish "still running" from "wedged".
+    pub fn absorb_lost(&mut self, _at: Cycle) {
+        self.lost += 1;
+    }
+
+    /// Credits lost in flight since the unit was last armed.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Credits still outstanding before the interrupt fires: on a wedged
+    /// barrier this stays positive forever — the observable signature a
+    /// watchdog needs.
+    pub fn missing(&self) -> u64 {
+        self.threshold.saturating_sub(self.count)
     }
 }
 
@@ -120,6 +144,24 @@ mod tests {
         let mut unit = CreditCounter::new();
         unit.arm(1);
         assert_eq!(unit.increment(Cycle::new(9)), Some(Cycle::new(9)));
+    }
+
+    #[test]
+    fn lost_credits_wedge_the_barrier_observably() {
+        let mut unit = CreditCounter::new();
+        unit.arm(3);
+        assert_eq!(unit.increment(Cycle::new(1)), None);
+        unit.absorb_lost(Cycle::new(2));
+        assert_eq!(unit.increment(Cycle::new(3)), None);
+        // All three clusters reported, but the interrupt never fired.
+        assert!(unit.is_armed());
+        assert_eq!(unit.count(), 2);
+        assert_eq!(unit.lost(), 1);
+        assert_eq!(unit.missing(), 1);
+        // Re-arming clears the loss record.
+        unit.arm(2);
+        assert_eq!(unit.lost(), 0);
+        assert_eq!(unit.missing(), 2);
     }
 
     #[test]

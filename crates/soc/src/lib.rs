@@ -86,6 +86,9 @@ pub use credit::CreditCounter;
 pub use energy::{EnergyModel, EnergyReport};
 pub use error::SocError;
 pub use host::{HostOp, HostProgram};
+pub use mpsoc_faults::{
+    FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultStats, OutageWindow, SiteSpec,
+};
 pub use mpsoc_telemetry::{EventKind, EventTrace, Mark, PhaseBreakdown, TraceEvent, Unit};
 pub use outcome::{OffloadOutcome, PhaseTimestamps};
 pub use soc::{

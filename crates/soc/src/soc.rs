@@ -21,6 +21,7 @@
 
 use std::collections::VecDeque;
 
+use mpsoc_faults::{FaultInjector, FaultKind, FaultPlan, FaultStats};
 use mpsoc_isa::{Interpreter, MemoryPort, PortError};
 use mpsoc_mem::{Addr, ClusterReg, MainMemory, MemoryMap, Tcdm};
 use mpsoc_noc::{ClusterMask, Interconnect};
@@ -210,6 +211,16 @@ pub struct JobCompletion {
     /// The per-job outcome; timestamps are relative to `submitted_at`,
     /// so a solo job's outcome reads exactly like [`Soc::run_offload`]'s.
     pub outcome: OffloadOutcome,
+    /// Bitmask of this job's clusters whose DMA engine flagged a CRC
+    /// mismatch on a transferred burst — the *architecturally visible*
+    /// corruption signal a runtime is allowed to act on. Zero on every
+    /// fault-free run.
+    pub corrupt_clusters: u64,
+    /// Number of injected faults attributed to this job (diagnostic
+    /// ground truth for reporting; recovery logic must key off
+    /// observable signals — `corrupt_clusters`, missing completions —
+    /// never off this count).
+    pub faults_injected: u64,
 }
 
 /// What [`Soc::advance_jobs`] did.
@@ -243,6 +254,10 @@ struct JobSlot {
     /// TCDM conflict counters of `mask`'s clusters at submission, so the
     /// job is charged only its own conflicts when clusters are reused.
     conflict_base: Vec<u64>,
+    /// Clusters whose DMA CRC flagged corruption (see [`JobCompletion`]).
+    corrupt_clusters: u64,
+    /// Injected faults attributed to this job so far.
+    faults_injected: u64,
     done: bool,
 }
 
@@ -276,6 +291,7 @@ pub struct Soc {
     stats: StatsRegistry,
     tracer: Tracer,
     telemetry: EventTrace,
+    faults: FaultInjector,
     fatal: Option<SocError>,
 }
 
@@ -326,6 +342,7 @@ impl Soc {
             stats: StatsRegistry::new(),
             tracer: Tracer::disabled(),
             telemetry: EventTrace::disabled(),
+            faults: FaultInjector::noop(),
             fatal: None,
         })
     }
@@ -378,6 +395,86 @@ impl Soc {
     /// unless [`Soc::enable_telemetry`] was called).
     pub fn telemetry(&self) -> &EventTrace {
         &self.telemetry
+    }
+
+    /// Installs a fault-injection plan, distributing its sites to the
+    /// hardware points they strike: NoC outage windows to the
+    /// interconnect, AMO drops to main memory's atomic unit, and the
+    /// remaining sites to the SoC's own dispatch/wake/credit/DMA hooks.
+    ///
+    /// A [`FaultPlan::none`] plan (the default) leaves every hook a
+    /// single untaken branch: timing, results and artifacts are
+    /// byte-identical to a build without fault injection.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.noc.set_outages(plan.noc_outages.clone());
+        self.main.set_amo_faults(plan.site(FaultKind::AmoDrop));
+        self.faults = FaultInjector::new(plan);
+    }
+
+    /// The installed fault injector (plan, ground-truth records,
+    /// per-kind counts).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Aggregated injected-fault counts across every hardware point,
+    /// including the sites owned by the interconnect (NoC outages) and
+    /// main memory (AMO drops).
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = self.faults.stats();
+        stats.noc_outage += self.noc.outage_deferrals();
+        stats.amo_drop += self.main.amo_drops();
+        stats
+    }
+
+    /// Whether `cluster` posted its completion signal for the job it is
+    /// (or was last) running — the architecturally observable signal a
+    /// watchdog uses to attribute a lost completion to the cluster that
+    /// went dark.
+    pub fn cluster_completed(&self, cluster: usize) -> bool {
+        self.clusters[cluster].completed
+    }
+
+    /// Records a runtime-level recovery event (watchdog expiry,
+    /// re-dispatch, quarantine) on the host telemetry track, tagged with
+    /// the job it concerns. No-op while telemetry is disabled.
+    pub fn record_recovery_event(&mut self, at: Cycle, kind: EventKind, job: JobId, arg: u64) {
+        self.telemetry.set_job(job);
+        self.telemetry.instant(at, Unit::Host, kind, arg);
+    }
+
+    /// Rolls the fault die for `kind` at `cluster`; on a strike records
+    /// it everywhere it is observable (injector log, stats registry,
+    /// telemetry, the owning job's diagnostic counter) and returns
+    /// `true`. Disarmed sites return `false` on a single branch.
+    fn fault_strikes(&mut self, at: Cycle, kind: FaultKind, cluster: usize) -> bool {
+        let job = self.owner_of(cluster).map_or(0, |s| self.jobs[s].id);
+        if !self.faults.fire(kind, at, Some(cluster), job) {
+            return false;
+        }
+        self.log_fault(at, kind, cluster);
+        true
+    }
+
+    /// Records a fault whose decision was made by the plan itself (a
+    /// statically dead cluster) rather than a per-occurrence die roll.
+    fn note_fault(&mut self, at: Cycle, kind: FaultKind, cluster: usize) {
+        let job = self.owner_of(cluster).map_or(0, |s| self.jobs[s].id);
+        self.faults.note(kind, at, Some(cluster), job);
+        self.log_fault(at, kind, cluster);
+    }
+
+    fn log_fault(&mut self, at: Cycle, kind: FaultKind, cluster: usize) {
+        self.stats.incr(&format!("faults.{}", kind.name()));
+        self.telemetry.instant(
+            at,
+            Unit::Cluster(cluster as u32),
+            EventKind::FaultInject,
+            kind as u64,
+        );
+        if let Some(slot) = self.owner_of(cluster) {
+            self.jobs[slot].faults_injected += 1;
+        }
     }
 
     /// Installs the job `cluster` will execute when its doorbell rings.
@@ -441,7 +538,9 @@ impl Soc {
         stage: usize,
         dir: DmaDirection,
     ) -> Result<(), SocError> {
-        let job = self.clusters[cluster].job.as_ref().expect("job bound");
+        let Some(job) = self.clusters[cluster].job.as_ref() else {
+            return Err(SocError::MissingJob { cluster });
+        };
         let transfers = match dir {
             DmaDirection::In => job.stages[stage].dma_in.clone(),
             DmaDirection::Out => job.stages[stage].dma_out.clone(),
@@ -466,6 +565,29 @@ impl Soc {
         }
         if let Some(slot) = self.owner_of(cluster) {
             self.jobs[slot].activity.dma_words += total;
+        }
+        if total > 0 && self.fault_strikes(at, FaultKind::DmaCorrupt, cluster) {
+            // A burst took a bit flip in flight. The engine's CRC check
+            // flags the transfer (the observable signal recovery acts
+            // on) but the corrupted data still lands, so a runtime that
+            // ignores the flag computes a wrong result.
+            let t = &transfers[0];
+            match dir {
+                DmaDirection::In => {
+                    let w = self.tcdms[cluster].read_f64(t.local_word)?;
+                    self.tcdms[cluster]
+                        .write_f64(t.local_word, f64::from_bits(w.to_bits() ^ (1 << 42)))?;
+                }
+                DmaDirection::Out => {
+                    let w = self.main.store().read_u64(t.main_addr)?;
+                    self.main
+                        .store_mut()
+                        .write_u64(t.main_addr, w ^ (1 << 42))?;
+                }
+            }
+            if let Some(slot) = self.owner_of(cluster) {
+                self.jobs[slot].corrupt_clusters |= 1 << cluster;
+            }
         }
         if total == 0 {
             sched.schedule_at(
@@ -524,7 +646,12 @@ impl Soc {
             );
         } else {
             self.dma[cluster] = None;
-            let finish = done + Cycle::new(self.config.mem_latency);
+            let mut finish = done + Cycle::new(self.config.mem_latency);
+            if self.fault_strikes(now, FaultKind::DmaStall, cluster) {
+                // The engine wedged mid-burst and needed its internal
+                // timeout to recover: the task completes late but intact.
+                finish += Cycle::new(self.faults.dma_stall_cycles());
+            }
             sched.schedule_at(
                 finish,
                 SocEvent::ClusterDmaTaskDone {
@@ -539,7 +666,9 @@ impl Soc {
     /// Runs every worker core of `cluster` over `stage`'s programs from
     /// `start`; returns the latest finish time.
     fn run_cores(&mut self, start: Cycle, cluster: usize, stage: usize) -> Result<Cycle, SocError> {
-        let job = self.clusters[cluster].job.clone().expect("job bound");
+        let Some(job) = self.clusters[cluster].job.clone() else {
+            return Err(SocError::MissingJob { cluster });
+        };
         let interpreter = Interpreter::with_timing(self.config.core_timing);
         let mut latest = start;
         for (core, program) in job.stages[stage].programs.iter().enumerate() {
@@ -664,7 +793,10 @@ impl Soc {
         if all_done && !self.clusters[cluster].completed {
             self.clusters[cluster].completed = true;
             self.clusters[cluster].phase = ClusterPhase::Done;
-            let job = self.clusters[cluster].job.as_ref().expect("job bound");
+            let Some(job) = self.clusters[cluster].job.as_ref() else {
+                self.fail(SocError::MissingJob { cluster });
+                return;
+            };
             match job.completion {
                 crate::CompletionSignal::Credit => {
                     let arrive = self.noc.credit_upstream(at, cluster);
@@ -779,14 +911,26 @@ impl Soc {
                     self.telemetry
                         .instant(now, Unit::Noc, EventKind::NocStall, stall.as_u64());
                 }
-                sched.schedule_at(
-                    d.delivered,
-                    SocEvent::MailboxWrite {
-                        cluster,
-                        reg,
-                        value,
-                    },
-                );
+                if !self.fault_strikes(d.delivered, FaultKind::DispatchDrop, cluster) {
+                    sched.schedule_at(
+                        d.delivered,
+                        SocEvent::MailboxWrite {
+                            cluster,
+                            reg,
+                            value,
+                        },
+                    );
+                    if self.fault_strikes(d.delivered, FaultKind::DispatchDup, cluster) {
+                        sched.schedule_at(
+                            d.delivered + Cycle::new(1),
+                            SocEvent::MailboxWrite {
+                                cluster,
+                                reg,
+                                value,
+                            },
+                        );
+                    }
+                }
                 sched.schedule_at(d.injected, SocEvent::HostStep { slot });
             }
             HostOp::MulticastMailbox { mask, reg, value } => {
@@ -808,6 +952,9 @@ impl Soc {
                         .instant(now, Unit::Noc, EventKind::NocStall, stall.as_u64());
                 }
                 for (cluster, at) in &mc.delivered {
+                    if self.fault_strikes(*at, FaultKind::DispatchDrop, *cluster) {
+                        continue;
+                    }
                     sched.schedule_at(
                         *at,
                         SocEvent::MailboxWrite {
@@ -816,6 +963,16 @@ impl Soc {
                             value,
                         },
                     );
+                    if self.fault_strikes(*at, FaultKind::DispatchDup, *cluster) {
+                        sched.schedule_at(
+                            *at + Cycle::new(1),
+                            SocEvent::MailboxWrite {
+                                cluster: *cluster,
+                                reg,
+                                value,
+                            },
+                        );
+                    }
                 }
                 sched.schedule_at(mc.injected, SocEvent::HostStep { slot });
             }
@@ -1010,6 +1167,8 @@ impl Soc {
             host_wait_cycles: job.host_wait_cycles,
             contention: job.contention,
             outcome,
+            corrupt_clusters: job.corrupt_clusters,
+            faults_injected: job.faults_injected,
         });
     }
 }
@@ -1081,6 +1240,13 @@ impl Simulate for Soc {
                                 self.fail(SocError::MissingJob { cluster });
                                 return;
                             }
+                            if self.faults.cluster_is_dead(cluster) {
+                                // A permanently dead core: the doorbell
+                                // rings into silence, the cluster stays
+                                // Idle and never completes.
+                                self.note_fault(now, FaultKind::DeadCluster, cluster);
+                                return;
+                            }
                             self.clusters[cluster].phase = ClusterPhase::Waking;
                             self.clusters[cluster].timing.woken_at = now;
                             self.clusters[cluster].wake_span = self.telemetry.begin(
@@ -1088,6 +1254,12 @@ impl Simulate for Soc {
                                 Unit::Cluster(cluster as u32),
                                 EventKind::Wake,
                             );
+                            if self.fault_strikes(now, FaultKind::WakeLoss, cluster) {
+                                // The doorbell latched but the wake-up
+                                // sequencer glitched: the controller
+                                // never comes out of reset this time.
+                                return;
+                            }
                             sched.schedule_at(
                                 now + Cycle::new(self.config.cluster_wake_cycles),
                                 SocEvent::ClusterWake { cluster },
@@ -1122,7 +1294,10 @@ impl Simulate for Soc {
                 self.clusters[cluster].phase = ClusterPhase::DmaIn;
                 // Stage scalar args (plus the trailing zero word of the
                 // kernel ABI) into the TCDM argument area.
-                let job = self.clusters[cluster].job.clone().expect("job bound");
+                let Some(job) = self.clusters[cluster].job.clone() else {
+                    self.fail(SocError::MissingJob { cluster });
+                    return;
+                };
                 let base = job.args_local_word;
                 for (i, arg) in job.args.iter().enumerate() {
                     if let Err(e) = self.tcdms[cluster].write_f64(base + i as u64, *arg) {
@@ -1214,7 +1389,11 @@ impl Simulate for Soc {
                 );
                 if let Some(slot) = self.owner_of(cluster) {
                     self.jobs[slot].activity.sync_ops += 1;
-                    if let Some(fire_at) = self.jobs[slot].credit.increment(now) {
+                    if self.fault_strikes(now, FaultKind::CreditLoss, cluster) {
+                        // The increment wire glitched: the counter never
+                        // sees this credit, the barrier wedges.
+                        self.jobs[slot].credit.absorb_lost(now);
+                    } else if let Some(fire_at) = self.jobs[slot].credit.increment(now) {
                         sched.schedule_at(
                             fire_at + Cycle::new(self.config.irq_latency),
                             SocEvent::HostIrq { slot },
@@ -1300,6 +1479,10 @@ impl Soc {
         self.stats_folded = false;
         self.stats.clear();
         self.telemetry.clear();
+        // The ground-truth fault log is per-session; occurrence counters
+        // are NOT reset, so a retry session rolls fresh dice (a
+        // transient fault stays transient across re-dispatch).
+        self.faults.clear_records();
         self.fatal = None;
         self.main.reset_timing();
         self.noc.reset();
@@ -1392,6 +1575,8 @@ impl Soc {
             not_before: at,
             host_wait_cycles: 0,
             conflict_base,
+            corrupt_clusters: 0,
+            faults_injected: 0,
             done: false,
         });
         if self.host_active.is_none() {
@@ -2160,5 +2345,230 @@ mod tests {
             "multicast must deliver the last doorbell earlier"
         );
         assert!(mc.total < seq.total);
+    }
+
+    fn credit_program(clusters: usize) -> HostProgram {
+        HostProgram::new(vec![
+            HostOp::CreditArm {
+                threshold: clusters as u64,
+            },
+            HostOp::MulticastMailbox {
+                mask: ClusterMask::first(clusters),
+                reg: ClusterReg::Wakeup,
+                value: 1,
+            },
+            HostOp::WaitIrq,
+            HostOp::End,
+        ])
+    }
+
+    #[test]
+    fn noop_fault_plan_changes_nothing() {
+        let run = |install: bool| {
+            let mut soc = small_soc(2);
+            if install {
+                soc.install_faults(FaultPlan::with_seed(42));
+            }
+            for c in 0..2 {
+                soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+            }
+            soc.run_offload(credit_program(2), ClusterMask::first(2))
+                .unwrap()
+        };
+        let plain = run(false);
+        let planned = run(true);
+        assert_eq!(plain.total, planned.total);
+        assert_eq!(plain.phases, planned.phases);
+        assert_eq!(plain.events_delivered, planned.events_delivered);
+    }
+
+    #[test]
+    fn lost_credit_wedges_the_session_observably() {
+        let mut soc = small_soc(2);
+        let mut plan = FaultPlan::with_seed(1);
+        plan.credit_loss = crate::SiteSpec::once_at(0);
+        soc.install_faults(plan);
+        for c in 0..2 {
+            soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+        }
+        soc.begin_jobs();
+        soc.submit_job(credit_program(2), ClusterMask::first(2), Cycle::ZERO)
+            .unwrap();
+        // The first credit is eaten in flight: the IRQ never fires, the
+        // host parks on WaitIrq and the event queue drains — the exact
+        // lost-completion signature a watchdog must catch.
+        assert!(matches!(
+            soc.advance_jobs(Cycle::MAX).unwrap(),
+            SessionProgress::Idle
+        ));
+        assert_eq!(soc.jobs_in_flight(), 1);
+        // Both clusters did their work: attribution must not implicate
+        // either of them.
+        assert!(soc.cluster_completed(0));
+        assert!(soc.cluster_completed(1));
+        assert_eq!(soc.fault_stats().credit_loss, 1);
+        assert_eq!(soc.faults().records().len(), 1);
+    }
+
+    #[test]
+    fn dropped_dispatch_beat_leaves_one_cluster_dark() {
+        let mut soc = small_soc(2);
+        let mut plan = FaultPlan::with_seed(1);
+        plan.dispatch_drop = crate::SiteSpec::once_at(0);
+        soc.install_faults(plan);
+        for c in 0..2 {
+            soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+        }
+        soc.begin_jobs();
+        soc.submit_job(credit_program(2), ClusterMask::first(2), Cycle::ZERO)
+            .unwrap();
+        assert!(matches!(
+            soc.advance_jobs(Cycle::MAX).unwrap(),
+            SessionProgress::Idle
+        ));
+        // The first multicast beat (cluster 0) was dropped: cluster 0
+        // never woke while cluster 1 finished — per-cluster attribution
+        // points at the right victim.
+        assert!(!soc.cluster_completed(0));
+        assert!(soc.cluster_completed(1));
+        assert_eq!(soc.fault_stats().dispatch_drop, 1);
+    }
+
+    #[test]
+    fn dead_cluster_never_completes_and_is_attributed() {
+        let mut soc = small_soc(2);
+        let mut plan = FaultPlan::with_seed(1);
+        plan.dead_clusters = 1 << 1;
+        soc.install_faults(plan);
+        for c in 0..2 {
+            soc.bind_job(c, nop_job(CompletionSignal::Credit, 2));
+        }
+        soc.begin_jobs();
+        soc.submit_job(credit_program(2), ClusterMask::first(2), Cycle::ZERO)
+            .unwrap();
+        assert!(matches!(
+            soc.advance_jobs(Cycle::MAX).unwrap(),
+            SessionProgress::Idle
+        ));
+        assert!(soc.cluster_completed(0));
+        assert!(!soc.cluster_completed(1));
+        assert_eq!(soc.fault_stats().dead_cluster, 1);
+    }
+
+    #[test]
+    fn corrupted_dma_burst_flags_the_completion() {
+        let build = |plan: FaultPlan| {
+            let mut cfg = SocConfig::with_clusters(1);
+            cfg.cores_per_cluster = 1;
+            let mut soc = Soc::new(cfg).unwrap();
+            let base = soc.map().main_base();
+            soc.main_mut()
+                .store_mut()
+                .write_f64_slice(base, &[3.0, 4.0])
+                .unwrap();
+            soc.install_faults(plan);
+
+            // y[i] = a * x[i] over two DMA-ed words (see
+            // dma_moves_real_data_and_cores_compute).
+            let mut b = ProgramBuilder::new();
+            let (x1, x2, x4) = (IntReg::new(1), IntReg::new(2), IntReg::new(4));
+            b.li(x1, 0);
+            b.li(x2, 16);
+            b.li(x4, 80);
+            b.fld(FpReg::new(31), x4, 0);
+            for i in 0..2 {
+                b.fld(FpReg::new(0), x1, i * 8);
+                b.fmul(FpReg::new(1), FpReg::new(31), FpReg::new(0));
+                b.fsd(FpReg::new(1), x2, i * 8);
+            }
+            b.halt();
+            let program = b.build().unwrap();
+            let job = ClusterJob::single(
+                vec![program],
+                vec![Transfer {
+                    main_addr: base,
+                    local_word: 0,
+                    words: 2,
+                }],
+                vec![Transfer {
+                    main_addr: base.add_words(8),
+                    local_word: 2,
+                    words: 2,
+                }],
+                vec![10.0],
+                10,
+                CompletionSignal::Credit,
+            );
+            soc.bind_job(0, job);
+            soc.begin_jobs();
+            soc.submit_job(credit_program(1), ClusterMask::single(0), Cycle::ZERO)
+                .unwrap();
+            let done = match soc.advance_jobs(Cycle::MAX).unwrap() {
+                SessionProgress::Completed(c) => c,
+                other => panic!("expected a completion, got {other:?}"),
+            };
+            let result = soc
+                .main()
+                .store()
+                .read_f64_slice(base.add_words(8), 2)
+                .unwrap();
+            (done, result)
+        };
+
+        let (clean, result) = build(FaultPlan::none());
+        assert_eq!(clean.corrupt_clusters, 0);
+        assert_eq!(clean.faults_injected, 0);
+        assert_eq!(result, vec![30.0, 40.0]);
+
+        let mut plan = FaultPlan::with_seed(1);
+        plan.dma_corrupt = crate::SiteSpec::once_at(0);
+        let (flagged, corrupt) = build(plan);
+        // The CRC flag is raised (the observable recovery signal) and
+        // the corrupted operand really poisons the result.
+        assert_eq!(flagged.corrupt_clusters, 1);
+        assert_eq!(flagged.faults_injected, 1);
+        assert_ne!(corrupt, vec![30.0, 40.0]);
+        // Timing is untouched: corruption is silent in the time domain.
+        assert_eq!(flagged.outcome.total, clean.outcome.total);
+    }
+
+    #[test]
+    fn stalled_dma_burst_completes_late_but_intact() {
+        let run = |plan: FaultPlan| {
+            let mut cfg = SocConfig::with_clusters(1);
+            cfg.cores_per_cluster = 2;
+            let mut soc = Soc::new(cfg).unwrap();
+            let base = soc.map().main_base();
+            soc.main_mut()
+                .store_mut()
+                .write_f64_slice(base, &[1.0, 2.0])
+                .unwrap();
+            soc.install_faults(plan);
+            let job = ClusterJob::single(
+                vec![nop_program(); 2],
+                vec![Transfer {
+                    main_addr: base,
+                    local_word: 0,
+                    words: 2,
+                }],
+                vec![],
+                vec![],
+                0,
+                CompletionSignal::Credit,
+            );
+            soc.bind_job(0, job);
+            soc.run_offload(credit_program(1), ClusterMask::single(0))
+                .unwrap()
+        };
+        let clean = run(FaultPlan::none());
+        let mut plan = FaultPlan::with_seed(1);
+        plan.dma_stall = crate::SiteSpec::once_at(0);
+        plan.dma_stall_cycles = 500;
+        let stalled = run(plan);
+        assert_eq!(
+            stalled.total,
+            clean.total + Cycle::new(500),
+            "the stall shifts completion by exactly the timeout"
+        );
     }
 }

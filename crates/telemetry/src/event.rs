@@ -128,6 +128,18 @@ pub enum EventKind {
     HostRun,
     /// Admission rejected a job (instant, `arg` = job id).
     Reject,
+    /// Fault injection struck a hardware point (instant; `arg` encodes
+    /// the fault kind, the `job` tag names the victim).
+    FaultInject,
+    /// The host watchdog expired waiting for a completion (instant,
+    /// `arg` = the cycle budget that was exceeded).
+    WatchdogFire,
+    /// The runtime re-dispatched a faulted job (instant, `arg` = the
+    /// retry attempt number).
+    Redispatch,
+    /// A cluster was quarantined after repeated fault implication
+    /// (instant, `arg` = the cluster index).
+    Quarantine,
 }
 
 impl EventKind {
@@ -154,6 +166,10 @@ impl EventKind {
             EventKind::Offload => "offload",
             EventKind::HostRun => "host_run",
             EventKind::Reject => "reject",
+            EventKind::FaultInject => "fault_inject",
+            EventKind::WatchdogFire => "watchdog_fire",
+            EventKind::Redispatch => "redispatch",
+            EventKind::Quarantine => "quarantine",
         }
     }
 }
