@@ -57,4 +57,17 @@ cargo run --release -q -p mpsoc-bench --bin fault_sweep -- \
 test -s "$trace_dir/fault_a.json"
 cmp "$trace_dir/fault_a.json" "$trace_dir/fault_b.json"
 
+echo "==> serve_study smoke test (fleet serving front-end, determinism-gated)"
+# The binary asserts the serving claims itself (load-aware placement
+# beating round-robin on p99 at overload, backpressure firing, stealing
+# firing, cosim witness retries, in-process replay equality); two runs
+# must serialize byte-identically — the whole serving path, wire frames
+# included, is a pure function of the seed.
+cargo run --release -q -p mpsoc-bench --bin serve_study -- \
+    --smoke --json "$trace_dir/serve_a.json"
+cargo run --release -q -p mpsoc-bench --bin serve_study -- \
+    --smoke --json "$trace_dir/serve_b.json"
+test -s "$trace_dir/serve_a.json"
+cmp "$trace_dir/serve_a.json" "$trace_dir/serve_b.json"
+
 echo "==> ci green"

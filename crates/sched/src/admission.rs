@@ -40,6 +40,14 @@ pub enum RejectReason {
         /// Healthy (non-quarantined) clusters remaining.
         healthy: u64,
     },
+    /// The job is feasible but the shard's admitted-but-unstarted queue
+    /// is at its configured cap — serving-side backpressure, distinct
+    /// from the model-side reasons above (a balancer may retry it on
+    /// another shard).
+    QueueFull {
+        /// Jobs already waiting when the cap fired.
+        depth: u64,
+    },
 }
 
 /// The controller's verdict on one arriving job.

@@ -63,6 +63,12 @@ struct Running {
     start: u64,
     job: Job,
     m: usize,
+    /// Corruption re-dispatches charged so far (co-simulated backend).
+    retries: u32,
+    /// Injected faults observed across every attempt.
+    faults: u64,
+    /// Contention cycles accumulated across every attempt.
+    contention: u64,
 }
 
 impl Engine {
@@ -366,6 +372,9 @@ impl Engine {
                         start: now,
                         job: queued.job,
                         m,
+                        retries: 0,
+                        faults: 0,
+                        contention: 0,
                     },
                 );
                 seq += 1;
@@ -434,29 +443,60 @@ impl Engine {
                 let horizon = arrival_t.map_or(Cycle::MAX, Cycle::new);
                 match offloader.advance_jobs(horizon)? {
                     mpsoc_offload::SessionStep::Completed(t) => {
-                        let Some(done) = running.remove(&t.job) else {
+                        let Some(mut done) = running.remove(&t.job) else {
                             return Err(SchedError::UnknownCompletion { job: t.job });
                         };
-                        allocator.release(done.mask);
+                        done.faults += t.faults_injected;
+                        done.contention += t.contention.total_cycles();
                         let finish = t.finished_at.as_u64();
                         let part = Unit::Partition(done.mask.iter().next().unwrap_or(0) as u32);
-                        let span =
+                        if t.corrupt_clusters != 0
+                            && done.retries < crate::shard::COSIM_MAX_REDISPATCH
+                        {
+                            // The DMA CRC flagged corrupted data: the
+                            // result cannot be returned, so re-dispatch
+                            // on the same partition with fresh fault
+                            // dice and charge the retry to the record.
+                            done.retries += 1;
+                            self.telemetry.instant(
+                                t.finished_at,
+                                part,
+                                EventKind::Redispatch,
+                                done.job.id,
+                            );
+                            let (x, y) = crate::calibrate::operands(done.job.n, seed ^ done.job.n);
+                            let handle = offloader.submit_at(
+                                done.job.kernel.instantiate().as_ref(),
+                                &x,
+                                &y,
+                                done.mask,
+                                strategy,
+                                t.finished_at,
+                            )?;
+                            running.insert(handle, done);
+                            finish
+                        } else {
+                            allocator.release(done.mask);
+                            let span = self.telemetry.begin(
+                                Cycle::new(done.start),
+                                part,
+                                EventKind::Offload,
+                            );
                             self.telemetry
-                                .begin(Cycle::new(done.start), part, EventKind::Offload);
-                        self.telemetry
-                            .end(t.finished_at, part, EventKind::Offload, span);
-                        records[done.record_index] = JobRecord {
-                            job: done.job,
-                            outcome: JobOutcome::Offloaded {
-                                start: done.start,
-                                finish,
-                                m: done.m,
-                            },
-                            contention_cycles: t.contention.total_cycles(),
-                            retries: 0,
-                            faults_observed: t.faults_injected,
-                        };
-                        finish
+                                .end(t.finished_at, part, EventKind::Offload, span);
+                            records[done.record_index] = JobRecord {
+                                job: done.job,
+                                outcome: JobOutcome::Offloaded {
+                                    start: done.start,
+                                    finish,
+                                    m: done.m,
+                                },
+                                contention_cycles: done.contention,
+                                retries: done.retries,
+                                faults_observed: done.faults,
+                            };
+                            finish
+                        }
                     }
                     mpsoc_offload::SessionStep::Horizon | mpsoc_offload::SessionStep::Idle => {
                         // With no arrival left to advance virtual time,
@@ -630,6 +670,9 @@ impl Engine {
                         start: now,
                         job: queued.job,
                         m,
+                        retries: 0,
+                        faults: 0,
+                        contention: 0,
                     },
                 );
             }
@@ -1008,6 +1051,35 @@ mod tests {
         assert_eq!(report.metrics.offloaded, 1);
         assert_eq!(report.records[0].faults_observed, 1);
         assert_eq!(report.records[0].retries, 0);
+    }
+
+    #[test]
+    fn cosimulated_corruption_redispatches_and_counts_retries() {
+        // A single transient DMA corruption: the CRC flags the result,
+        // the engine re-dispatches on the same partition, and the
+        // record carries the retry (closing the `retries: 0` gap).
+        let mut offloader =
+            mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(8)).expect("soc");
+        let mut plan = mpsoc_soc::FaultPlan::with_seed(31);
+        plan.dma_corrupt = mpsoc_soc::SiteSpec::once_at(0);
+        offloader.install_faults(plan);
+        let mut e = Engine::new(
+            ModelTable::paper_defaults(),
+            8,
+            ServiceBackend::co_simulated(offloader, 0xBEEF),
+        );
+        let stream = jobs(&[(0, 1024, 100_000)]);
+        let report = e.run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(report.metrics.offloaded, 1);
+        assert_eq!(report.records[0].retries, 1);
+        assert!(report.records[0].faults_observed >= 1);
+        match report.records[0].outcome {
+            JobOutcome::Offloaded { start, finish, .. } => {
+                assert_eq!(start, 0);
+                assert!(finish > 0, "the retried attempt still completes");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

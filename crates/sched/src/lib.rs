@@ -65,6 +65,7 @@ mod lint_gate;
 mod metrics;
 mod policy;
 mod service;
+mod shard;
 mod workload;
 
 pub use admission::{AdmissionController, AdmissionDecision, RejectReason};
@@ -80,4 +81,5 @@ pub use policy::{
     SchedContext, SchedPolicy, SmallestFirst,
 };
 pub use service::ServiceBackend;
+pub use shard::{ShardDecision, ShardSim, COSIM_MAX_REDISPATCH};
 pub use workload::{ArrivalPattern, Workload};

@@ -1,0 +1,782 @@
+//! An incremental, open-ended scheduling engine: one shard of a serving
+//! fleet.
+//!
+//! [`Engine::run`](crate::Engine::run) consumes a complete, pre-sorted
+//! job stream — the
+//! right shape for closed experiments, the wrong one for a serving
+//! front-end where jobs arrive over a wire and completions must be
+//! reported as they happen. [`ShardSim`] exposes the same scheduling
+//! semantics (admission → spatial allocation → policy-driven dispatch
+//! over a [`ServiceBackend`]) as an *incremental* state machine:
+//!
+//! - [`ShardSim::advance`] drives virtual time forward to a horizon,
+//!   retiring completions and re-dispatching the queue after each one;
+//! - [`ShardSim::offer`] presents one arriving job and returns its
+//!   admission fate immediately (queued, host, or rejected — including
+//!   the serving-specific [`RejectReason::QueueFull`] backpressure);
+//! - [`ShardSim::steal`]/[`ShardSim::inject`] move *queued-but-unstarted*
+//!   jobs between shards — the work-stealing primitive of a fleet load
+//!   balancer;
+//! - [`ShardSim::drain_finished`] yields completed [`JobRecord`]s in
+//!   completion order.
+//!
+//! Event ordering matches the engine exactly: completions retire before
+//! same-cycle arrivals (drive `advance(t)` before `offer`ing an arrival
+//! at `t`), the policy re-picks after every event, and host-fallback
+//! jobs serialize on the virtual host server. Fed an identical stream,
+//! a `ShardSim` reproduces `Engine::run`'s records field-for-field (see
+//! the equivalence tests), so fleet results compose from the same
+//! building block the closed-loop studies use.
+//!
+//! Under [`ServiceBackend::CoSimulated`] the shard drives its own shared
+//! SoC session and — like the engine — re-dispatches a tenant whose
+//! completion carries the observable corruption signal
+//! (`corrupt_clusters`), bounded by [`COSIM_MAX_REDISPATCH`]; the
+//! re-dispatch count lands in [`JobRecord::retries`].
+
+use std::collections::BTreeMap;
+
+use mpsoc_noc::ClusterMask;
+use mpsoc_sim::Cycle;
+
+use crate::admission::{AdmissionController, AdmissionDecision, RejectReason};
+use crate::alloc::Allocator;
+use crate::calibrate::ModelTable;
+use crate::error::SchedError;
+use crate::job::Job;
+use crate::metrics::{JobOutcome, JobRecord};
+use crate::policy::{Placement, QueuedJob, SchedContext, SchedPolicy};
+use crate::service::ServiceBackend;
+
+/// Bounded re-dispatch budget for co-simulated tenants that complete
+/// with the DMA corruption flag set: the scheduler re-submits on the
+/// same partition with fresh fault dice up to this many times, then
+/// accepts the result as-is (matching the resilient runtime's bounded
+/// retry discipline).
+pub const COSIM_MAX_REDISPATCH: u32 = 3;
+
+/// What [`ShardSim::offer`] decided about one arriving job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardDecision {
+    /// Admitted for offload; waiting for (or already granted) clusters.
+    Queued {
+        /// Eq. 3 minimum partition.
+        m_min: u64,
+        /// Predicted runtime at `m_min` (cycles).
+        predicted: f64,
+    },
+    /// Sent to the shard's serial host server; completes at `finish`.
+    Host {
+        /// Cycle the host will begin the job.
+        start: u64,
+        /// Cycle the host will finish it.
+        finish: u64,
+    },
+    /// Turned away (admission or queue-depth backpressure).
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+}
+
+/// One job in flight (placed on a partition, or a scheduled host run).
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    job: Job,
+    m_min: u64,
+    predicted: f64,
+    mask: ClusterMask,
+    start: u64,
+    m: usize,
+    host: bool,
+    retries: u32,
+    faults: u64,
+    contention: u64,
+}
+
+/// An incremental single-machine scheduler: admission, allocation and
+/// dispatch over a service backend, driven event-by-event.
+pub struct ShardSim {
+    admission: AdmissionController,
+    backend: ServiceBackend,
+    clusters: usize,
+    allocator: Allocator,
+    policy: Box<dyn SchedPolicy>,
+    queue_limit: Option<usize>,
+    now: u64,
+    host_free_at: u64,
+    seq: u64,
+    ready: Vec<QueuedJob>,
+    /// Virtual-time completion events, keyed `(finish, sequence)`.
+    completions: BTreeMap<(u64, u64), InFlight>,
+    /// Co-simulated tenants keyed by their session job handle.
+    running: BTreeMap<mpsoc_offload::JobId, InFlight>,
+    finished: Vec<JobRecord>,
+    backlog_cycles: f64,
+    busy_cluster_cycles: u64,
+    completed_jobs: u64,
+}
+
+impl ShardSim {
+    /// A shard over a machine of `clusters` clusters, dispatching with
+    /// `policy` over `backend`.
+    pub fn new(
+        table: ModelTable,
+        clusters: usize,
+        backend: ServiceBackend,
+        policy: Box<dyn SchedPolicy>,
+    ) -> Self {
+        let mut backend = backend;
+        if let ServiceBackend::CoSimulated { offloader, .. } = &mut backend {
+            offloader.begin_jobs();
+        }
+        ShardSim {
+            admission: AdmissionController::new(table, clusters as u64),
+            backend,
+            clusters,
+            allocator: Allocator::new(clusters),
+            policy,
+            queue_limit: None,
+            now: 0,
+            host_free_at: 0,
+            seq: 0,
+            ready: Vec::new(),
+            completions: BTreeMap::new(),
+            running: BTreeMap::new(),
+            finished: Vec::new(),
+            backlog_cycles: 0.0,
+            busy_cluster_cycles: 0,
+            completed_jobs: 0,
+        }
+    }
+
+    /// Caps the admitted-but-unstarted queue: once `limit` jobs wait,
+    /// further offload admissions are rejected with
+    /// [`RejectReason::QueueFull`] — the shard's backpressure signal.
+    /// Host-fallback jobs bypass the cap (they occupy the host server,
+    /// not the cluster queue).
+    pub fn set_queue_limit(&mut self, limit: usize) {
+        self.queue_limit = Some(limit);
+    }
+
+    /// Current virtual time (the latest horizon or event retired).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The machine size.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// Clusters currently free.
+    pub fn free_clusters(&self) -> usize {
+        self.allocator.free_count()
+    }
+
+    /// Admitted jobs waiting for clusters.
+    pub fn queue_depth(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Jobs currently occupying partitions or the host server.
+    pub fn in_flight(&self) -> usize {
+        self.completions.len() + self.running.len()
+    }
+
+    /// Predicted cluster-cycles of work admitted but not yet finished
+    /// (queued + in flight, at the admission-time `M_min` estimate) —
+    /// the load signal a fleet balancer compares across shards.
+    pub fn backlog_cycles(&self) -> f64 {
+        self.backlog_cycles
+    }
+
+    /// Busy cluster-cycles accumulated by retired offloads.
+    pub fn busy_cluster_cycles(&self) -> u64 {
+        self.busy_cluster_cycles
+    }
+
+    /// Jobs retired so far (offloaded + host).
+    pub fn completed_jobs(&self) -> u64 {
+        self.completed_jobs
+    }
+
+    /// The admission controller's model table.
+    pub fn models(&self) -> &ModelTable {
+        self.admission.table()
+    }
+
+    /// Takes every record finished since the last drain, in completion
+    /// order (rejections appear at their offer time).
+    pub fn drain_finished(&mut self) -> Vec<JobRecord> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Drives virtual time to `until` (inclusive): retires every
+    /// completion at or before it, re-dispatching the queue after each
+    /// event. `u64::MAX` means "retire everything currently in flight"
+    /// without advancing the clock past the last real event.
+    ///
+    /// # Errors
+    ///
+    /// Service-backend failures; [`SchedError::SessionStalled`] can
+    /// surface from [`ShardSim::drain`], not from a bounded advance.
+    pub fn advance(&mut self, until: u64) -> Result<(), SchedError> {
+        if matches!(self.backend, ServiceBackend::CoSimulated { .. }) {
+            self.advance_cosimulated(until)?;
+        } else {
+            while let Some((&(t, _), _)) = self.completions.iter().next() {
+                if t > until {
+                    break;
+                }
+                self.now = t;
+                while let Some((&key @ (tt, _), _)) = self.completions.iter().next() {
+                    if tt > t {
+                        break;
+                    }
+                    let done = self.completions.remove(&key).expect("key just observed");
+                    self.retire(done, t);
+                }
+                self.dispatch()?;
+            }
+        }
+        if until != u64::MAX {
+            self.now = self.now.max(until);
+        }
+        Ok(())
+    }
+
+    /// Runs the shard dry: advances until the queue is empty and nothing
+    /// is in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::SessionStalled`] when in-flight work stops making
+    /// progress (a wedged co-simulated tenant under injected faults).
+    pub fn drain(&mut self) -> Result<(), SchedError> {
+        loop {
+            let retired = self.completed_jobs;
+            self.advance(u64::MAX)?;
+            if self.ready.is_empty() && self.in_flight() == 0 {
+                return Ok(());
+            }
+            if self.completed_jobs == retired {
+                return Err(SchedError::SessionStalled {
+                    in_flight: self.in_flight(),
+                });
+            }
+        }
+    }
+
+    /// Presents one arriving job (arrivals must be offered in
+    /// non-decreasing time order, after `advance(job.arrival)`); decides
+    /// its fate and schedules it. The returned decision is also recorded
+    /// (rejections immediately, completions when they retire).
+    ///
+    /// # Errors
+    ///
+    /// Service-backend failures measuring or submitting the job.
+    pub fn offer(&mut self, job: Job) -> Result<ShardDecision, SchedError> {
+        self.now = self.now.max(job.arrival);
+        let decision = match self.admission.admit(&job) {
+            AdmissionDecision::Offload { m_min, predicted } => {
+                if self
+                    .queue_limit
+                    .is_some_and(|limit| self.ready.len() >= limit)
+                {
+                    let reason = RejectReason::QueueFull {
+                        depth: self.ready.len() as u64,
+                    };
+                    self.push_rejection(job, reason);
+                    ShardDecision::Rejected { reason }
+                } else {
+                    self.ready.push(QueuedJob {
+                        job,
+                        m_min,
+                        predicted,
+                    });
+                    self.backlog_cycles += predicted * m_min as f64;
+                    self.dispatch()?;
+                    ShardDecision::Queued { m_min, predicted }
+                }
+            }
+            AdmissionDecision::Host { .. } => {
+                let start = self.now.max(self.host_free_at);
+                let cycles = self.host_cycles(job)?;
+                let finish = start + cycles;
+                self.host_free_at = finish;
+                self.completions.insert(
+                    (finish, self.seq),
+                    InFlight {
+                        job,
+                        m_min: 0,
+                        predicted: 0.0,
+                        mask: ClusterMask::EMPTY,
+                        start,
+                        m: 0,
+                        host: true,
+                        retries: 0,
+                        faults: 0,
+                        contention: 0,
+                    },
+                );
+                self.seq += 1;
+                ShardDecision::Host { start, finish }
+            }
+            AdmissionDecision::Reject { reason } => {
+                self.push_rejection(job, reason);
+                ShardDecision::Rejected { reason }
+            }
+        };
+        Ok(decision)
+    }
+
+    /// Removes the most recently admitted queued-but-unstarted job for
+    /// another shard to run, or `None` when the queue is empty. Stealing
+    /// from the tail leaves the oldest (most slack-starved) jobs on the
+    /// shard that admitted them.
+    pub fn steal(&mut self) -> Option<QueuedJob> {
+        let stolen = self.ready.pop()?;
+        self.backlog_cycles -= stolen.predicted * stolen.m_min as f64;
+        Some(stolen)
+    }
+
+    /// Accepts a job stolen from another shard: it joins the queue with
+    /// its admission solution intact and competes for clusters under
+    /// this shard's policy.
+    ///
+    /// # Errors
+    ///
+    /// Service-backend failures dispatching the queue.
+    pub fn inject(&mut self, stolen: QueuedJob) -> Result<(), SchedError> {
+        self.backlog_cycles += stolen.predicted * stolen.m_min as f64;
+        self.ready.push(stolen);
+        self.dispatch()
+    }
+
+    /// Host runtime lookup mirroring the engine: memoized measurement
+    /// under the measured/co-simulated backends, a model prediction
+    /// under the analytic one.
+    fn host_cycles(&mut self, job: Job) -> Result<u64, SchedError> {
+        match &mut self.backend {
+            ServiceBackend::CoSimulated {
+                offloader,
+                seed,
+                host_cache,
+                ..
+            } => {
+                if let Some(&c) = host_cache.get(&(job.kernel, job.n)) {
+                    return Ok(c);
+                }
+                let (x, y) = crate::calibrate::operands(job.n, *seed ^ job.n);
+                let (c, _) = offloader.run_on_host(job.kernel.instantiate().as_ref(), &x, &y)?;
+                host_cache.insert((job.kernel, job.n), c);
+                Ok(c)
+            }
+            other => other.host_cycles(job.kernel, job.n),
+        }
+    }
+
+    fn push_rejection(&mut self, job: Job, reason: RejectReason) {
+        self.finished.push(JobRecord {
+            job,
+            outcome: JobOutcome::Rejected { reason },
+            contention_cycles: 0,
+            retries: 0,
+            faults_observed: 0,
+        });
+    }
+
+    /// Retires one virtual-time completion into the finished log.
+    fn retire(&mut self, done: InFlight, finish: u64) {
+        let outcome = if done.host {
+            JobOutcome::Host {
+                start: done.start,
+                finish,
+            }
+        } else {
+            self.allocator.release(done.mask);
+            self.backlog_cycles -= done.predicted * done.m_min as f64;
+            self.busy_cluster_cycles += (finish - done.start) * done.m as u64;
+            JobOutcome::Offloaded {
+                start: done.start,
+                finish,
+                m: done.m,
+            }
+        };
+        self.completed_jobs += 1;
+        self.finished.push(JobRecord {
+            job: done.job,
+            outcome,
+            contention_cycles: done.contention,
+            retries: done.retries,
+            faults_observed: done.faults,
+        });
+    }
+
+    /// Lets the policy place queued jobs until it passes.
+    fn dispatch(&mut self) -> Result<(), SchedError> {
+        loop {
+            let ctx = SchedContext {
+                now: self.now,
+                free_clusters: self.allocator.free_count(),
+                total_clusters: self.clusters,
+                models: self.admission.table(),
+            };
+            let Some(Placement { queue_index, m }) = self.policy.pick(&self.ready, &ctx) else {
+                return Ok(());
+            };
+            assert!(queue_index < self.ready.len(), "policy picked a ghost job");
+            let queued = self.ready.remove(queue_index);
+            let mask = self
+                .allocator
+                .carve(m)
+                .unwrap_or_else(|| panic!("policy over-allocated: {m} clusters not free"));
+            let placed = InFlight {
+                job: queued.job,
+                m_min: queued.m_min,
+                predicted: queued.predicted,
+                mask,
+                start: self.now,
+                m,
+                host: false,
+                retries: 0,
+                faults: 0,
+                contention: 0,
+            };
+            match &mut self.backend {
+                ServiceBackend::CoSimulated {
+                    offloader,
+                    seed,
+                    strategy,
+                    ..
+                } => {
+                    let (x, y) = crate::calibrate::operands(queued.job.n, *seed ^ queued.job.n);
+                    let handle = offloader.submit_at(
+                        queued.job.kernel.instantiate().as_ref(),
+                        &x,
+                        &y,
+                        mask,
+                        *strategy,
+                        Cycle::new(self.now),
+                    )?;
+                    self.running.insert(handle, placed);
+                }
+                other => {
+                    let cycles = other.offload_cycles(queued.job.kernel, queued.job.n, mask)?;
+                    self.completions
+                        .insert((self.now + cycles, self.seq), placed);
+                    self.seq += 1;
+                }
+            }
+        }
+    }
+
+    /// The co-simulated advance loop: one shared SoC session carries
+    /// every placed tenant; host-fallback completions interleave at
+    /// their scheduled virtual times.
+    fn advance_cosimulated(&mut self, until: u64) -> Result<(), SchedError> {
+        loop {
+            // Host completions scheduled before the next session event
+            // retire first (both are virtual-time ordered).
+            let next_host = self.completions.keys().next().map(|&(t, _)| t);
+            if let Some(t) = next_host.filter(|&t| t <= until) {
+                // Retire host runs up to the next session completion: we
+                // must interleave, so peek the session only as far as
+                // the host event.
+                if self.running.is_empty() {
+                    self.now = t;
+                    while let Some((&key @ (tt, _), _)) = self.completions.iter().next() {
+                        if tt > t {
+                            break;
+                        }
+                        let done = self.completions.remove(&key).expect("key just observed");
+                        self.retire(done, t);
+                    }
+                    self.dispatch()?;
+                    continue;
+                }
+            }
+            if self.running.is_empty() && next_host.map_or(true, |t| t > until) {
+                break;
+            }
+            // Advance the session no further than the earliest scheduled
+            // host completion, so host and session events retire in
+            // global time order.
+            let horizon = next_host.map_or(until, |t| t.min(until));
+            let step = {
+                let ServiceBackend::CoSimulated { offloader, .. } = &mut self.backend else {
+                    unreachable!("advance_cosimulated requires a co-simulated backend");
+                };
+                if self.running.is_empty() {
+                    mpsoc_offload::SessionStep::Idle
+                } else {
+                    offloader.advance_jobs(Cycle::new(horizon))?
+                }
+            };
+            match step {
+                mpsoc_offload::SessionStep::Completed(t) => {
+                    self.retire_cosimulated(*t)?;
+                    self.dispatch()?;
+                }
+                mpsoc_offload::SessionStep::Horizon | mpsoc_offload::SessionStep::Idle => {
+                    // No session event before `horizon`: retire the host
+                    // completions there, or stop at the caller's bound.
+                    match next_host.filter(|&t| t <= until) {
+                        Some(t) => {
+                            self.now = t;
+                            while let Some((&key @ (tt, _), _)) = self.completions.iter().next() {
+                                if tt > t {
+                                    break;
+                                }
+                                let done =
+                                    self.completions.remove(&key).expect("key just observed");
+                                self.retire(done, t);
+                            }
+                            self.dispatch()?;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Retires (or corruption-re-dispatches) one co-simulated tenant.
+    fn retire_cosimulated(&mut self, t: mpsoc_offload::TenantRun) -> Result<(), SchedError> {
+        let Some(mut done) = self.running.remove(&t.job) else {
+            return Err(SchedError::UnknownCompletion { job: t.job });
+        };
+        let finish = t.finished_at.as_u64();
+        self.now = self.now.max(finish);
+        done.faults += t.faults_injected;
+        done.contention += t.contention.total_cycles();
+        if t.corrupt_clusters != 0 && done.retries < COSIM_MAX_REDISPATCH {
+            // Observable corruption: re-dispatch on the same partition
+            // with fresh fault dice, charging the retry to the record.
+            done.retries += 1;
+            let ServiceBackend::CoSimulated {
+                offloader,
+                seed,
+                strategy,
+                ..
+            } = &mut self.backend
+            else {
+                unreachable!("co-simulated completion without a co-simulated backend");
+            };
+            let (x, y) = crate::calibrate::operands(done.job.n, *seed ^ done.job.n);
+            let handle = offloader.submit_at(
+                done.job.kernel.instantiate().as_ref(),
+                &x,
+                &y,
+                done.mask,
+                *strategy,
+                t.finished_at,
+            )?;
+            self.running.insert(handle, done);
+            return Ok(());
+        }
+        self.allocator.release(done.mask);
+        self.backlog_cycles -= done.predicted * done.m_min as f64;
+        self.busy_cluster_cycles += (finish - done.start) * done.m as u64;
+        self.completed_jobs += 1;
+        self.finished.push(JobRecord {
+            job: done.job,
+            outcome: JobOutcome::Offloaded {
+                start: done.start,
+                finish,
+                m: done.m,
+            },
+            contention_cycles: done.contention,
+            retries: done.retries,
+            faults_observed: done.faults,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::KernelId;
+    use crate::policy::FifoFirstFit;
+    use crate::Engine;
+
+    fn jobs(specs: &[(u64, u64, u64)]) -> Vec<Job> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(arrival, n, deadline))| Job {
+                id: i as u64,
+                kernel: KernelId::Daxpy,
+                n,
+                arrival,
+                deadline,
+            })
+            .collect()
+    }
+
+    fn shard(clusters: usize, backend: ServiceBackend) -> ShardSim {
+        ShardSim::new(
+            ModelTable::paper_defaults(),
+            clusters,
+            backend,
+            Box::new(FifoFirstFit),
+        )
+    }
+
+    fn run_stream(shard: &mut ShardSim, stream: &[Job]) -> Vec<JobRecord> {
+        for job in stream {
+            shard.advance(job.arrival).expect("advance");
+            shard.offer(*job).expect("offer");
+        }
+        shard.drain().expect("drain");
+        let mut records = shard.drain_finished();
+        records.sort_by_key(|r| r.job.id);
+        records
+    }
+
+    /// The contract that licenses fleet results: fed the same stream, a
+    /// shard reproduces the closed-loop engine's records exactly.
+    #[test]
+    fn shard_matches_engine_on_an_analytic_stream() {
+        let stream = jobs(&[
+            (0, 1024, 1000),
+            (0, 1024, 1000),
+            (0, 2048, 2000),
+            (100, 256, 100_000),
+            (150, 1024, 300),
+            (500, 4096, 9000),
+            (500, 64, 100_000),
+        ]);
+        let table = ModelTable::paper_defaults();
+        let mut engine = Engine::new(table.clone(), 4, ServiceBackend::analytic(table.clone()));
+        let want = engine.run(&stream, &mut FifoFirstFit).expect("engine");
+        let mut s = shard(4, ServiceBackend::analytic(table));
+        let got = run_stream(&mut s, &stream);
+        assert_eq!(got, want.records);
+    }
+
+    #[test]
+    fn shard_matches_engine_on_a_cosimulated_stream() {
+        let stream = jobs(&[
+            (0, 1024, 2000),
+            (0, 2048, 4000),
+            (100, 256, 100_000),
+            (500, 4096, 9000),
+        ]);
+        let table = ModelTable::paper_defaults();
+        let mk_backend = || {
+            let offloader =
+                mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(8)).expect("soc");
+            ServiceBackend::co_simulated(offloader, 0xBEEF)
+        };
+        let mut engine = Engine::new(table.clone(), 8, mk_backend());
+        let want = engine.run(&stream, &mut FifoFirstFit).expect("engine");
+        let mut s = shard(8, mk_backend());
+        let got = run_stream(&mut s, &stream);
+        assert_eq!(got, want.records);
+    }
+
+    #[test]
+    fn queue_limit_rejects_with_queue_full() {
+        // A 1-cluster machine: the first job runs, the second queues,
+        // the third hits the cap.
+        let table = ModelTable::paper_defaults();
+        let mut s = shard(1, ServiceBackend::analytic(table));
+        s.set_queue_limit(1);
+        let stream = jobs(&[(0, 1024, 100_000), (0, 1024, 100_000), (0, 1024, 100_000)]);
+        assert!(matches!(
+            s.offer(stream[0]).unwrap(),
+            ShardDecision::Queued { .. }
+        ));
+        assert!(matches!(
+            s.offer(stream[1]).unwrap(),
+            ShardDecision::Queued { .. }
+        ));
+        match s.offer(stream[2]).unwrap() {
+            ShardDecision::Rejected {
+                reason: RejectReason::QueueFull { depth },
+            } => assert_eq!(depth, 1),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        s.drain().expect("drain");
+        let records = s.drain_finished();
+        assert_eq!(records.len(), 3);
+        assert_eq!(s.completed_jobs(), 2);
+    }
+
+    #[test]
+    fn steal_moves_queued_work_between_shards() {
+        let table = ModelTable::paper_defaults();
+        // Donor: 1 cluster, so the second job queues.
+        let mut donor = shard(1, ServiceBackend::analytic(table.clone()));
+        let stream = jobs(&[(0, 1024, 100_000), (0, 1024, 100_000)]);
+        donor.offer(stream[0]).unwrap();
+        donor.offer(stream[1]).unwrap();
+        assert_eq!(donor.queue_depth(), 1);
+        let backlog_before = donor.backlog_cycles();
+
+        let stolen = donor.steal().expect("queued job to steal");
+        assert_eq!(stolen.job.id, 1);
+        assert_eq!(donor.queue_depth(), 0);
+        assert!(donor.backlog_cycles() < backlog_before);
+        assert!(donor.steal().is_none(), "nothing left to steal");
+
+        // Thief: idle 1-cluster shard runs the stolen job immediately.
+        let mut thief = shard(1, ServiceBackend::analytic(table));
+        thief.inject(stolen).expect("inject");
+        assert_eq!(thief.queue_depth(), 0, "stolen job dispatched at once");
+        thief.drain().expect("drain");
+        let records = thief.drain_finished();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(
+            records[0].outcome,
+            JobOutcome::Offloaded { start: 0, .. }
+        ));
+
+        donor.drain().expect("drain");
+        assert_eq!(donor.completed_jobs(), 1);
+    }
+
+    #[test]
+    fn backlog_tracks_admitted_unfinished_work() {
+        let table = ModelTable::paper_defaults();
+        let mut s = shard(2, ServiceBackend::analytic(table));
+        assert_eq!(s.backlog_cycles(), 0.0);
+        let stream = jobs(&[(0, 1024, 100_000), (0, 2048, 100_000)]);
+        s.offer(stream[0]).unwrap();
+        let after_one = s.backlog_cycles();
+        assert!(after_one > 0.0);
+        s.offer(stream[1]).unwrap();
+        assert!(s.backlog_cycles() > after_one);
+        s.drain().expect("drain");
+        assert!(
+            s.backlog_cycles().abs() < 1e-9,
+            "drained shard owes nothing"
+        );
+        assert!(s.busy_cluster_cycles() > 0);
+    }
+
+    #[test]
+    fn cosimulated_shard_redispatches_on_corruption() {
+        let mut offloader =
+            mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(4)).expect("soc");
+        let mut plan = mpsoc_soc::FaultPlan::with_seed(31);
+        plan.dma_corrupt = mpsoc_soc::SiteSpec::once_at(0);
+        offloader.install_faults(plan);
+        let mut s = shard(4, ServiceBackend::co_simulated(offloader, 0xBEEF));
+        let stream = jobs(&[(0, 1024, 100_000)]);
+        s.offer(stream[0]).unwrap();
+        s.drain().expect("drain");
+        let records = s.drain_finished();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0].retries, 1,
+            "corruption must cost one re-dispatch"
+        );
+        assert!(records[0].faults_observed >= 1);
+        assert!(matches!(records[0].outcome, JobOutcome::Offloaded { .. }));
+    }
+}

@@ -1,0 +1,436 @@
+//! The serving daemon: one event loop multiplexing many client sessions
+//! over in-process duplex pipes onto the shard fleet.
+//!
+//! A client is a *script* — a list of `(virtual time, Request)` sends,
+//! non-decreasing in time — because determinism is the contract: the
+//! same scripts against the same fleet seed must produce byte-identical
+//! response streams. The loop merges all clients' sends into one global
+//! time order (ties broken by session index, then send order), moves the
+//! encoded bytes through each session's [`Duplex`], decodes frames
+//! incrementally, and drives the fleet:
+//!
+//! - `SubmitJob` → [`Fleet::submit`] at the send's virtual time; the
+//!   verdict returns immediately as `JobAccepted` / `JobRejected`.
+//! - Completions surface whenever the fleet advances; each becomes a
+//!   `JobComplete` at its finish time, delivered to the session that
+//!   submitted the job.
+//!
+//! Responses are timestamped and globally ordered before framing, so a
+//! session's outbound stream is in virtual-time order even though
+//! completions are discovered lazily. The daemon never blocks: clients
+//! that send garbage get a typed [`ServeError::Decode`] naming their
+//! session, not a hang.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mpsoc_sched::{JobOutcome, SchedError, ShardDecision};
+
+use crate::fleet::Fleet;
+use crate::proto::{Request, Response};
+use crate::transport::Duplex;
+use crate::wire::{encode, DecodeError, Decoder};
+
+/// One scripted client session: timed protocol sends.
+#[derive(Debug, Clone, Default)]
+pub struct ClientScript {
+    /// `(virtual time, request)` pairs, non-decreasing in time.
+    pub sends: Vec<(u64, Request)>,
+}
+
+impl ClientScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        ClientScript::default()
+    }
+
+    /// Appends a submission at `time`.
+    pub fn submit_at(
+        &mut self,
+        time: u64,
+        client_job: u64,
+        kernel: mpsoc_sched::KernelId,
+        n: u64,
+        deadline: u64,
+    ) -> &mut Self {
+        self.sends.push((
+            time,
+            Request::SubmitJob {
+                client_job,
+                kernel,
+                n,
+                deadline,
+            },
+        ));
+        self
+    }
+}
+
+/// What one serving run produced for one session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionLog {
+    /// The framed response byte stream (decode with
+    /// [`SessionLog::responses`]).
+    pub outbound: Vec<u8>,
+}
+
+impl SessionLog {
+    /// Decodes the outbound stream back into typed responses.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] if the stream is corrupt (a daemon bug, not a
+    /// client condition).
+    pub fn responses(&self) -> Result<Vec<Response>, DecodeError> {
+        let mut dec = Decoder::new();
+        dec.push(&self.outbound);
+        let mut out = Vec::new();
+        while let Some(r) = dec.next_message::<Response>()? {
+            out.push(r);
+        }
+        dec.finish()?;
+        Ok(out)
+    }
+}
+
+/// Daemon failure: a scheduling error or a client's undecodable bytes.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The fleet failed (service backend error, stalled session).
+    Sched(SchedError),
+    /// A session's inbound byte stream failed to decode.
+    Decode {
+        /// Which session sent the bytes.
+        session: usize,
+        /// What was wrong with them.
+        error: DecodeError,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Sched(e) => write!(f, "fleet error: {e}"),
+            ServeError::Decode { session, error } => {
+                write!(f, "session {session}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Sched(e) => Some(e),
+            ServeError::Decode { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<SchedError> for ServeError {
+    fn from(e: SchedError) -> Self {
+        ServeError::Sched(e)
+    }
+}
+
+/// The serving daemon: fleet + per-session transports.
+pub struct Daemon {
+    fleet: Fleet,
+}
+
+impl Daemon {
+    /// A daemon over `fleet`.
+    pub fn new(fleet: Fleet) -> Self {
+        Daemon { fleet }
+    }
+
+    /// The fleet (for SLO summaries after a run).
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Runs the scripts to completion and returns one [`SessionLog`] per
+    /// script (same order).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on fleet failures or undecodable client bytes.
+    pub fn run(&mut self, scripts: &[ClientScript]) -> Result<Vec<SessionLog>, ServeError> {
+        // Merge all sends into (time, session, send index) order.
+        let mut events: Vec<(u64, usize, usize)> = Vec::new();
+        for (session, script) in scripts.iter().enumerate() {
+            assert!(
+                script.sends.windows(2).all(|w| w[0].0 <= w[1].0),
+                "client script must be non-decreasing in time"
+            );
+            for (idx, &(t, _)) in script.sends.iter().enumerate() {
+                events.push((t, session, idx));
+            }
+        }
+        events.sort();
+
+        let mut pipes: Vec<Duplex> = scripts.iter().map(|_| Duplex::new()).collect();
+        let mut decoders: Vec<Decoder> = scripts.iter().map(|_| Decoder::new()).collect();
+        // Fleet job id → (session, client_job): the daemon's private
+        // mapping between wire identity and fleet identity.
+        let mut origin: BTreeMap<u64, (usize, u64)> = BTreeMap::new();
+        // Responses gathered as (virtual time, emit sequence, session).
+        let mut responses: Vec<(u64, u64, usize, Response)> = Vec::new();
+        let mut emit_seq = 0u64;
+        let mut collected = 0usize;
+
+        let emit = |responses: &mut Vec<(u64, u64, usize, Response)>,
+                    emit_seq: &mut u64,
+                    t: u64,
+                    session: usize,
+                    r: Response| {
+            responses.push((t, *emit_seq, session, r));
+            *emit_seq += 1;
+        };
+
+        for (t, session, idx) in events {
+            // The "wire": the client's encoded frame crosses its pipe
+            // now; the daemon drains and decodes incrementally.
+            let (_, request) = scripts[session].sends[idx];
+            pipes[session].client_send(&encode(&request));
+            let inbound = pipes[session].server_drain();
+            decoders[session].push(&inbound);
+            loop {
+                let decoded = decoders[session]
+                    .next_message::<Request>()
+                    .map_err(|error| ServeError::Decode { session, error })?;
+                let Some(Request::SubmitJob {
+                    client_job,
+                    kernel,
+                    n,
+                    deadline,
+                }) = decoded
+                else {
+                    break;
+                };
+                let fleet_job = self.next_fleet_job_id();
+                let (shard, decision) = self.fleet.submit(kernel, n, deadline, t)?;
+                match decision {
+                    ShardDecision::Queued { .. } | ShardDecision::Host { .. } => {
+                        origin.insert(fleet_job, (session, client_job));
+                        emit(
+                            &mut responses,
+                            &mut emit_seq,
+                            t,
+                            session,
+                            Response::JobAccepted { client_job, shard },
+                        );
+                    }
+                    ShardDecision::Rejected { reason } => {
+                        emit(
+                            &mut responses,
+                            &mut emit_seq,
+                            t,
+                            session,
+                            Response::JobRejected { client_job, reason },
+                        );
+                    }
+                }
+                // Completions the submit's advance uncovered.
+                Self::collect_completions(&self.fleet, &mut collected, &origin, |t, session, r| {
+                    emit(&mut responses, &mut emit_seq, t, session, r)
+                });
+            }
+        }
+
+        self.fleet.drain()?;
+        Self::collect_completions(&self.fleet, &mut collected, &origin, |t, session, r| {
+            emit(&mut responses, &mut emit_seq, t, session, r)
+        });
+
+        // Deliver responses in global virtual-time order (stable by
+        // emission sequence), so each session's stream is time-sorted.
+        responses.sort_by_key(|&(t, seq, _, _)| (t, seq));
+        for (_, _, session, response) in responses {
+            pipes[session].server_send(&encode(&response));
+        }
+        Ok(pipes
+            .into_iter()
+            .map(|mut p| SessionLog {
+                outbound: p.client_drain(),
+            })
+            .collect())
+    }
+
+    /// The fleet job id the *next* submission will get (fleet ids are
+    /// sequential from 0).
+    fn next_fleet_job_id(&self) -> u64 {
+        self.fleet.submitted()
+    }
+
+    /// Emits `JobComplete` for fleet records not yet reported.
+    fn collect_completions(
+        fleet: &Fleet,
+        collected: &mut usize,
+        origin: &BTreeMap<u64, (usize, u64)>,
+        mut emit: impl FnMut(u64, usize, Response),
+    ) {
+        let records = fleet.completed();
+        while *collected < records.len() {
+            let fr = &records[*collected];
+            *collected += 1;
+            let (start, finish, on_host) = match fr.record.outcome {
+                JobOutcome::Offloaded { start, finish, .. } => (start, finish, false),
+                JobOutcome::Host { start, finish } => (start, finish, true),
+                // Rejections were answered at submit time.
+                JobOutcome::Rejected { .. } => continue,
+            };
+            let Some(&(session, client_job)) = origin.get(&fr.record.job.id) else {
+                continue;
+            };
+            emit(
+                finish,
+                session,
+                Response::JobComplete {
+                    client_job,
+                    shard: fr.shard,
+                    start,
+                    finish,
+                    on_host,
+                    deadline_met: !fr.record.missed_deadline(),
+                    retries: fr.record.retries,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{FleetConfig, PlacementPolicy};
+    use mpsoc_sched::{KernelId, ModelTable, RejectReason};
+
+    fn daemon(shards: usize, queue_limit: usize) -> Daemon {
+        Daemon::new(Fleet::analytic(
+            FleetConfig {
+                shards,
+                clusters_per_shard: 2,
+                queue_limit,
+                placement: PlacementPolicy::LeastLoaded,
+                steal: true,
+            },
+            &ModelTable::paper_defaults(),
+        ))
+    }
+
+    #[test]
+    fn one_client_gets_accept_then_complete() {
+        let mut script = ClientScript::new();
+        script.submit_at(0, 77, KernelId::Daxpy, 1024, 100_000);
+        let logs = daemon(2, 8).run(&[script]).expect("run");
+        let responses = logs[0].responses().expect("decode");
+        assert_eq!(responses.len(), 2);
+        assert!(matches!(
+            responses[0],
+            Response::JobAccepted { client_job: 77, .. }
+        ));
+        match responses[1] {
+            Response::JobComplete {
+                client_job,
+                deadline_met,
+                on_host,
+                finish,
+                ..
+            } => {
+                assert_eq!(client_job, 77);
+                assert!(deadline_met);
+                assert!(!on_host);
+                assert!(finish > 0);
+            }
+            other => panic!("expected JobComplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sessions_are_isolated_and_complete_in_time_order() {
+        let mut a = ClientScript::new();
+        a.submit_at(0, 1, KernelId::Daxpy, 4096, 1_000_000);
+        a.submit_at(10, 2, KernelId::Daxpy, 1024, 1_000_000);
+        let mut b = ClientScript::new();
+        b.submit_at(5, 1, KernelId::Daxpy, 256, 1_000_000);
+        let logs = daemon(2, 8).run(&[a, b]).expect("run");
+        let ra = logs[0].responses().expect("decode");
+        let rb = logs[1].responses().expect("decode");
+        // Each session sees only its own jobs, accepts and completes.
+        assert_eq!(ra.len(), 4);
+        assert_eq!(rb.len(), 2);
+        assert!(rb.iter().all(|r| r.client_job() == 1));
+        // Outbound streams are time-ordered: completions carry finish
+        // times; every accept precedes its job's completion.
+        let complete_pos = |rs: &[Response], cj: u64| {
+            rs.iter()
+                .position(
+                    |r| matches!(r, Response::JobComplete { client_job, .. } if *client_job == cj),
+                )
+                .expect("completion present")
+        };
+        let accept_pos = |rs: &[Response], cj: u64| {
+            rs.iter()
+                .position(
+                    |r| matches!(r, Response::JobAccepted { client_job, .. } if *client_job == cj),
+                )
+                .expect("accept present")
+        };
+        assert!(accept_pos(&ra, 1) < complete_pos(&ra, 1));
+        assert!(accept_pos(&ra, 2) < complete_pos(&ra, 2));
+    }
+
+    #[test]
+    fn backpressure_surfaces_as_job_rejected() {
+        let mut script = ClientScript::new();
+        for i in 0..20 {
+            script.submit_at(0, i, KernelId::Daxpy, 4096, 1_000_000);
+        }
+        let logs = daemon(1, 2).run(&[script]).expect("run");
+        let responses = logs[0].responses().expect("decode");
+        let rejected = responses
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    Response::JobRejected {
+                        reason: RejectReason::QueueFull { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(rejected > 0, "saturation must reject over the wire");
+        let accepted = responses
+            .iter()
+            .filter(|r| matches!(r, Response::JobAccepted { .. }))
+            .count();
+        let completed = responses
+            .iter()
+            .filter(|r| matches!(r, Response::JobComplete { .. }))
+            .count();
+        assert_eq!(accepted, completed, "every accepted job completes");
+        assert_eq!(accepted + rejected, 20);
+    }
+
+    #[test]
+    fn daemon_runs_are_byte_identical() {
+        let scripts = || {
+            let mut a = ClientScript::new();
+            let mut b = ClientScript::new();
+            for i in 0..30u64 {
+                a.submit_at(i * 100, i, KernelId::Daxpy, 256 << (i % 4), 50_000);
+                b.submit_at(i * 130, i, KernelId::Daxpy, 512 << (i % 3), 80_000);
+            }
+            vec![a, b]
+        };
+        let run = || daemon(3, 4).run(&scripts()).expect("run");
+        let x = run();
+        let y = run();
+        assert_eq!(x.len(), y.len());
+        for (lx, ly) in x.iter().zip(&y) {
+            assert_eq!(lx.outbound, ly.outbound, "byte-identical replay");
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! The shard manager: a fleet of independent co-simulated (or analytic)
+//! SoC shards behind one load balancer.
+//!
+//! Each shard is an incremental [`ShardSim`] — the same admission →
+//! allocation → dispatch semantics as the closed-loop `Engine`, driven
+//! event-by-event. The fleet layer adds what a serving front-end needs
+//! on top:
+//!
+//! - **Placement** ([`PlacementPolicy`]): which shard an arriving job is
+//!   offered to. Round-robin ignores load; least-loaded picks the
+//!   shallowest queue; model-guided picks the smallest *predicted
+//!   backlog* in cluster-cycles — the sum of Eq. 1 t̂(M, N) predictions
+//!   of everything admitted and unfinished, normalized by shard
+//!   capacity, so a queue of two huge jobs weighs more than a queue of
+//!   five tiny ones.
+//! - **Backpressure**: every shard runs with a bounded admission queue
+//!   ([`ShardSim::set_queue_limit`]); the chosen shard's verdict is
+//!   final, so an overloaded fleet rejects with
+//!   [`RejectReason::QueueFull`] instead of building unbounded queues.
+//! - **Work stealing**: when a shard goes idle (empty queue, free
+//!   clusters) while a sibling has jobs backed up, the idle shard steals
+//!   a queued-but-unstarted job. Stealing moves only jobs that have not
+//!   touched hardware, so records stay exact.
+//! - **Telemetry**: one [`StatsRegistry`] per shard (accept/reject/steal
+//!   counters, completion-latency histogram), merged on demand into a
+//!   fleet-wide [`FleetView`] whose histogram merge is exact.
+//!
+//! Everything iterates in shard-index order and all state lives in
+//! ordered containers, so a fixed (config, job stream) pair replays to
+//! byte-identical reports.
+//!
+//! [`RejectReason::QueueFull`]: mpsoc_sched::RejectReason::QueueFull
+
+use mpsoc_sched::{
+    FifoFirstFit, Job, JobOutcome, JobRecord, KernelId, ModelTable, RejectReason, SchedError,
+    ServiceBackend, ShardDecision, ShardSim,
+};
+use mpsoc_telemetry::{FleetView, StatsRegistry};
+use serde::{Deserialize, Serialize};
+
+/// How the balancer picks a shard for each arriving job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Rotate through shards regardless of load.
+    RoundRobin,
+    /// The shard with the shallowest admission queue (ties to the
+    /// lowest index).
+    LeastLoaded,
+    /// The shard with the least predicted backlog: Σ t̂(M_min, N) ·
+    /// M_min over admitted-but-unfinished jobs, per cluster of
+    /// capacity (ties to the lowest index).
+    ModelGuided,
+}
+
+/// Every placement policy, in study order.
+pub const ALL_PLACEMENTS: [PlacementPolicy; 3] = [
+    PlacementPolicy::RoundRobin,
+    PlacementPolicy::LeastLoaded,
+    PlacementPolicy::ModelGuided,
+];
+
+impl PlacementPolicy {
+    /// Stable snake_case name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementPolicy::RoundRobin => "round_robin",
+            PlacementPolicy::LeastLoaded => "least_loaded",
+            PlacementPolicy::ModelGuided => "model_guided",
+        }
+    }
+}
+
+/// Fleet shape and balancing behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of independent shards.
+    pub shards: usize,
+    /// Clusters per shard machine.
+    pub clusters_per_shard: usize,
+    /// Per-shard admission-queue cap (backpressure threshold).
+    pub queue_limit: usize,
+    /// Placement policy.
+    pub placement: PlacementPolicy,
+    /// Whether idle shards steal queued work from loaded siblings.
+    pub steal: bool,
+}
+
+/// One finished job, tagged with the shard that resolved it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRecord {
+    /// Shard index.
+    pub shard: u32,
+    /// The shard's record (rejections included).
+    pub record: JobRecord,
+}
+
+/// A fleet of shards behind one balancer.
+pub struct Fleet {
+    config: FleetConfig,
+    shards: Vec<ShardSim>,
+    stats: Vec<StatsRegistry>,
+    rr_next: usize,
+    next_job_id: u64,
+    submitted: u64,
+    completed: Vec<FleetRecord>,
+}
+
+impl Fleet {
+    /// A fleet whose shards all charge analytic (Eq. 1) service times —
+    /// the configuration for large SLO sweeps, where a million jobs
+    /// must simulate in seconds.
+    pub fn analytic(config: FleetConfig, table: &ModelTable) -> Self {
+        let backends = (0..config.shards)
+            .map(|_| ServiceBackend::analytic(table.clone()))
+            .collect();
+        Fleet::with_backends(config, table, backends)
+    }
+
+    /// A fleet over explicit per-shard backends (e.g. co-simulated SoC
+    /// instances). `backends.len()` must equal `config.shards`.
+    pub fn with_backends(
+        config: FleetConfig,
+        table: &ModelTable,
+        backends: Vec<ServiceBackend>,
+    ) -> Self {
+        assert_eq!(
+            backends.len(),
+            config.shards,
+            "one backend per shard required"
+        );
+        assert!(config.shards > 0, "a fleet needs at least one shard");
+        let shards = backends
+            .into_iter()
+            .map(|backend| {
+                let mut s = ShardSim::new(
+                    table.clone(),
+                    config.clusters_per_shard,
+                    backend,
+                    Box::new(FifoFirstFit),
+                );
+                s.set_queue_limit(config.queue_limit);
+                s
+            })
+            .collect();
+        Fleet {
+            stats: (0..config.shards).map(|_| StatsRegistry::new()).collect(),
+            shards,
+            config,
+            rr_next: 0,
+            next_job_id: 0,
+            submitted: 0,
+            completed: Vec::new(),
+        }
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Jobs offered to the fleet so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Every resolved record so far (completions and rejections), in
+    /// resolution order.
+    pub fn completed(&self) -> &[FleetRecord] {
+        &self.completed
+    }
+
+    /// Per-shard statistics registries, indexed by shard.
+    pub fn shard_stats(&self) -> &[StatsRegistry] {
+        &self.stats
+    }
+
+    /// The merged fleet view: global counters/histograms plus
+    /// `shard<i>.`-prefixed per-shard breakdowns.
+    pub fn fleet_view(&self) -> FleetView {
+        FleetView::with_shards(self.stats.iter())
+    }
+
+    /// Direct access to a shard (load inspection, tests).
+    pub fn shard(&self, i: usize) -> &ShardSim {
+        &self.shards[i]
+    }
+
+    /// Advances every shard to `until`, collects completions, and — when
+    /// stealing is on — lets idle shards take queued work from loaded
+    /// siblings.
+    ///
+    /// # Errors
+    ///
+    /// Shard service-backend failures.
+    pub fn advance(&mut self, until: u64) -> Result<(), SchedError> {
+        for i in 0..self.shards.len() {
+            self.shards[i].advance(until)?;
+            self.collect(i);
+        }
+        self.rebalance()
+    }
+
+    /// Submits one job at virtual time `now` (non-decreasing across
+    /// calls). The placement policy picks the shard; that shard's
+    /// admission verdict is final.
+    ///
+    /// # Errors
+    ///
+    /// Shard service-backend failures.
+    pub fn submit(
+        &mut self,
+        kernel: KernelId,
+        n: u64,
+        deadline: u64,
+        now: u64,
+    ) -> Result<(u32, ShardDecision), SchedError> {
+        self.advance(now)?;
+        let shard = self.place();
+        let job = Job {
+            id: self.next_job_id,
+            kernel,
+            n,
+            arrival: now,
+            deadline,
+        };
+        self.next_job_id += 1;
+        self.submitted += 1;
+        let decision = self.shards[shard].offer(job)?;
+        match decision {
+            ShardDecision::Queued { .. } | ShardDecision::Host { .. } => {
+                self.stats[shard].incr("serve.accepted");
+            }
+            ShardDecision::Rejected { reason } => {
+                self.stats[shard].incr("serve.rejected");
+                if matches!(reason, RejectReason::QueueFull { .. }) {
+                    self.stats[shard].incr("serve.queue_full");
+                }
+            }
+        }
+        self.collect(shard);
+        Ok((shard as u32, decision))
+    }
+
+    /// Runs every shard dry and collects the remaining completions.
+    ///
+    /// # Errors
+    ///
+    /// Shard failures, including a stalled co-simulated session.
+    pub fn drain(&mut self) -> Result<(), SchedError> {
+        self.rebalance()?;
+        for i in 0..self.shards.len() {
+            self.shards[i].drain()?;
+            self.collect(i);
+        }
+        Ok(())
+    }
+
+    /// The placement policy's shard choice for the next job.
+    fn place(&mut self) -> usize {
+        match self.config.placement {
+            PlacementPolicy::RoundRobin => {
+                let shard = self.rr_next % self.shards.len();
+                self.rr_next += 1;
+                shard
+            }
+            PlacementPolicy::LeastLoaded => {
+                let mut best = 0;
+                for (i, s) in self.shards.iter().enumerate().skip(1) {
+                    if s.queue_depth() < self.shards[best].queue_depth() {
+                        best = i;
+                    }
+                }
+                best
+            }
+            PlacementPolicy::ModelGuided => {
+                let score = |s: &ShardSim| s.backlog_cycles() / s.clusters() as f64;
+                let mut best = 0;
+                let mut best_score = score(&self.shards[0]);
+                for (i, s) in self.shards.iter().enumerate().skip(1) {
+                    let sc = score(s);
+                    if sc < best_score {
+                        best = i;
+                        best_score = sc;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// One stealing pass: each idle shard (empty queue, free clusters)
+    /// takes one queued-but-unstarted job from the deepest queue holding
+    /// at least two. Bounded by the shard count, deterministic in index
+    /// order.
+    fn rebalance(&mut self) -> Result<(), SchedError> {
+        if !self.config.steal {
+            return Ok(());
+        }
+        for i in 0..self.shards.len() {
+            if self.shards[i].queue_depth() != 0 || self.shards[i].free_clusters() == 0 {
+                continue;
+            }
+            let mut donor = None;
+            let mut depth = 1usize; // require at least 2 queued to steal
+            for (j, s) in self.shards.iter().enumerate() {
+                if j != i && s.queue_depth() > depth {
+                    donor = Some(j);
+                    depth = s.queue_depth();
+                }
+            }
+            let Some(j) = donor else { continue };
+            if let Some(stolen) = self.shards[j].steal() {
+                self.stats[j].incr("serve.steals_out");
+                self.stats[i].incr("serve.steals_in");
+                self.shards[i].inject(stolen)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains shard `i`'s finished records into the fleet log and its
+    /// statistics registry.
+    fn collect(&mut self, i: usize) {
+        for record in self.shards[i].drain_finished() {
+            let reg = &mut self.stats[i];
+            match record.outcome {
+                JobOutcome::Offloaded { .. } => {
+                    reg.incr("serve.offloaded");
+                    if let Some(l) = record.latency() {
+                        reg.observe("serve.latency", l as f64);
+                    }
+                    if record.missed_deadline() {
+                        reg.incr("serve.deadline_missed");
+                    }
+                    reg.add("serve.retries", u64::from(record.retries));
+                }
+                JobOutcome::Host { .. } => {
+                    reg.incr("serve.host_runs");
+                    if let Some(l) = record.latency() {
+                        reg.observe("serve.latency", l as f64);
+                    }
+                    if record.missed_deadline() {
+                        reg.incr("serve.deadline_missed");
+                    }
+                }
+                // Rejections were counted at submit time.
+                JobOutcome::Rejected { .. } => {}
+            }
+            self.completed.push(FleetRecord {
+                shard: i as u32,
+                record,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(placement: PlacementPolicy) -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            clusters_per_shard: 4,
+            queue_limit: 4,
+            placement,
+            steal: true,
+        }
+    }
+
+    fn fleet(placement: PlacementPolicy) -> Fleet {
+        Fleet::analytic(config(placement), &ModelTable::paper_defaults())
+    }
+
+    #[test]
+    fn round_robin_rotates_across_shards() {
+        let mut f = fleet(PlacementPolicy::RoundRobin);
+        let mut shards = Vec::new();
+        for i in 0..8 {
+            let (s, d) = f
+                .submit(KernelId::Daxpy, 1024, 100_000, i * 10)
+                .expect("submit");
+            assert!(matches!(d, ShardDecision::Queued { .. }));
+            shards.push(s);
+        }
+        assert_eq!(shards, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        f.drain().expect("drain");
+        assert_eq!(f.completed().len(), 8);
+    }
+
+    #[test]
+    fn least_loaded_avoids_the_deep_queue() {
+        let mut f = Fleet::analytic(
+            FleetConfig {
+                shards: 2,
+                clusters_per_shard: 1,
+                queue_limit: 8,
+                placement: PlacementPolicy::LeastLoaded,
+                steal: false,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        // All at t=0: the balancer must alternate as queues grow.
+        let mut placements = Vec::new();
+        for _ in 0..6 {
+            let (s, _) = f
+                .submit(KernelId::Daxpy, 4096, 1_000_000, 0)
+                .expect("submit");
+            placements.push(s);
+        }
+        let on_zero = placements.iter().filter(|&&s| s == 0).count();
+        assert_eq!(on_zero, 3, "load must spread evenly: {placements:?}");
+        f.drain().expect("drain");
+    }
+
+    #[test]
+    fn queue_limit_backpressure_rejects_when_saturated() {
+        let mut f = Fleet::analytic(
+            FleetConfig {
+                shards: 1,
+                clusters_per_shard: 1,
+                queue_limit: 2,
+                placement: PlacementPolicy::RoundRobin,
+                steal: false,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        let mut rejected = 0;
+        for _ in 0..8 {
+            let (_, d) = f
+                .submit(KernelId::Daxpy, 4096, 1_000_000, 0)
+                .expect("submit");
+            if matches!(
+                d,
+                ShardDecision::Rejected {
+                    reason: RejectReason::QueueFull { .. }
+                }
+            ) {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "saturation must trip backpressure");
+        let view = f.fleet_view();
+        assert_eq!(view.stats().counter("serve.queue_full"), rejected);
+        f.drain().expect("drain");
+        assert_eq!(f.completed().len(), 8, "every job resolves exactly once");
+    }
+
+    #[test]
+    fn idle_shards_steal_queued_work() {
+        // Round-robin on 2 shards with 1 cluster each; shard 0 gets a
+        // burst of big jobs (deep queue) while shard 1 receives tiny
+        // host-bound jobs and idles its cluster — stealing must move
+        // queued offloads over.
+        let mut f = Fleet::analytic(
+            FleetConfig {
+                shards: 2,
+                clusters_per_shard: 1,
+                queue_limit: 16,
+                placement: PlacementPolicy::RoundRobin,
+                steal: true,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        // Even submissions (shard 0): large offloads. Odd (shard 1):
+        // below-break-even jobs that run on the host, leaving the
+        // cluster free.
+        for k in 0..10 {
+            let (n, deadline) = if k % 2 == 0 {
+                (4096, 1_000_000)
+            } else {
+                (64, 1_000_000)
+            };
+            f.submit(KernelId::Daxpy, n, deadline, k).expect("submit");
+        }
+        // Advance a little so shard 1 finishes nothing yet but the
+        // balancer sees shard 0's queue.
+        f.advance(100).expect("advance");
+        let view = f.fleet_view();
+        assert!(
+            view.stats().counter("serve.steals_in") > 0,
+            "idle shard must steal: {:?}",
+            view.stats().counters().collect::<Vec<_>>()
+        );
+        f.drain().expect("drain");
+        assert_eq!(f.completed().len(), 10);
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let run = || {
+            let mut f = fleet(PlacementPolicy::ModelGuided);
+            for i in 0..50u64 {
+                let n = 256 << (i % 4);
+                f.submit(KernelId::Daxpy, n, 50_000, i * 137)
+                    .expect("submit");
+            }
+            f.drain().expect("drain");
+            serde_json::to_string(&f.completed().to_vec()).expect("serialize")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fleet_view_merges_per_shard_latencies() {
+        let mut f = fleet(PlacementPolicy::RoundRobin);
+        for i in 0..16u64 {
+            f.submit(KernelId::Daxpy, 1024, 100_000, i * 1000)
+                .expect("submit");
+        }
+        f.drain().expect("drain");
+        let view = f.fleet_view();
+        let global = view.stats().histogram("serve.latency");
+        let per_shard: u64 = (0..4)
+            .map(|i| {
+                view.stats()
+                    .histogram(&format!("shard{i}.serve.latency"))
+                    .count()
+            })
+            .sum();
+        assert_eq!(global.count(), 16);
+        assert_eq!(per_shard, 16);
+        assert!(view.quantile("serve.latency", 0.99).is_some());
+    }
+}

@@ -1,0 +1,125 @@
+//! The job protocol: the typed messages clients and the serving daemon
+//! exchange, independent of how they are framed onto a byte stream
+//! (that is [`crate::wire`]'s job).
+//!
+//! The vocabulary is deliberately small — one request, three responses —
+//! and every message is a plain old datum: no handles, no futures, no
+//! borrowed payloads. Job identity on the wire is the *client's* number
+//! (`client_job`), scoped to its session; the daemon maps it to fleet
+//! job ids internally and never leaks them.
+
+use mpsoc_sched::{KernelId, RejectReason};
+use serde::{Deserialize, Serialize};
+
+/// Protocol version carried in every frame header. Bumped on any change
+/// to the message vocabulary or field layout; decoders reject frames
+/// from other versions with a typed error rather than guessing.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Client → daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit one offload job for service.
+    SubmitJob {
+        /// Client-chosen job number, echoed in every response about
+        /// this job. Scoped to the client's session.
+        client_job: u64,
+        /// Which kernel to run.
+        kernel: KernelId,
+        /// Problem size (elements).
+        n: u64,
+        /// Relative deadline in cycles from submission.
+        deadline: u64,
+    },
+}
+
+/// Daemon → client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The job passed admission on a shard and will be serviced.
+    JobAccepted {
+        /// Echo of the client's job number.
+        client_job: u64,
+        /// The shard the job landed on (it may still be stolen by a
+        /// sibling before starting; completion reports the final shard).
+        shard: u32,
+    },
+    /// The job was turned away — by the model-guided admission control
+    /// or by queue-depth backpressure ([`RejectReason::QueueFull`]).
+    JobRejected {
+        /// Echo of the client's job number.
+        client_job: u64,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// The job finished (on clusters or on a shard's host core).
+    JobComplete {
+        /// Echo of the client's job number.
+        client_job: u64,
+        /// The shard that executed the job.
+        shard: u32,
+        /// Cycle execution began.
+        start: u64,
+        /// Cycle the job finished.
+        finish: u64,
+        /// True when the job ran on the shard's host core (below
+        /// break-even or accelerator-infeasible deadline).
+        on_host: bool,
+        /// Whether `finish` met the submission-relative deadline.
+        deadline_met: bool,
+        /// Corruption re-dispatches charged to the job (co-simulated
+        /// shards; always 0 on analytic fleets).
+        retries: u32,
+    },
+}
+
+impl Response {
+    /// The `client_job` this response is about.
+    pub fn client_job(&self) -> u64 {
+        match *self {
+            Response::JobAccepted { client_job, .. }
+            | Response::JobRejected { client_job, .. }
+            | Response::JobComplete { client_job, .. } => client_job,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_round_trip_through_json() {
+        let req = Request::SubmitJob {
+            client_job: 7,
+            kernel: KernelId::Daxpy,
+            n: 1024,
+            deadline: 9000,
+        };
+        let text = serde_json::to_string(&req).expect("serialize");
+        let back: Request = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back, req);
+
+        let resp = Response::JobRejected {
+            client_job: 7,
+            reason: RejectReason::QueueFull { depth: 32 },
+        };
+        let text = serde_json::to_string(&resp).expect("serialize");
+        let back: Response = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn responses_echo_the_client_job() {
+        let r = Response::JobComplete {
+            client_job: 42,
+            shard: 1,
+            start: 0,
+            finish: 10,
+            on_host: false,
+            deadline_met: true,
+            retries: 0,
+        };
+        assert_eq!(r.client_job(), 42);
+    }
+}

@@ -1,0 +1,199 @@
+//! Fleet SLO accounting: one serializable summary per (fleet, run).
+//!
+//! The serving SLO here is latency-against-deadline: a job *attains* its
+//! SLO when it completes by its submission-relative deadline. Rejected
+//! jobs (admission or backpressure) count against attainment — turning
+//! work away is a served "no", not a free pass. Quantiles come from the
+//! exact merge of per-shard log-bucketed histograms, so fleet p50/p99
+//! carry the same 1/16 relative-error bound as any single shard's.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fleet::Fleet;
+use mpsoc_sched::JobOutcome;
+
+/// Per-shard slice of the fleet summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSlo {
+    /// Shard index.
+    pub shard: u32,
+    /// Jobs this shard accepted (offload or host).
+    pub accepted: u64,
+    /// Jobs this shard rejected.
+    pub rejected: u64,
+    /// Rejections specifically from queue-depth backpressure.
+    pub queue_full: u64,
+    /// Completed cluster offloads.
+    pub offloaded: u64,
+    /// Completed host-fallback runs.
+    pub host_runs: u64,
+    /// Queued jobs stolen *from* this shard.
+    pub steals_out: u64,
+    /// Queued jobs stolen *into* this shard.
+    pub steals_in: u64,
+    /// Median completion latency (cycles; 0 when nothing completed).
+    pub p50: u64,
+    /// 99th-percentile completion latency (cycles; 0 when nothing
+    /// completed).
+    pub p99: u64,
+    /// Busy cluster-cycles over capacity × fleet makespan.
+    pub utilization: f64,
+}
+
+/// The fleet-wide SLO summary of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSlo {
+    /// Placement policy name.
+    pub placement: String,
+    /// Shard count.
+    pub shards: u64,
+    /// Clusters per shard.
+    pub clusters_per_shard: u64,
+    /// Jobs offered to the fleet.
+    pub submitted: u64,
+    /// Jobs that completed (offload + host).
+    pub completed: u64,
+    /// Completed cluster offloads.
+    pub offloaded: u64,
+    /// Completed host-fallback runs.
+    pub host_runs: u64,
+    /// Jobs rejected (all reasons).
+    pub rejected: u64,
+    /// Rejections from queue-depth backpressure.
+    pub queue_full: u64,
+    /// Work-stealing transfers.
+    pub steals: u64,
+    /// Corruption re-dispatches across the fleet.
+    pub retries: u64,
+    /// Completed jobs that met their deadline.
+    pub deadline_met: u64,
+    /// `deadline_met / submitted` — rejections count against SLO.
+    pub attainment: f64,
+    /// Fleet median completion latency (cycles).
+    pub p50: u64,
+    /// Fleet 99th-percentile completion latency (cycles).
+    pub p99: u64,
+    /// Mean completion latency (cycles).
+    pub mean_latency: f64,
+    /// Last completion cycle across the fleet.
+    pub makespan: u64,
+    /// Per-shard breakdowns.
+    pub per_shard: Vec<ShardSlo>,
+}
+
+impl FleetSlo {
+    /// Summarizes a fleet after (or during) a run.
+    pub fn from_fleet(fleet: &Fleet) -> Self {
+        let view = fleet.fleet_view();
+        let stats = view.stats();
+        let config = fleet.config();
+        let makespan = fleet
+            .completed()
+            .iter()
+            .filter_map(|fr| match fr.record.outcome {
+                JobOutcome::Offloaded { finish, .. } | JobOutcome::Host { finish, .. } => {
+                    Some(finish)
+                }
+                JobOutcome::Rejected { .. } => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let deadline_met = fleet
+            .completed()
+            .iter()
+            .filter(|fr| {
+                !matches!(fr.record.outcome, JobOutcome::Rejected { .. })
+                    && !fr.record.missed_deadline()
+            })
+            .count() as u64;
+        let submitted = fleet.submitted();
+        let latency = stats.histogram("serve.latency");
+        let per_shard = (0..config.shards)
+            .map(|i| {
+                let shard_hist = stats.histogram(&format!("shard{i}.serve.latency"));
+                let c = |name: &str| stats.counter(&format!("shard{i}.serve.{name}"));
+                let capacity = (config.clusters_per_shard as u64) * makespan;
+                ShardSlo {
+                    shard: i as u32,
+                    accepted: c("accepted"),
+                    rejected: c("rejected"),
+                    queue_full: c("queue_full"),
+                    offloaded: c("offloaded"),
+                    host_runs: c("host_runs"),
+                    steals_out: c("steals_out"),
+                    steals_in: c("steals_in"),
+                    p50: shard_hist.p50().unwrap_or(0),
+                    p99: shard_hist.p99().unwrap_or(0),
+                    utilization: if capacity == 0 {
+                        0.0
+                    } else {
+                        fleet.shard(i).busy_cluster_cycles() as f64 / capacity as f64
+                    },
+                }
+            })
+            .collect();
+        FleetSlo {
+            placement: config.placement.name().to_owned(),
+            shards: config.shards as u64,
+            clusters_per_shard: config.clusters_per_shard as u64,
+            submitted,
+            completed: stats.counter("serve.offloaded") + stats.counter("serve.host_runs"),
+            offloaded: stats.counter("serve.offloaded"),
+            host_runs: stats.counter("serve.host_runs"),
+            rejected: stats.counter("serve.rejected"),
+            queue_full: stats.counter("serve.queue_full"),
+            steals: stats.counter("serve.steals_in"),
+            retries: stats.counter("serve.retries"),
+            deadline_met,
+            attainment: if submitted == 0 {
+                1.0
+            } else {
+                deadline_met as f64 / submitted as f64
+            },
+            p50: latency.p50().unwrap_or(0),
+            p99: latency.p99().unwrap_or(0),
+            mean_latency: stats.summary("serve.latency").mean().unwrap_or(0.0),
+            makespan,
+            per_shard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{FleetConfig, PlacementPolicy};
+    use mpsoc_sched::{KernelId, ModelTable};
+
+    #[test]
+    fn slo_accounting_balances() {
+        let mut f = Fleet::analytic(
+            FleetConfig {
+                shards: 2,
+                clusters_per_shard: 2,
+                queue_limit: 2,
+                placement: PlacementPolicy::LeastLoaded,
+                steal: true,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        for i in 0..40u64 {
+            f.submit(KernelId::Daxpy, 2048, 20_000, i * 50)
+                .expect("submit");
+        }
+        f.drain().expect("drain");
+        let slo = FleetSlo::from_fleet(&f);
+        assert_eq!(slo.submitted, 40);
+        assert_eq!(slo.completed + slo.rejected, 40);
+        assert_eq!(slo.offloaded + slo.host_runs, slo.completed);
+        assert!(slo.attainment <= 1.0);
+        assert!(slo.makespan > 0);
+        assert_eq!(slo.per_shard.len(), 2);
+        let shard_accepts: u64 = slo.per_shard.iter().map(|s| s.accepted).sum();
+        assert_eq!(shard_accepts + slo.rejected, 40);
+        if slo.completed > 0 {
+            assert!(slo.p99 >= slo.p50);
+            assert!(slo.per_shard.iter().any(|s| s.utilization > 0.0));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the wire codec: encode→decode identity over
+//! randomized protocol messages, under randomized delivery chunking,
+//! plus a no-panic property on adversarial byte streams. The targeted
+//! adversarial cases (bad magic, bad version, oversized, truncated,
+//! malformed JSON) are unit-tested in `wire.rs`; these properties cover
+//! the combinatorial space around them.
+
+use mpsoc_sched::{KernelId, RejectReason};
+use mpsoc_serve::{encode, Decoder, Request, Response};
+use proptest::prelude::*;
+
+/// Deterministically maps free u64 dice onto a `Request`.
+fn request_from(dice: (u64, u64, u64, u64)) -> Request {
+    let (client_job, kernel, n, deadline) = dice;
+    Request::SubmitJob {
+        client_job,
+        kernel: KernelId::ALL[(kernel % KernelId::ALL.len() as u64) as usize],
+        n: 1 + n % 1_000_000,
+        deadline: 1 + deadline % 10_000_000,
+    }
+}
+
+/// Deterministically maps free u64 dice onto a `Response`, exercising
+/// every variant and every `RejectReason`.
+fn response_from(dice: (u64, u64, u64, u64, u64)) -> Response {
+    let (variant, client_job, a, b, c) = dice;
+    match variant % 3 {
+        0 => Response::JobAccepted {
+            client_job,
+            shard: (a % 64) as u32,
+        },
+        1 => Response::JobRejected {
+            client_job,
+            reason: match a % 5 {
+                0 => RejectReason::Infeasible,
+                1 => RejectReason::NotEnoughClusters { required: b },
+                2 => RejectReason::ProgramLint {
+                    errors: (b % 100) as u32,
+                },
+                3 => RejectReason::DegradedMachine {
+                    required: b,
+                    healthy: c,
+                },
+                _ => RejectReason::QueueFull { depth: b },
+            },
+        },
+        _ => Response::JobComplete {
+            client_job,
+            shard: (a % 64) as u32,
+            start: b,
+            finish: b + c % 1_000_000,
+            on_host: c % 2 == 0,
+            deadline_met: b % 2 == 0,
+            retries: (c % 4) as u32,
+        },
+    }
+}
+
+proptest! {
+    /// One encoded request decodes back to itself.
+    #[test]
+    fn request_round_trips(
+        client_job in any::<u64>(),
+        kernel in any::<u64>(),
+        n in any::<u64>(),
+        deadline in any::<u64>(),
+    ) {
+        let msg = request_from((client_job, kernel, n, deadline));
+        let mut dec = Decoder::new();
+        dec.push(&encode(&msg));
+        let got = dec.next_message::<Request>().unwrap();
+        prop_assert_eq!(got, Some(msg));
+        prop_assert_eq!(dec.next_message::<Request>().unwrap(), None);
+        prop_assert!(dec.finish().is_ok());
+    }
+
+    /// One encoded response decodes back to itself, across all variants
+    /// and reject reasons.
+    #[test]
+    fn response_round_trips(
+        variant in any::<u64>(),
+        client_job in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+    ) {
+        let msg = response_from((variant, client_job, a, b, c));
+        let mut dec = Decoder::new();
+        dec.push(&encode(&msg));
+        let got = dec.next_message::<Response>().unwrap();
+        prop_assert_eq!(got, Some(msg));
+        prop_assert!(dec.finish().is_ok());
+    }
+
+    /// A whole stream of messages survives arbitrary re-chunking: the
+    /// decoder reassembles exactly the sent sequence no matter how the
+    /// bytes are split in transit.
+    #[test]
+    fn chunked_streams_round_trip(
+        seeds in prop::collection::vec(any::<u64>(), 1..8),
+        chunk in 1usize..32,
+    ) {
+        let msgs: Vec<Response> = seeds
+            .iter()
+            .map(|&s| response_from((s, s ^ 0x9e37, s >> 3, s >> 7, s >> 11)))
+            .collect();
+        let stream: Vec<u8> = msgs.iter().flat_map(encode).collect();
+        let mut dec = Decoder::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.push(piece);
+            while let Some(m) = dec.next_message::<Response>().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert!(dec.finish().is_ok());
+    }
+
+    /// Adversarial bytes never panic the decoder: any junk either yields
+    /// frames, a typed error, or a truncation report.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+        chunk in 1usize..16,
+    ) {
+        let mut dec = Decoder::new();
+        let mut errored = false;
+        for piece in bytes.chunks(chunk) {
+            dec.push(piece);
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => {
+                        errored = true;
+                        break;
+                    }
+                }
+            }
+            if errored {
+                break;
+            }
+        }
+        if !errored {
+            // Whatever is left is either a clean boundary or a typed
+            // truncation — finish() never panics either way.
+            let _ = dec.finish();
+        }
+    }
+}

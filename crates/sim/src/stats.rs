@@ -369,6 +369,25 @@ impl StatsRegistry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Merges `summary` into the series `name`, creating it if absent —
+    /// the single-series form of [`StatsRegistry::merge`], used when
+    /// aggregating under a different name than the source (e.g. a
+    /// per-shard prefix).
+    pub fn merge_summary_named(&mut self, name: &str, summary: &Summary) {
+        self.summaries
+            .entry(name.to_owned())
+            .or_default()
+            .merge(summary);
+    }
+
+    /// Merges `histogram` into the series `name`, creating it if absent.
+    pub fn merge_histogram_named(&mut self, name: &str, histogram: &Histogram) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .merge(histogram);
+    }
+
     /// Merges another registry into this one (counters add, summaries and
     /// histograms merge).
     pub fn merge(&mut self, other: &StatsRegistry) {

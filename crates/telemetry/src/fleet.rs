@@ -1,0 +1,199 @@
+//! Fleet-level statistics aggregation: merging per-shard histograms and
+//! stat registries into global views.
+//!
+//! A sharded serving front-end runs many independent SoC instances, each
+//! with its own [`StatsRegistry`] and latency [`Histogram`]s. Global
+//! SLOs (fleet p50/p99) need those merged — and because the histograms
+//! are log-bucketed with bounded relative error, merging bucket counts
+//! is *exact*: the merged histogram equals the histogram that would have
+//! been recorded by one central observer.
+//!
+//! Two aggregation shapes are provided:
+//!
+//! - [`merge_histograms`] — fold any number of per-shard histograms into
+//!   one (for a single series, e.g. completion latency).
+//! - [`aggregate_registries`] — fold whole registries: counters add,
+//!   summaries and histograms merge. With [`FleetView::with_shards`],
+//!   the per-shard registries are additionally kept under
+//!   `shard<i>.`-prefixed names next to the merged globals, so one
+//!   report can answer both "what is fleet p99" and "which shard is the
+//!   straggler".
+
+use mpsoc_sim::stats::{Histogram, StatsRegistry};
+
+/// Merges an iterator of histograms into one.
+///
+/// The result is identical to recording every underlying sample into a
+/// single histogram (bucket counts add; min/max/count/sum combine), so
+/// fleet quantiles carry the same 1/16 relative-error bound as per-shard
+/// ones.
+///
+/// # Example
+///
+/// ```
+/// use mpsoc_sim::stats::Histogram;
+/// use mpsoc_telemetry::fleet::merge_histograms;
+///
+/// let mut a = Histogram::new();
+/// let mut b = Histogram::new();
+/// (1..=50u64).for_each(|v| a.record(v));
+/// (51..=100u64).for_each(|v| b.record(v));
+/// let global = merge_histograms([&a, &b]);
+/// assert_eq!(global.count(), 100);
+/// ```
+pub fn merge_histograms<'a, I>(shards: I) -> Histogram
+where
+    I: IntoIterator<Item = &'a Histogram>,
+{
+    let mut merged = Histogram::new();
+    for h in shards {
+        merged.merge(h);
+    }
+    merged
+}
+
+/// Merges an iterator of registries into one: counters add, summaries
+/// and histograms merge (see [`StatsRegistry::merge`]).
+pub fn aggregate_registries<'a, I>(shards: I) -> StatsRegistry
+where
+    I: IntoIterator<Item = &'a StatsRegistry>,
+{
+    let mut merged = StatsRegistry::new();
+    for r in shards {
+        merged.merge(r);
+    }
+    merged
+}
+
+/// A fleet-wide statistics view: the merged global registry, optionally
+/// with every shard's registry preserved under a `shard<i>.` prefix.
+#[derive(Debug, Clone, Default)]
+pub struct FleetView {
+    global: StatsRegistry,
+}
+
+impl FleetView {
+    /// The merged-globals-only view of `shards`.
+    pub fn new<'a, I>(shards: I) -> Self
+    where
+        I: IntoIterator<Item = &'a StatsRegistry>,
+    {
+        FleetView {
+            global: aggregate_registries(shards),
+        }
+    }
+
+    /// A view that keeps per-shard breakdowns: every counter, summary
+    /// and histogram of shard `i` reappears under the name
+    /// `shard<i>.<name>`, next to the merged un-prefixed globals.
+    pub fn with_shards<'a, I>(shards: I) -> Self
+    where
+        I: IntoIterator<Item = &'a StatsRegistry>,
+    {
+        let mut global = StatsRegistry::new();
+        for (i, shard) in shards.into_iter().enumerate() {
+            global.merge(shard);
+            for (name, value) in shard.counters() {
+                global.add(&format!("shard{i}.{name}"), value);
+            }
+            for (name, summary) in shard.summaries() {
+                global.merge_summary_named(&format!("shard{i}.{name}"), summary);
+            }
+            for (name, histogram) in shard.histograms() {
+                global.merge_histogram_named(&format!("shard{i}.{name}"), histogram);
+            }
+        }
+        FleetView { global }
+    }
+
+    /// The aggregated registry.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.global
+    }
+
+    /// Fleet-wide quantile of the histogram series `name` (un-prefixed:
+    /// the merged global), `None` when the series is empty or absent.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<u64> {
+        let h = self.global.histogram(name);
+        h.quantile(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_histogram_equals_central_recording() {
+        let mut shards = vec![Histogram::new(); 4];
+        let mut central = Histogram::new();
+        for v in 0..4000u64 {
+            shards[(v % 4) as usize].record(v * 3 + 1);
+            central.record(v * 3 + 1);
+        }
+        let merged = merge_histograms(shards.iter());
+        assert_eq!(merged, central);
+        assert_eq!(merged.p50(), central.p50());
+        assert_eq!(merged.p99(), central.p99());
+    }
+
+    #[test]
+    fn merging_no_shards_is_empty() {
+        assert_eq!(merge_histograms([]).count(), 0);
+        assert_eq!(aggregate_registries([]).counters().count(), 0);
+    }
+
+    #[test]
+    fn merged_quantiles_see_the_straggler_shard() {
+        // Three fast shards and one slow one: the fleet p99 must come
+        // from the slow shard's tail even though 3/4 of samples are fast.
+        let mut fast = Histogram::new();
+        (0..300).for_each(|_| fast.record(10));
+        let mut slow = Histogram::new();
+        (0..100).for_each(|_| slow.record(10_000));
+        let global = merge_histograms([&fast, &fast, &fast, &slow]);
+        assert_eq!(global.count(), 1000);
+        assert!(
+            global.p99().unwrap() >= 9_000,
+            "tail must survive the merge"
+        );
+        assert_eq!(global.p50(), Some(10));
+    }
+
+    #[test]
+    fn registries_aggregate_counters_and_series() {
+        let mut a = StatsRegistry::new();
+        a.add("serve.accepted", 10);
+        a.observe("serve.latency", 100.0);
+        let mut b = StatsRegistry::new();
+        b.add("serve.accepted", 5);
+        b.add("serve.rejected", 2);
+        b.observe("serve.latency", 300.0);
+        let merged = aggregate_registries([&a, &b]);
+        assert_eq!(merged.counter("serve.accepted"), 15);
+        assert_eq!(merged.counter("serve.rejected"), 2);
+        assert_eq!(merged.summary("serve.latency").count(), 2);
+        assert_eq!(merged.histogram("serve.latency").count(), 2);
+    }
+
+    #[test]
+    fn fleet_view_keeps_per_shard_breakdowns() {
+        let mut a = StatsRegistry::new();
+        a.add("jobs", 3);
+        a.observe("latency", 50.0);
+        let mut b = StatsRegistry::new();
+        b.add("jobs", 7);
+        b.observe("latency", 5000.0);
+        let view = FleetView::with_shards([&a, &b]);
+        assert_eq!(view.stats().counter("jobs"), 10);
+        assert_eq!(view.stats().counter("shard0.jobs"), 3);
+        assert_eq!(view.stats().counter("shard1.jobs"), 7);
+        assert_eq!(view.stats().histogram("latency").count(), 2);
+        assert_eq!(view.stats().histogram("shard1.latency").count(), 1);
+        assert_eq!(
+            view.quantile("latency", 0.99).unwrap(),
+            view.stats().histogram("latency").p99().unwrap()
+        );
+        assert_eq!(view.quantile("missing", 0.5), None);
+    }
+}

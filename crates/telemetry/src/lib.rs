@@ -28,10 +28,13 @@
 
 pub mod chrome;
 pub mod event;
+pub mod fleet;
 pub mod phase;
 pub mod recorder;
 
 pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeTraceSummary};
 pub use event::{EventKind, Mark, TraceEvent, Unit};
+pub use fleet::{aggregate_registries, merge_histograms, FleetView};
+pub use mpsoc_sim::stats::{Histogram, StatsRegistry, Summary};
 pub use phase::{ModelTerms, PhaseBreakdown, ResidualAudit, TermResidual};
 pub use recorder::EventTrace;

@@ -24,6 +24,9 @@
 //!   model — admission control (optionally lint-gated), spatial
 //!   partitioning, pluggable policies and a deterministic discrete-event
 //!   engine,
+//! - [`serve`]: the sharded serving front-end — binary job protocol,
+//!   deterministic session daemon, load-balanced shard fleet with work
+//!   stealing, and fleet SLO telemetry,
 //! - [`telemetry`]: typed-event traces, per-phase cycle attribution with
 //!   Eq. 1 residual audits, and Chrome trace-event (Perfetto) export.
 //!
@@ -42,6 +45,7 @@ pub use mpsoc_mem as mem;
 pub use mpsoc_noc as noc;
 pub use mpsoc_offload as offload;
 pub use mpsoc_sched as sched;
+pub use mpsoc_serve as serve;
 pub use mpsoc_sim as sim;
 pub use mpsoc_soc as soc;
 pub use mpsoc_telemetry as telemetry;
