@@ -70,4 +70,34 @@ cargo run --release -q -p mpsoc-bench --bin serve_study -- \
 test -s "$trace_dir/serve_a.json"
 cmp "$trace_dir/serve_a.json" "$trace_dir/serve_b.json"
 
+echo "==> throughput_study smoke test (self-profiler + cycles/sec meter)"
+# The binary asserts the observability claims itself (profile tree
+# reconciling with wall time within 10%, live interpreter/engine hot
+# sites, profiling-off byte-identity, nonzero per-backend rates, daemon
+# GetStats == FleetSlo); two runs must serialize byte-identically — the
+# cycle-domain report carries no wall-clock state.
+cargo run --release -q -p mpsoc-bench --bin throughput_study -- \
+    --smoke --json "$trace_dir/throughput_a.json" \
+    --flamegraph "$trace_dir/throughput.folded" \
+    --chrome "$trace_dir/throughput.trace.json"
+cargo run --release -q -p mpsoc-bench --bin throughput_study -- \
+    --smoke --json "$trace_dir/throughput_b.json"
+test -s "$trace_dir/throughput_a.json"
+test -s "$trace_dir/throughput.folded"
+test -s "$trace_dir/throughput.trace.json"
+cmp "$trace_dir/throughput_a.json" "$trace_dir/throughput_b.json"
+
+echo "==> profiling-off byte-identity (MPSOC_PROFILE=0 must not change results)"
+# The profiler's disabled path is a single branch per scope; proving it
+# cannot leak into cycle-domain output: profiled and unprofiled smoke
+# runs of the study binaries must serialize byte-identically.
+MPSOC_PROFILE=0 cargo run --release -q -p mpsoc-bench --bin sched_study -- \
+    --smoke --json "$trace_dir/sched_off.json"
+cargo run --release -q -p mpsoc-bench --bin sched_study -- \
+    --smoke --json "$trace_dir/sched_on.json"
+cmp "$trace_dir/sched_off.json" "$trace_dir/sched_on.json"
+MPSOC_PROFILE=0 cargo run --release -q -p mpsoc-bench --bin serve_study -- \
+    --smoke --json "$trace_dir/serve_off.json"
+cmp "$trace_dir/serve_off.json" "$trace_dir/serve_a.json"
+
 echo "==> ci green"

@@ -32,7 +32,7 @@
 
 use std::time::Instant;
 
-use mpsoc_bench::{json_arg, render_table, write_json};
+use mpsoc_bench::{json_arg, render_table, write_bench_sidecar, write_json};
 use mpsoc_offload::Offloader;
 use mpsoc_sched::{
     AdmissionController, AdmissionDecision, ArrivalPattern, ModelTable, ServiceBackend, Workload,
@@ -61,10 +61,18 @@ struct ServeStudyRow {
     retries: u64,
     deadline_met: u64,
     attainment: f64,
-    p50: u64,
-    p99: u64,
+    /// `None` when the cell completed nothing (all-rejected). `Some(x)`
+    /// serializes as the bare number, so populated cells keep the old
+    /// artifact layout.
+    p50: Option<u64>,
+    p99: Option<u64>,
     mean_latency: f64,
     makespan: u64,
+}
+
+/// Renders an optional quantile for tables and logs.
+fn fmt_p(p: Option<u64>) -> String {
+    p.map_or_else(|| "-".to_owned(), |v| v.to_string())
 }
 
 /// The deterministic artifact: every cell, plus the run shape.
@@ -75,23 +83,15 @@ struct ServeStudyReport {
     rows: Vec<ServeStudyRow>,
 }
 
-/// The wall-clock side artifact (never byte-compared).
-#[derive(Debug, Serialize)]
-struct BenchServe {
-    total_jobs: u64,
-    wall_seconds: f64,
-    jobs_per_sec: f64,
-    cells: Vec<BenchCell>,
-}
-
-/// SLO attainment summary per sweep cell, for `BENCH_serve.json`.
+/// SLO attainment summary per sweep cell: the study-specific `detail`
+/// payload of the shared `BENCH_serve.json` sidecar.
 #[derive(Debug, Serialize)]
 struct BenchCell {
     offered_load: f64,
     shards: u64,
     placement: String,
     attainment: f64,
-    p99: u64,
+    p99: Option<u64>,
 }
 
 const SEED: u64 = 0x5E17_F1EE;
@@ -237,7 +237,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!(
                     "load={load:.1} shards={shards} {:<12} p99={} attainment={:.3} \
                      util={util:.2} qfull={}",
-                    row.placement, row.p99, row.attainment, row.queue_full
+                    row.placement,
+                    fmt_p(row.p99),
+                    row.attainment,
+                    row.queue_full
                 );
                 rows.push(row);
             }
@@ -268,7 +271,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!(
             "shards={shards} @ 1.0x: stealing moved {} jobs, p99 {} -> {}",
-            with.steals, without.p99, with.p99
+            with.steals,
+            fmt_p(without.p99),
+            fmt_p(with.p99)
         );
         rows.extend(ablation);
     }
@@ -332,8 +337,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 r.steals.to_string(),
                 r.retries.to_string(),
                 format!("{:.3}", r.attainment),
-                r.p50.to_string(),
-                r.p99.to_string(),
+                fmt_p(r.p50),
+                fmt_p(r.p99),
             ]
         })
         .collect();
@@ -376,19 +381,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .expect("sweep cell")
         };
         let rr = cell("round_robin");
-        let best = cell("least_loaded").p99.min(cell("model_guided").p99);
+        let rr_p99 = rr.p99.expect("overloaded round-robin completes jobs");
+        let best = cell("least_loaded")
+            .p99
+            .expect("least-loaded completes jobs")
+            .min(
+                cell("model_guided")
+                    .p99
+                    .expect("model-guided completes jobs"),
+            );
         assert!(
-            best < rr.p99,
-            "shards={shards}: load-aware p99 {best} must beat round-robin {}",
-            rr.p99
+            best < rr_p99,
+            "shards={shards}: load-aware p99 {best} must beat round-robin {rr_p99}"
         );
         assert!(
             rr.queue_full > 0,
             "shards={shards}: overload must trigger queue-depth backpressure"
         );
         println!(
-            "shards={shards} @ {overload}x overload: load-aware p99 {best} < round-robin {}",
-            rr.p99
+            "shards={shards} @ {overload}x overload: load-aware p99 {best} < round-robin {rr_p99}"
         );
     }
     if !smoke {
@@ -411,27 +422,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     if !smoke {
-        let bench = BenchServe {
-            total_jobs,
-            wall_seconds: wall,
-            jobs_per_sec: total_jobs as f64 / wall,
-            cells: report
-                .rows
-                .iter()
-                .filter(|r| r.backend == "analytic" && r.steal)
-                .map(|r| BenchCell {
-                    offered_load: r.offered_load,
-                    shards: r.shards,
-                    placement: r.placement.clone(),
-                    attainment: r.attainment,
-                    p99: r.p99,
-                })
-                .collect(),
-        };
-        write_json(std::path::Path::new("BENCH_serve.json"), &bench)?;
+        let cells: Vec<BenchCell> = report
+            .rows
+            .iter()
+            .filter(|r| r.backend == "analytic" && r.steal)
+            .map(|r| BenchCell {
+                offered_load: r.offered_load,
+                shards: r.shards,
+                placement: r.placement.clone(),
+                attainment: r.attainment,
+                p99: r.p99,
+            })
+            .collect();
+        let path = write_bench_sidecar("serve", wall, total_jobs, cells)?;
         println!(
-            "{:.0} jobs/sec — wrote BENCH_serve.json",
-            bench.jobs_per_sec
+            "{:.0} jobs/sec — wrote {}",
+            total_jobs as f64 / wall,
+            path.display()
         );
     }
     Ok(())

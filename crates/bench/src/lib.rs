@@ -29,6 +29,7 @@
 mod harness;
 mod report;
 mod results;
+mod sidecar;
 
 pub use harness::Harness;
 pub use report::{json_arg, render_table, write_csv, write_json};
@@ -36,6 +37,7 @@ pub use results::{
     AblationRow, BreakEvenRow, DecisionRow, EnergyRow, Fig1LeftRow, Fig1RightRow, Headline,
     KernelSweepRow, MapeRow, ModelFitResult,
 };
+pub use sidecar::{write_bench_sidecar, BenchMetadata, BenchSidecar};
 
 /// The cluster counts the paper sweeps: powers of two up to 32.
 pub const PAPER_M: [usize; 6] = [1, 2, 4, 8, 16, 32];

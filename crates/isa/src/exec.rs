@@ -276,6 +276,7 @@ impl Interpreter {
         start: Cycle,
         port: &mut P,
     ) -> Result<ExecReport, ExecError> {
+        let _prof = mpsoc_sim::profile::scope("isa.interpret");
         let t = &self.timing;
         let ops = program.ops();
         let mut int_regs = [0i64; 16];

@@ -50,6 +50,21 @@ pub enum RejectReason {
     },
 }
 
+impl RejectReason {
+    /// Stable snake_case key for per-reason counters and metric names.
+    /// Payload fields (required clusters, queue depth, …) are dropped:
+    /// counters aggregate by *kind*, not by instance.
+    pub fn counter_key(&self) -> &'static str {
+        match self {
+            RejectReason::Infeasible => "infeasible",
+            RejectReason::NotEnoughClusters { .. } => "not_enough_clusters",
+            RejectReason::ProgramLint { .. } => "program_lint",
+            RejectReason::DegradedMachine { .. } => "degraded_machine",
+            RejectReason::QueueFull { .. } => "queue_full",
+        }
+    }
+}
+
 /// The controller's verdict on one arriving job.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AdmissionDecision {

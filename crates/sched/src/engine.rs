@@ -184,6 +184,7 @@ impl Engine {
             jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "job stream must be sorted by arrival time"
         );
+        let _prof = mpsoc_sim::profile::scope("sched.engine.run");
         self.telemetry.clear();
         if matches!(self.backend, ServiceBackend::CoSimulated { .. }) {
             return self.run_cosimulated(jobs, policy);

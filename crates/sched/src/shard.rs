@@ -222,6 +222,7 @@ impl ShardSim {
     /// Service-backend failures; [`SchedError::SessionStalled`] can
     /// surface from [`ShardSim::drain`], not from a bounded advance.
     pub fn advance(&mut self, until: u64) -> Result<(), SchedError> {
+        let _prof = mpsoc_sim::profile::scope("sched.shard.advance");
         if matches!(self.backend, ServiceBackend::CoSimulated { .. }) {
             self.advance_cosimulated(until)?;
         } else {

@@ -27,7 +27,8 @@ use std::fmt;
 use mpsoc_sched::{JobOutcome, SchedError, ShardDecision};
 
 use crate::fleet::Fleet;
-use crate::proto::{Request, Response};
+use crate::proto::{Request, Response, StatsReport};
+use crate::slo::FleetSlo;
 use crate::transport::Duplex;
 use crate::wire::{encode, DecodeError, Decoder};
 
@@ -62,6 +63,12 @@ impl ClientScript {
                 deadline,
             },
         ));
+        self
+    }
+
+    /// Appends a live-statistics poll at `time`.
+    pub fn poll_stats_at(&mut self, time: u64) -> &mut Self {
+        self.sends.push((time, Request::GetStats));
         self
     }
 }
@@ -156,6 +163,7 @@ impl Daemon {
     ///
     /// [`ServeError`] on fleet failures or undecodable client bytes.
     pub fn run(&mut self, scripts: &[ClientScript]) -> Result<Vec<SessionLog>, ServeError> {
+        let _prof = mpsoc_sim::profile::scope("serve.daemon.run");
         // Merge all sends into (time, session, send index) order.
         let mut events: Vec<(u64, usize, usize)> = Vec::new();
         for (session, script) in scripts.iter().enumerate() {
@@ -199,42 +207,63 @@ impl Daemon {
                 let decoded = decoders[session]
                     .next_message::<Request>()
                     .map_err(|error| ServeError::Decode { session, error })?;
-                let Some(Request::SubmitJob {
-                    client_job,
-                    kernel,
-                    n,
-                    deadline,
-                }) = decoded
-                else {
+                let Some(decoded) = decoded else {
                     break;
                 };
-                let fleet_job = self.next_fleet_job_id();
-                let (shard, decision) = self.fleet.submit(kernel, n, deadline, t)?;
-                match decision {
-                    ShardDecision::Queued { .. } | ShardDecision::Host { .. } => {
-                        origin.insert(fleet_job, (session, client_job));
-                        emit(
-                            &mut responses,
-                            &mut emit_seq,
-                            t,
-                            session,
-                            Response::JobAccepted { client_job, shard },
+                match decoded {
+                    Request::SubmitJob {
+                        client_job,
+                        kernel,
+                        n,
+                        deadline,
+                    } => {
+                        let fleet_job = self.next_fleet_job_id();
+                        let (shard, decision) = self.fleet.submit(kernel, n, deadline, t)?;
+                        match decision {
+                            ShardDecision::Queued { .. } | ShardDecision::Host { .. } => {
+                                origin.insert(fleet_job, (session, client_job));
+                                emit(
+                                    &mut responses,
+                                    &mut emit_seq,
+                                    t,
+                                    session,
+                                    Response::JobAccepted { client_job, shard },
+                                );
+                            }
+                            ShardDecision::Rejected { reason } => {
+                                emit(
+                                    &mut responses,
+                                    &mut emit_seq,
+                                    t,
+                                    session,
+                                    Response::JobRejected { client_job, reason },
+                                );
+                            }
+                        }
+                        // Completions the submit's advance uncovered.
+                        Self::collect_completions(
+                            &self.fleet,
+                            &mut collected,
+                            &origin,
+                            |t, session, r| emit(&mut responses, &mut emit_seq, t, session, r),
                         );
                     }
-                    ShardDecision::Rejected { reason } => {
+                    // Stats polls are read-only: they snapshot the fleet
+                    // *as of the last submission's advance* and never
+                    // move virtual time, touch placement state, or
+                    // trigger stealing — so a job stream replays
+                    // byte-identically with or without polls.
+                    Request::GetStats => {
+                        let report = self.stats_report(t);
                         emit(
                             &mut responses,
                             &mut emit_seq,
                             t,
                             session,
-                            Response::JobRejected { client_job, reason },
+                            Response::Stats { report },
                         );
                     }
                 }
-                // Completions the submit's advance uncovered.
-                Self::collect_completions(&self.fleet, &mut collected, &origin, |t, session, r| {
-                    emit(&mut responses, &mut emit_seq, t, session, r)
-                });
             }
         }
 
@@ -261,6 +290,33 @@ impl Daemon {
     /// sequential from 0).
     fn next_fleet_job_id(&self) -> u64 {
         self.fleet.submitted()
+    }
+
+    /// A [`StatsReport`] snapshot of the fleet as it stands, stamped
+    /// with virtual time `time`. Read-only: building a report never
+    /// advances the fleet, so it is safe to call mid-run (it is exactly
+    /// what [`Request::GetStats`] gets) or after a drain.
+    pub fn stats_report(&self, time: u64) -> StatsReport {
+        let slo = FleetSlo::from_fleet(&self.fleet);
+        let view = self.fleet.fleet_view();
+        let counters: Vec<(String, u64)> = view
+            .stats()
+            .counters()
+            .map(|(name, value)| (name.to_owned(), value))
+            .collect();
+        let reject_reasons = counters
+            .iter()
+            .filter_map(|(name, value)| {
+                name.strip_prefix("serve.reject.")
+                    .map(|kind| (kind.to_owned(), *value))
+            })
+            .collect();
+        StatsReport {
+            time,
+            slo,
+            reject_reasons,
+            counters,
+        }
     }
 
     /// Emits `JobComplete` for fleet records not yet reported.
@@ -330,7 +386,7 @@ mod tests {
             responses[0],
             Response::JobAccepted { client_job: 77, .. }
         ));
-        match responses[1] {
+        match &responses[1] {
             Response::JobComplete {
                 client_job,
                 deadline_met,
@@ -338,10 +394,10 @@ mod tests {
                 finish,
                 ..
             } => {
-                assert_eq!(client_job, 77);
+                assert_eq!(*client_job, 77);
                 assert!(deadline_met);
                 assert!(!on_host);
-                assert!(finish > 0);
+                assert!(*finish > 0);
             }
             other => panic!("expected JobComplete, got {other:?}"),
         }
@@ -360,7 +416,7 @@ mod tests {
         // Each session sees only its own jobs, accepts and completes.
         assert_eq!(ra.len(), 4);
         assert_eq!(rb.len(), 2);
-        assert!(rb.iter().all(|r| r.client_job() == 1));
+        assert!(rb.iter().all(|r| r.client_job() == Some(1)));
         // Outbound streams are time-ordered: completions carry finish
         // times; every accept precedes its job's completion.
         let complete_pos = |rs: &[Response], cj: u64| {
@@ -432,5 +488,77 @@ mod tests {
         for (lx, ly) in x.iter().zip(&y) {
             assert_eq!(lx.outbound, ly.outbound, "byte-identical replay");
         }
+    }
+
+    #[test]
+    fn stats_polls_do_not_perturb_virtual_time() {
+        // The same job stream, with and without interleaved GetStats
+        // polls, must produce byte-identical job responses: polls are
+        // read-only and never advance the fleet.
+        let script = |with_polls: bool| {
+            let mut s = ClientScript::new();
+            for i in 0..20u64 {
+                s.submit_at(i * 80, i, KernelId::Daxpy, 256 << (i % 4), 40_000);
+                if with_polls && i % 3 == 0 {
+                    s.poll_stats_at(i * 80);
+                }
+            }
+            s
+        };
+        let run = |with_polls: bool| {
+            let logs = daemon(2, 4).run(&[script(with_polls)]).expect("run");
+            logs[0].responses().expect("decode")
+        };
+        let plain = run(false);
+        let polled = run(true);
+        let polls = polled
+            .iter()
+            .filter(|r| matches!(r, Response::Stats { .. }))
+            .count();
+        assert_eq!(polls, 7, "each GetStats is answered");
+        let job_only: Vec<Response> = polled
+            .into_iter()
+            .filter(|r| r.client_job().is_some())
+            .collect();
+        // Byte-identity, not just structural equality: re-encode both
+        // job-response streams and compare the frames.
+        let enc = |rs: &[Response]| -> Vec<u8> { rs.iter().flat_map(encode).collect() };
+        assert_eq!(enc(&job_only), enc(&plain));
+    }
+
+    #[test]
+    fn stats_poll_after_drain_matches_fleet_slo_exactly() {
+        use crate::slo::FleetSlo;
+        let mut d = daemon(2, 4);
+        let mut jobs = ClientScript::new();
+        for i in 0..25u64 {
+            jobs.submit_at(i * 60, i, KernelId::Daxpy, 512 << (i % 3), 30_000);
+        }
+        d.run(&[jobs]).expect("first batch");
+        // Second batch: a lone poll against the drained fleet. Its
+        // report must equal a direct FleetSlo summary, field for field.
+        let mut poll = ClientScript::new();
+        poll.poll_stats_at(2_000);
+        let logs = d.run(&[poll]).expect("poll batch");
+        let responses = logs[0].responses().expect("decode");
+        assert_eq!(responses.len(), 1);
+        let Response::Stats { report } = &responses[0] else {
+            panic!("expected Stats, got {:?}", responses[0]);
+        };
+        let direct = FleetSlo::from_fleet(d.fleet());
+        assert_eq!(report.slo, direct);
+        assert_eq!(report.slo.p50, direct.p50);
+        assert_eq!(report.slo.p99, direct.p99);
+        assert_eq!(report.time, 2_000);
+        // Counters in the report are name-sorted and include the
+        // per-reason rejection family when rejections happened.
+        assert!(report.counters.windows(2).all(|w| w[0].0 < w[1].0));
+        let rejected = report
+            .counters
+            .iter()
+            .find(|(k, _)| k == "serve.rejected")
+            .map_or(0, |(_, v)| *v);
+        let by_reason: u64 = report.reject_reasons.iter().map(|(_, v)| v).sum();
+        assert_eq!(by_reason, rejected, "reason breakdown sums to total");
     }
 }

@@ -193,6 +193,7 @@ impl Fleet {
     ///
     /// Shard service-backend failures.
     pub fn advance(&mut self, until: u64) -> Result<(), SchedError> {
+        let _prof = mpsoc_sim::profile::scope("serve.fleet.advance");
         for i in 0..self.shards.len() {
             self.shards[i].advance(until)?;
             self.collect(i);
@@ -232,6 +233,10 @@ impl Fleet {
             }
             ShardDecision::Rejected { reason } => {
                 self.stats[shard].incr("serve.rejected");
+                // One named counter per rejection kind, so operators can
+                // tell backpressure from model-side infeasibility at a
+                // glance (`serve.reject.queue_full` vs `.infeasible` …).
+                self.stats[shard].incr(&format!("serve.reject.{}", reason.counter_key()));
                 if matches!(reason, RejectReason::QueueFull { .. }) {
                     self.stats[shard].incr("serve.queue_full");
                 }

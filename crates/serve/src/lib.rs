@@ -8,9 +8,9 @@
 //!
 //! The stack, bottom-up:
 //!
-//! 1. **Protocol** ([`proto`]) — `SubmitJob` in; `JobAccepted`,
-//!    `JobRejected`, `JobComplete` out. Plain serde messages, client-
-//!    scoped job numbers.
+//! 1. **Protocol** ([`proto`]) — `SubmitJob` and `GetStats` in;
+//!    `JobAccepted`, `JobRejected`, `JobComplete` and `Stats` out.
+//!    Plain serde messages, client-scoped job numbers.
 //! 2. **Framing** ([`wire`]) — length-prefixed binary frames (magic +
 //!    version + u32 length + JSON payload) with an incremental
 //!    [`Decoder`] and typed [`DecodeError`]s for truncated, oversized,
@@ -26,6 +26,9 @@
 //!    fleet → time-ordered response streams, deterministically.
 //! 6. **SLO** ([`slo`]) — fleet p50/p99 from exact per-shard histogram
 //!    merges, attainment, utilization, steal/reject accounting.
+//! 7. **Metrics** ([`metrics`]) — the live [`StatsReport`] rendered as
+//!    canonical JSON or Prometheus-style text for scrapers, with
+//!    per-shard counters folded into `{shard=…}` labels.
 //!
 //! Determinism is end-to-end: the same client scripts against the same
 //! fleet configuration produce byte-identical response streams and
@@ -69,6 +72,7 @@
 
 pub mod daemon;
 pub mod fleet;
+pub mod metrics;
 pub mod proto;
 pub mod slo;
 #[cfg(feature = "tcp")]
@@ -78,7 +82,8 @@ pub mod wire;
 
 pub use daemon::{ClientScript, Daemon, ServeError, SessionLog};
 pub use fleet::{Fleet, FleetConfig, FleetRecord, PlacementPolicy, ALL_PLACEMENTS};
-pub use proto::{Request, Response, PROTOCOL_VERSION};
+pub use metrics::{prometheus_text, stats_json};
+pub use proto::{Request, Response, StatsReport, PROTOCOL_VERSION};
 pub use slo::{FleetSlo, ShardSlo};
 pub use transport::Duplex;
 pub use wire::{encode, DecodeError, Decoder};

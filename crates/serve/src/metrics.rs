@@ -1,0 +1,207 @@
+//! Metrics exposition: a [`StatsReport`] rendered for scrapers.
+//!
+//! Two formats, both deterministic (name-sorted, fixed field order):
+//!
+//! - **JSON** — [`StatsReport`] is plain serde data, so
+//!   [`stats_json`] is just the canonical serialization.
+//! - **Prometheus text** — [`prometheus_text`] renders the classic
+//!   `# TYPE` / `name{labels} value` exposition format. Counter names
+//!   map `serve.foo` → `mpsoc_serve_foo`; per-shard breakdowns become
+//!   `{shard="i"}` labels on the same family instead of distinct names;
+//!   rejection kinds become `mpsoc_serve_rejects_by_reason{reason=…}`.
+//!
+//! Wall-clock throughput ([`ThroughputRow`]) is appended by the caller
+//! when available — it lives outside [`StatsReport`] so the protocol
+//! stays replay-deterministic — and renders as
+//! `mpsoc_throughput_cycles_per_wall_second{component=…}`.
+
+use std::fmt::Write as _;
+
+use crate::proto::StatsReport;
+use mpsoc_telemetry::ThroughputRow;
+
+/// Series within one Prometheus family: `(shard label, value)` pairs,
+/// `None` for the fleet-global series.
+type CounterSeries = Vec<(Option<String>, u64)>;
+
+/// The report as canonical JSON (what a `/stats` endpoint would serve).
+pub fn stats_json(report: &StatsReport) -> String {
+    serde_json::to_string(report).expect("StatsReport serializes")
+}
+
+/// The report in Prometheus-style text exposition format. Deterministic:
+/// families appear in a fixed order, series within a family are sorted
+/// by label value.
+pub fn prometheus_text(report: &StatsReport, throughput: &[ThroughputRow]) -> String {
+    let mut out = String::new();
+    let slo = &report.slo;
+
+    // SLO gauges first: the numbers an alert would page on.
+    gauge(&mut out, "mpsoc_serve_time_cycles", report.time as f64);
+    gauge(&mut out, "mpsoc_serve_submitted", slo.submitted as f64);
+    gauge(&mut out, "mpsoc_serve_attainment", slo.attainment);
+    gauge(&mut out, "mpsoc_serve_makespan_cycles", slo.makespan as f64);
+    if let Some(p50) = slo.p50 {
+        gauge(&mut out, "mpsoc_serve_latency_p50_cycles", p50 as f64);
+    }
+    if let Some(p99) = slo.p99 {
+        gauge(&mut out, "mpsoc_serve_latency_p99_cycles", p99 as f64);
+    }
+
+    // Rejection breakdown by kind.
+    writeln!(out, "# TYPE mpsoc_serve_rejects_by_reason counter").expect("write");
+    for (reason, count) in &report.reject_reasons {
+        writeln!(
+            out,
+            "mpsoc_serve_rejects_by_reason{{reason=\"{reason}\"}} {count}"
+        )
+        .expect("write");
+    }
+
+    // Counters: global `serve.*` names become bare series, per-shard
+    // `shard<i>.serve.*` names fold into the same family with a shard
+    // label. `report.counters` is name-sorted, which groups families
+    // and orders shard labels numerically up to 10 shards and
+    // lexicographically beyond — stable either way.
+    let mut families: Vec<(String, CounterSeries)> = Vec::new();
+    for (name, value) in &report.counters {
+        let (shard, metric) = split_shard(name);
+        let family = format!("mpsoc_{}", metric.replace('.', "_"));
+        match families.iter_mut().find(|(f, _)| *f == family) {
+            Some((_, series)) => series.push((shard, *value)),
+            None => families.push((family, vec![(shard, *value)])),
+        }
+    }
+    families.sort_by(|a, b| a.0.cmp(&b.0));
+    for (family, mut series) in families {
+        writeln!(out, "# TYPE {family} counter").expect("write");
+        series.sort_by(|a, b| a.0.cmp(&b.0));
+        for (shard, value) in series {
+            match shard {
+                None => writeln!(out, "{family} {value}").expect("write"),
+                Some(s) => writeln!(out, "{family}{{shard=\"{s}\"}} {value}").expect("write"),
+            }
+        }
+    }
+
+    if !throughput.is_empty() {
+        writeln!(out, "# TYPE mpsoc_throughput_cycles_per_wall_second gauge").expect("write");
+        for row in throughput {
+            writeln!(
+                out,
+                "mpsoc_throughput_cycles_per_wall_second{{component=\"{}\"}} {}",
+                row.component, row.cycles_per_wall_second
+            )
+            .expect("write");
+        }
+    }
+    out
+}
+
+fn gauge(out: &mut String, name: &str, value: f64) {
+    writeln!(out, "# TYPE {name} gauge").expect("write");
+    writeln!(out, "{name} {value}").expect("write");
+}
+
+/// Splits `shard3.serve.accepted` into `(Some("3"), "serve.accepted")`;
+/// unprefixed names pass through as `(None, name)`.
+fn split_shard(name: &str) -> (Option<String>, &str) {
+    if let Some(rest) = name.strip_prefix("shard") {
+        if let Some(dot) = rest.find('.') {
+            let (index, metric) = rest.split_at(dot);
+            if !index.is_empty() && index.bytes().all(|b| b.is_ascii_digit()) {
+                return (Some(index.to_owned()), &metric[1..]);
+            }
+        }
+    }
+    (None, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{ClientScript, Daemon};
+    use crate::fleet::{Fleet, FleetConfig, PlacementPolicy};
+    use mpsoc_sched::{KernelId, ModelTable};
+
+    fn report() -> StatsReport {
+        let fleet = Fleet::analytic(
+            FleetConfig {
+                shards: 2,
+                clusters_per_shard: 2,
+                queue_limit: 2,
+                placement: PlacementPolicy::LeastLoaded,
+                steal: true,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        let mut daemon = Daemon::new(fleet);
+        let mut script = ClientScript::new();
+        for i in 0..30u64 {
+            // A mix of servable jobs, backpressure (tight queue) and
+            // infeasible deadlines, so several reject kinds appear.
+            let deadline = if i % 7 == 0 { 300 } else { 25_000 };
+            script.submit_at(i * 40, i, KernelId::Daxpy, 1024, deadline);
+        }
+        daemon.run(&[script]).expect("run");
+        daemon.stats_report(9_999)
+    }
+
+    #[test]
+    fn prometheus_text_is_deterministic_and_well_formed() {
+        let r = report();
+        let a = prometheus_text(&r, &[]);
+        let b = prometheus_text(&r, &[]);
+        assert_eq!(a, b, "same report renders identically");
+        assert!(a.contains("# TYPE mpsoc_serve_attainment gauge"));
+        assert!(a.contains("mpsoc_serve_rejects_by_reason{reason=\"infeasible\"}"));
+        assert!(a.contains("mpsoc_serve_accepted "));
+        assert!(a.contains("mpsoc_serve_accepted{shard=\"0\"}"));
+        assert!(a.contains("mpsoc_serve_accepted{shard=\"1\"}"));
+        // Every non-comment line is `name value` or `name{labels} value`.
+        for line in a.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().expect("value");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+    }
+
+    #[test]
+    fn reject_reason_counters_serialize_sorted() {
+        let r = report();
+        assert!(!r.reject_reasons.is_empty(), "mix produces rejections");
+        assert!(
+            r.reject_reasons.windows(2).all(|w| w[0].0 < w[1].0),
+            "reasons are name-sorted"
+        );
+        let json_a = stats_json(&r);
+        let json_b = stats_json(&r);
+        assert_eq!(json_a, json_b);
+        // The sorted key order is visible in the serialized form too.
+        let reject_total: u64 = r.reject_reasons.iter().map(|(_, v)| v).sum();
+        let counted = r
+            .counters
+            .iter()
+            .find(|(k, _)| k == "serve.rejected")
+            .map_or(0, |(_, v)| *v);
+        assert_eq!(reject_total, counted);
+    }
+
+    #[test]
+    fn throughput_rows_render_with_component_labels() {
+        let r = report();
+        let rows = vec![ThroughputRow {
+            component: "sched.engine".to_owned(),
+            sim_cycles: 1_000_000,
+            wall_seconds: 0.5,
+            cycles_per_wall_second: 2_000_000.0,
+        }];
+        let text = prometheus_text(&r, &rows);
+        assert!(text.contains(
+            "mpsoc_throughput_cycles_per_wall_second{component=\"sched.engine\"} 2000000"
+        ));
+    }
+}

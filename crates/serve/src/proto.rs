@@ -2,19 +2,30 @@
 //! exchange, independent of how they are framed onto a byte stream
 //! (that is [`crate::wire`]'s job).
 //!
-//! The vocabulary is deliberately small — one request, three responses —
+//! The vocabulary is deliberately small — two requests, four responses —
 //! and every message is a plain old datum: no handles, no futures, no
 //! borrowed payloads. Job identity on the wire is the *client's* number
 //! (`client_job`), scoped to its session; the daemon maps it to fleet
 //! job ids internally and never leaks them.
+//!
+//! Version 2 adds the observability pair: [`Request::GetStats`] polls a
+//! live daemon and [`Response::Stats`] answers with a [`StatsReport`] —
+//! the fleet SLO snapshot plus named counters. Stats polls are
+//! *read-only*: answering one never advances virtual time or touches
+//! placement state, so a job stream replays byte-identically with or
+//! without interleaved polls.
 
+use crate::slo::FleetSlo;
 use mpsoc_sched::{KernelId, RejectReason};
 use serde::{Deserialize, Serialize};
 
 /// Protocol version carried in every frame header. Bumped on any change
 /// to the message vocabulary or field layout; decoders reject frames
 /// from other versions with a typed error rather than guessing.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// History: 1 = submit/accept/reject/complete; 2 = adds
+/// `GetStats`/`Stats` and `Option`-typed SLO quantiles.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Client → daemon.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -31,10 +42,42 @@ pub enum Request {
         /// Relative deadline in cycles from submission.
         deadline: u64,
     },
+    /// Poll the daemon's live statistics. Answered immediately (at the
+    /// poll's virtual time) with a [`Response::Stats`] snapshot; never
+    /// advances the fleet.
+    GetStats,
+}
+
+/// The daemon's live statistics snapshot: everything an operator's
+/// scrape needs in one deterministic, cycle-domain message. Wall-clock
+/// rates (cycles per wall-second) deliberately live *outside* this
+/// frame — see `mpsoc_telemetry::ThroughputMeter` — so replaying a
+/// session, polls included, stays byte-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Virtual time of the poll (cycles).
+    pub time: u64,
+    /// The fleet-wide SLO summary at poll time.
+    pub slo: FleetSlo,
+    /// Per-kind rejection counters, name-sorted:
+    /// `(RejectReason::counter_key(), count)` pairs for every kind seen
+    /// so far.
+    ///
+    /// [`RejectReason::counter_key()`]: mpsoc_sched::RejectReason::counter_key
+    pub reject_reasons: Vec<(String, u64)>,
+    /// Every fleet-level counter, name-sorted — accepted / rejected /
+    /// queue_full / offloaded / host_runs / steals / retries /
+    /// deadline_missed and the `serve.reject.*` family, plus the
+    /// `shard<i>.`-prefixed per-shard breakdowns.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Daemon → client.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// `Stats` dominates the enum size, but responses are transient (decoded,
+// matched, dropped) and never stored in bulk; boxing would complicate
+// the vendored-serde derive for no measurable win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
     /// The job passed admission on a shard and will be serviced.
     JobAccepted {
@@ -71,15 +114,22 @@ pub enum Response {
         /// shards; always 0 on analytic fleets).
         retries: u32,
     },
+    /// Answer to [`Request::GetStats`].
+    Stats {
+        /// The snapshot.
+        report: StatsReport,
+    },
 }
 
 impl Response {
-    /// The `client_job` this response is about.
-    pub fn client_job(&self) -> u64 {
-        match *self {
+    /// The `client_job` this response is about; `None` for responses
+    /// (like [`Response::Stats`]) that are not about a job.
+    pub fn client_job(&self) -> Option<u64> {
+        match self {
             Response::JobAccepted { client_job, .. }
             | Response::JobRejected { client_job, .. }
-            | Response::JobComplete { client_job, .. } => client_job,
+            | Response::JobComplete { client_job, .. } => Some(*client_job),
+            Response::Stats { .. } => None,
         }
     }
 }
@@ -120,6 +170,42 @@ mod tests {
             deadline_met: true,
             retries: 0,
         };
-        assert_eq!(r.client_job(), 42);
+        assert_eq!(r.client_job(), Some(42));
+    }
+
+    #[test]
+    fn get_stats_round_trips() {
+        let req = Request::GetStats;
+        let text = serde_json::to_string(&req).expect("serialize");
+        let back: Request = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn stats_responses_have_no_client_job() {
+        use crate::fleet::{Fleet, FleetConfig, PlacementPolicy};
+        use mpsoc_sched::ModelTable;
+        let f = Fleet::analytic(
+            FleetConfig {
+                shards: 1,
+                clusters_per_shard: 1,
+                queue_limit: 1,
+                placement: PlacementPolicy::RoundRobin,
+                steal: false,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        let r = Response::Stats {
+            report: StatsReport {
+                time: 0,
+                slo: FleetSlo::from_fleet(&f),
+                reject_reasons: Vec::new(),
+                counters: Vec::new(),
+            },
+        };
+        assert_eq!(r.client_job(), None);
+        let text = serde_json::to_string(&r).expect("serialize");
+        let back: Response = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back, r);
     }
 }

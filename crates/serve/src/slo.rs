@@ -31,11 +31,13 @@ pub struct ShardSlo {
     pub steals_out: u64,
     /// Queued jobs stolen *into* this shard.
     pub steals_in: u64,
-    /// Median completion latency (cycles; 0 when nothing completed).
-    pub p50: u64,
-    /// 99th-percentile completion latency (cycles; 0 when nothing
+    /// Median completion latency (cycles; `None` when nothing
+    /// completed — `Some(0)` would be indistinguishable from a real
+    /// zero-cycle completion).
+    pub p50: Option<u64>,
+    /// 99th-percentile completion latency (cycles; `None` when nothing
     /// completed).
-    pub p99: u64,
+    pub p99: Option<u64>,
     /// Busy cluster-cycles over capacity × fleet makespan.
     pub utilization: f64,
 }
@@ -69,10 +71,12 @@ pub struct FleetSlo {
     pub deadline_met: u64,
     /// `deadline_met / submitted` — rejections count against SLO.
     pub attainment: f64,
-    /// Fleet median completion latency (cycles).
-    pub p50: u64,
-    /// Fleet 99th-percentile completion latency (cycles).
-    pub p99: u64,
+    /// Fleet median completion latency (cycles; `None` when nothing
+    /// completed anywhere — e.g. every job rejected).
+    pub p50: Option<u64>,
+    /// Fleet 99th-percentile completion latency (cycles; `None` when
+    /// nothing completed anywhere).
+    pub p99: Option<u64>,
     /// Mean completion latency (cycles).
     pub mean_latency: f64,
     /// Last completion cycle across the fleet.
@@ -122,8 +126,8 @@ impl FleetSlo {
                     host_runs: c("host_runs"),
                     steals_out: c("steals_out"),
                     steals_in: c("steals_in"),
-                    p50: shard_hist.p50().unwrap_or(0),
-                    p99: shard_hist.p99().unwrap_or(0),
+                    p50: shard_hist.p50(),
+                    p99: shard_hist.p99(),
                     utilization: if capacity == 0 {
                         0.0
                     } else {
@@ -150,8 +154,8 @@ impl FleetSlo {
             } else {
                 deadline_met as f64 / submitted as f64
             },
-            p50: latency.p50().unwrap_or(0),
-            p99: latency.p99().unwrap_or(0),
+            p50: latency.p50(),
+            p99: latency.p99(),
             mean_latency: stats.summary("serve.latency").mean().unwrap_or(0.0),
             makespan,
             per_shard,
@@ -192,8 +196,75 @@ mod tests {
         let shard_accepts: u64 = slo.per_shard.iter().map(|s| s.accepted).sum();
         assert_eq!(shard_accepts + slo.rejected, 40);
         if slo.completed > 0 {
-            assert!(slo.p99 >= slo.p50);
+            assert!(slo.p99.expect("completions imply p99") >= slo.p50.expect("p50"));
             assert!(slo.per_shard.iter().any(|s| s.utilization > 0.0));
         }
+    }
+
+    #[test]
+    fn empty_shard_merges_as_none_not_zero() {
+        // Round-robin over 2 shards with a single job: shard 0 serves
+        // it, shard 1 never sees work. The idle shard must report
+        // `None` quantiles — not a fake 0-cycle latency — and the
+        // fleet-level merge must equal the busy shard's view.
+        let mut f = Fleet::analytic(
+            FleetConfig {
+                shards: 2,
+                clusters_per_shard: 4,
+                queue_limit: 8,
+                placement: PlacementPolicy::RoundRobin,
+                steal: false,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        f.submit(KernelId::Daxpy, 4096, 50_000, 0).expect("submit");
+        f.drain().expect("drain");
+        let slo = FleetSlo::from_fleet(&f);
+        assert_eq!(slo.completed, 1);
+        let busy = &slo.per_shard[0];
+        let idle = &slo.per_shard[1];
+        assert!(busy.p50.is_some() && busy.p99.is_some());
+        assert_eq!(idle.p50, None);
+        assert_eq!(idle.p99, None);
+        assert_eq!(idle.utilization, 0.0);
+        // Merging the empty shard's histogram must not disturb the
+        // fleet quantiles.
+        assert_eq!(slo.p50, busy.p50);
+        assert_eq!(slo.p99, busy.p99);
+    }
+
+    #[test]
+    fn all_rejections_yield_zero_attainment_and_no_quantiles() {
+        // Deadline 300 is below the Daxpy offload floor (c0 + c_mem·N)
+        // and the host line, so every job rejects as Infeasible.
+        let mut f = Fleet::analytic(
+            FleetConfig {
+                shards: 2,
+                clusters_per_shard: 2,
+                queue_limit: 4,
+                placement: PlacementPolicy::LeastLoaded,
+                steal: true,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        for i in 0..10u64 {
+            f.submit(KernelId::Daxpy, 1024, 300, i * 10)
+                .expect("submit");
+        }
+        f.drain().expect("drain");
+        let slo = FleetSlo::from_fleet(&f);
+        assert_eq!(slo.submitted, 10);
+        assert_eq!(slo.completed, 0);
+        assert_eq!(slo.rejected, 10);
+        // Nothing was served: attainment is a hard 0, not 0/0 = NaN …
+        assert_eq!(slo.attainment, 0.0);
+        // … and latency quantiles are absent, not zero.
+        assert_eq!(slo.p50, None);
+        assert_eq!(slo.p99, None);
+        assert_eq!(slo.makespan, 0);
+        assert!(slo
+            .per_shard
+            .iter()
+            .all(|s| s.p50.is_none() && s.p99.is_none()));
     }
 }

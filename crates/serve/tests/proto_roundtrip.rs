@@ -6,17 +6,90 @@
 //! the combinatorial space around them.
 
 use mpsoc_sched::{KernelId, RejectReason};
-use mpsoc_serve::{encode, Decoder, Request, Response};
+use mpsoc_serve::{encode, Decoder, FleetSlo, Request, Response, ShardSlo, StatsReport};
 use proptest::prelude::*;
 
-/// Deterministically maps free u64 dice onto a `Request`.
+/// Deterministically maps free u64 dice onto a `Request`. Every 5th
+/// roll of `kernel` becomes a `GetStats` poll instead of a submission.
 fn request_from(dice: (u64, u64, u64, u64)) -> Request {
     let (client_job, kernel, n, deadline) = dice;
+    if kernel % 5 == 4 {
+        return Request::GetStats;
+    }
     Request::SubmitJob {
         client_job,
         kernel: KernelId::ALL[(kernel % KernelId::ALL.len() as u64) as usize],
         n: 1 + n % 1_000_000,
         deadline: 1 + deadline % 10_000_000,
+    }
+}
+
+/// Deterministically maps free u64 dice onto a `StatsReport`,
+/// exercising `None`/`Some` quantiles, empty and populated shard lists,
+/// and the counter vectors.
+fn stats_report_from(dice: (u64, u64, u64)) -> StatsReport {
+    let (a, b, c) = dice;
+    let shards = a % 4;
+    let per_shard = (0..shards)
+        .map(|i| ShardSlo {
+            shard: i as u32,
+            accepted: b.rotate_left(i as u32) % 1000,
+            rejected: c % 100,
+            queue_full: c % 10,
+            offloaded: b % 500,
+            host_runs: b % 7,
+            steals_out: a % 5,
+            steals_in: c % 5,
+            p50: if (b ^ i) % 2 == 0 {
+                Some(b % 100_000)
+            } else {
+                None
+            },
+            p99: if (c ^ i) % 2 == 0 {
+                Some(c % 900_000)
+            } else {
+                None
+            },
+            utilization: (b % 8) as f64 / 8.0,
+        })
+        .collect();
+    let slo = FleetSlo {
+        placement: ["round_robin", "least_loaded", "model_guided"][(a % 3) as usize].to_owned(),
+        shards,
+        clusters_per_shard: 1 + b % 16,
+        submitted: a % 10_000,
+        completed: b % 10_000,
+        offloaded: b % 5_000,
+        host_runs: b % 11,
+        rejected: c % 1_000,
+        queue_full: c % 100,
+        steals: a % 50,
+        retries: a % 3,
+        deadline_met: b % 9_000,
+        attainment: (a % 9) as f64 / 8.0,
+        p50: if a % 2 == 0 { Some(a % 70_000) } else { None },
+        p99: if b % 2 == 0 { Some(b % 800_000) } else { None },
+        mean_latency: (c % 100_000) as f64 / 4.0,
+        makespan: c % 10_000_000,
+        per_shard,
+    };
+    StatsReport {
+        time: a,
+        slo,
+        reject_reasons: [
+            "degraded_machine",
+            "infeasible",
+            "not_enough_clusters",
+            "program_lint",
+            "queue_full",
+        ]
+        .iter()
+        .take((b % 6) as usize)
+        .map(|k| ((*k).to_owned(), c % 77))
+        .collect(),
+        counters: (0..a % 5)
+            .map(|i| (format!("serve.counter_{i}"), b.wrapping_add(i)))
+            .collect(),
     }
 }
 
@@ -115,6 +188,47 @@ proptest! {
         }
         prop_assert_eq!(got, msgs);
         prop_assert!(dec.finish().is_ok());
+    }
+
+    /// A `Stats` response — the largest, most deeply nested message in
+    /// the vocabulary — round-trips across `None`/`Some` quantiles,
+    /// empty and populated shard lists, and both counter vectors.
+    #[test]
+    fn stats_report_round_trips(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+    ) {
+        let msg = Response::Stats { report: stats_report_from((a, b, c)) };
+        let mut dec = Decoder::new();
+        dec.push(&encode(&msg));
+        let got = dec.next_message::<Response>().unwrap();
+        prop_assert_eq!(got, Some(msg));
+        prop_assert!(dec.finish().is_ok());
+    }
+
+    /// A well-framed payload of arbitrary bytes — valid magic, version
+    /// and length, garbage JSON — never panics typed decoding, for
+    /// either direction of the v2 vocabulary. It decodes or it returns
+    /// a typed error.
+    #[test]
+    fn framed_garbage_never_panics_typed_decode(
+        payload in prop::collection::vec(any::<u8>(), 0..96),
+    ) {
+        // Hand-build the frame around the garbage so only the payload
+        // is adversarial: 2-byte magic "MJ", version, u32 LE length.
+        let mut frame = Vec::with_capacity(7 + payload.len());
+        frame.extend_from_slice(b"MJ");
+        frame.push(mpsoc_serve::PROTOCOL_VERSION);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        let mut dec = Decoder::new();
+        dec.push(&frame);
+        let _ = dec.next_message::<Request>();
+        let mut dec = Decoder::new();
+        dec.push(&frame);
+        let _ = dec.next_message::<Response>();
     }
 
     /// Adversarial bytes never panic the decoder: any junk either yields

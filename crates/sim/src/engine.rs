@@ -282,6 +282,9 @@ impl<S: Simulate> Engine<S> {
 
     /// Runs until the queue is quiescent or the `budget` is exhausted.
     pub fn run(&mut self, budget: StepBudget) -> RunResult {
+        // One profiling scope per run, not per step: the per-event path
+        // must stay lock-free.
+        let _prof = crate::profile::scope("sim.engine.run");
         let mut steps = 0u64;
         loop {
             if steps >= budget.max_events {

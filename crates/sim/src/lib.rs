@@ -14,6 +14,8 @@
 //!   [`ThroughputResource`], [`BankedResource`]) shared by the memory and
 //!   interconnect models,
 //! - [`stats`]: named counters and summaries for instrumentation,
+//! - [`profile`]: a wall-clock scoped self-profiler (RAII guards into a
+//!   per-site call tree) for measuring the simulator itself,
 //! - [`rng::SplitMix64`]: a tiny deterministic RNG for reproducible
 //!   stochastic workloads,
 //! - [`trace`]: an optional event trace for debugging and timeline dumps.
@@ -54,6 +56,7 @@ mod queue;
 mod resource;
 mod time;
 
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod trace;

@@ -1,0 +1,518 @@
+//! Wall-clock scoped self-profiler: RAII timer guards aggregating into a
+//! per-site call tree.
+//!
+//! The simulator's own speed is a first-class metric — every "make the
+//! simulator fast" change needs to know where wall-clock time goes
+//! *before* it goes there. This module provides the always-on,
+//! low-overhead substrate: a [`scope`] guard placed at a hot site (the
+//! interpreter dispatch loop, the DES event loop, a shard advance)
+//! times the enclosed region and folds it into a global tree keyed by
+//! the site's position in the dynamic scope stack, so the same site
+//! reached through different callers shows up as distinct tree paths.
+//!
+//! Three disciplines, mirroring the rest of the workspace:
+//!
+//! - **Single-branch when disabled.** [`scope`] checks one atomic and
+//!   returns an inert guard; no clock is read, no lock is taken, no
+//!   allocation happens. Disabling profiling (`MPSOC_PROFILE=0` or
+//!   [`set_enabled`]) must therefore leave every *simulated* result
+//!   byte-identical — wall time never feeds back into cycle-domain
+//!   state, it is only ever observed.
+//! - **Thread-safe aggregation.** The tree is global behind a mutex;
+//!   the scope *stack* is thread-local. Concurrent scopes on different
+//!   threads fold into the same tree (same-path scopes share a node).
+//! - **Deterministic shape.** Children are kept name-sorted, so two
+//!   runs of the same workload produce reports with identical structure
+//!   (the recorded nanoseconds differ, which is why profile output only
+//!   ever lands in `BENCH_*` side artifacts, never in `results/`).
+//!
+//! Timing uses [`std::time::Instant`] (monotonic). Site names are
+//! `&'static str` so entering a scope never allocates on the hot path
+//! once the site's node exists.
+//!
+//! # Example
+//!
+//! ```
+//! use mpsoc_sim::profile;
+//!
+//! profile::reset();
+//! profile::set_enabled(true);
+//! {
+//!     let _outer = profile::scope("outer");
+//!     let _inner = profile::scope("inner");
+//! }
+//! let report = profile::snapshot();
+//! assert_eq!(report.roots.len(), 1);
+//! assert_eq!(report.roots[0].name, "outer");
+//! assert_eq!(report.roots[0].children[0].name, "inner");
+//! ```
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// One site in the aggregated call tree (internal storage).
+#[derive(Debug)]
+struct NodeData {
+    name: &'static str,
+    calls: u64,
+    total: Duration,
+    /// Child node indices, kept sorted by child name.
+    children: Vec<usize>,
+}
+
+/// The global aggregation tree. Node 0 is the synthetic root.
+#[derive(Debug)]
+struct Tree {
+    nodes: Vec<NodeData>,
+    /// Bumped by [`reset`]; guards from an older epoch drop silently.
+    epoch: u64,
+}
+
+impl Tree {
+    fn fresh(epoch: u64) -> Self {
+        Tree {
+            nodes: vec![NodeData {
+                name: "",
+                calls: 0,
+                total: Duration::ZERO,
+                children: Vec::new(),
+            }],
+            epoch,
+        }
+    }
+
+    /// Finds or creates the child of `parent` named `name`.
+    fn enter(&mut self, parent: usize, name: &'static str) -> usize {
+        let pos = self.nodes[parent]
+            .children
+            .binary_search_by(|&c| self.nodes[c].name.cmp(name));
+        match pos {
+            Ok(i) => self.nodes[parent].children[i],
+            Err(i) => {
+                let idx = self.nodes.len();
+                self.nodes.push(NodeData {
+                    name,
+                    calls: 0,
+                    total: Duration::ZERO,
+                    children: Vec::new(),
+                });
+                self.nodes[parent].children.insert(i, idx);
+                idx
+            }
+        }
+    }
+}
+
+fn tree() -> &'static Mutex<Tree> {
+    static TREE: OnceLock<Mutex<Tree>> = OnceLock::new();
+    TREE.get_or_init(|| Mutex::new(Tree::fresh(0)))
+}
+
+fn enabled_flag() -> &'static AtomicBool {
+    static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+    ENABLED.get_or_init(|| {
+        // Opt out with MPSOC_PROFILE=0; any other value (or absence)
+        // keeps the magic-trace-style always-on default.
+        let on = std::env::var("MPSOC_PROFILE").map_or(true, |v| v != "0");
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether profiling is currently collecting. Defaults to on; the
+/// environment variable `MPSOC_PROFILE=0` (read once) or
+/// [`set_enabled`]`(false)` turns it off.
+pub fn enabled() -> bool {
+    enabled_flag().load(Ordering::Relaxed)
+}
+
+/// Turns collection on or off at runtime (overrides the environment).
+/// Scopes already open keep recording; new scopes see the new state.
+pub fn set_enabled(on: bool) {
+    enabled_flag().store(on, Ordering::Relaxed);
+}
+
+thread_local! {
+    /// This thread's open-scope stack: `(epoch, node index)` pairs.
+    static STACK: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open profiling scope; dropping it records the elapsed wall time
+/// at its tree node. Scopes must drop in LIFO order per thread (the
+/// natural order for RAII locals).
+#[derive(Debug)]
+pub struct Scope {
+    armed: Option<(Instant, u64, usize)>,
+}
+
+/// Opens a scope at `name` under the innermost open scope of this
+/// thread (or at the root). When profiling is disabled this is a single
+/// atomic load returning an inert guard.
+pub fn scope(name: &'static str) -> Scope {
+    if !enabled() {
+        return Scope { armed: None };
+    }
+    let (epoch, idx) = {
+        let mut t = tree().lock().expect("profile tree poisoned");
+        let epoch = t.epoch;
+        let parent = STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|&&(e, _)| e == epoch)
+                .map(|&(_, i)| i)
+                .unwrap_or(0)
+        });
+        (epoch, t.enter(parent, name))
+    };
+    STACK.with(|s| s.borrow_mut().push((epoch, idx)));
+    Scope {
+        armed: Some((Instant::now(), epoch, idx)),
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        let Some((start, epoch, idx)) = self.armed.take() else {
+            return;
+        };
+        let elapsed = start.elapsed();
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&(e, i)| e == epoch && i == idx) {
+                stack.truncate(pos);
+            }
+        });
+        let mut t = tree().lock().expect("profile tree poisoned");
+        // A reset between open and drop invalidates the index: drop the
+        // sample rather than attributing it to an unrelated node.
+        if t.epoch == epoch {
+            t.nodes[idx].calls += 1;
+            t.nodes[idx].total += elapsed;
+        }
+    }
+}
+
+/// Discards all recorded data (and orphans any scopes currently open —
+/// their samples are dropped, not misattributed).
+pub fn reset() {
+    let mut t = tree().lock().expect("profile tree poisoned");
+    let epoch = t.epoch + 1;
+    *t = Tree::fresh(epoch);
+}
+
+/// One site of a [`ProfileReport`]: aggregated calls and wall time for
+/// a distinct scope-stack path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileNode {
+    /// Site name passed to [`scope`].
+    pub name: String,
+    /// Completed scope entries at this path.
+    pub calls: u64,
+    /// Inclusive wall time (this site plus everything beneath it).
+    pub total_ns: u64,
+    /// Exclusive wall time: `total_ns` minus the children's totals
+    /// (clamped at zero — child scopes opened before a parent existed
+    /// cannot make a site negative).
+    pub self_ns: u64,
+    /// Child sites, name-sorted.
+    pub children: Vec<ProfileNode>,
+}
+
+/// A point-in-time copy of the aggregated profile tree.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Top-level sites (scopes opened with no enclosing scope).
+    pub roots: Vec<ProfileNode>,
+}
+
+/// A flattened site: the same name may appear at several tree paths;
+/// this entry sums them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteTotal {
+    /// Site name.
+    pub name: String,
+    /// Completed calls across all paths.
+    pub calls: u64,
+    /// Summed exclusive wall time.
+    pub self_ns: u64,
+    /// Summed inclusive wall time.
+    pub total_ns: u64,
+}
+
+impl ProfileReport {
+    /// Summed inclusive wall time of the top-level sites — the profiled
+    /// share of the process's wall clock.
+    pub fn total_ns(&self) -> u64 {
+        self.roots.iter().map(|r| r.total_ns).sum()
+    }
+
+    /// Flattens the tree into per-name totals, hottest (by exclusive
+    /// time) first; ties break by name so the order is reproducible.
+    pub fn site_totals(&self) -> Vec<SiteTotal> {
+        use std::collections::BTreeMap;
+        let mut flat: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        fn walk<'a>(nodes: &'a [ProfileNode], flat: &mut BTreeMap<&'a str, (u64, u64, u64)>) {
+            for n in nodes {
+                let e = flat.entry(&n.name).or_insert((0, 0, 0));
+                e.0 += n.calls;
+                e.1 += n.self_ns;
+                e.2 += n.total_ns;
+                walk(&n.children, flat);
+            }
+        }
+        walk(&self.roots, &mut flat);
+        let mut sites: Vec<SiteTotal> = flat
+            .into_iter()
+            .map(|(name, (calls, self_ns, total_ns))| SiteTotal {
+                name: name.to_owned(),
+                calls,
+                self_ns,
+                total_ns,
+            })
+            .collect();
+        sites.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+        sites
+    }
+
+    /// Renders the tree in Brendan Gregg's collapsed-stack format, one
+    /// `path;to;site <self_ns>` line per node — pipe into any
+    /// flamegraph renderer. Lines appear in depth-first name order.
+    pub fn collapsed(&self) -> String {
+        fn walk(prefix: &str, nodes: &[ProfileNode], out: &mut String) {
+            for n in nodes {
+                let path = if prefix.is_empty() {
+                    n.name.clone()
+                } else {
+                    format!("{prefix};{}", n.name)
+                };
+                out.push_str(&format!("{path} {}\n", n.self_ns));
+                walk(&path, &n.children, out);
+            }
+        }
+        let mut out = String::new();
+        walk("", &self.roots, &mut out);
+        out
+    }
+
+    /// Renders an indented human-readable tree (calls, total, self per
+    /// site), for terminal output.
+    pub fn render(&self) -> String {
+        fn walk(depth: usize, nodes: &[ProfileNode], out: &mut String) {
+            for n in nodes {
+                out.push_str(&format!(
+                    "{:indent$}{}  calls={} total={:.3}ms self={:.3}ms\n",
+                    "",
+                    n.name,
+                    n.calls,
+                    n.total_ns as f64 / 1e6,
+                    n.self_ns as f64 / 1e6,
+                    indent = depth * 2
+                ));
+                walk(depth + 1, &n.children, out);
+            }
+        }
+        let mut out = String::new();
+        walk(0, &self.roots, &mut out);
+        out
+    }
+}
+
+/// Copies the current aggregated tree into a serializable report.
+/// Open scopes contribute nothing until they drop.
+pub fn snapshot() -> ProfileReport {
+    fn build(t: &Tree, idx: usize) -> ProfileNode {
+        let children: Vec<ProfileNode> =
+            t.nodes[idx].children.iter().map(|&c| build(t, c)).collect();
+        let total_ns = t.nodes[idx].total.as_nanos() as u64;
+        let child_ns: u64 = children.iter().map(|c| c.total_ns).sum();
+        ProfileNode {
+            name: t.nodes[idx].name.to_owned(),
+            calls: t.nodes[idx].calls,
+            total_ns,
+            self_ns: total_ns.saturating_sub(child_ns),
+            children,
+        }
+    }
+    let t = tree().lock().expect("profile tree poisoned");
+    ProfileReport {
+        roots: t.nodes[0]
+            .children
+            .clone()
+            .into_iter()
+            .map(|c| build(&t, c))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The profiler is a process-wide singleton, so every test that
+    // touches it must hold this lock: otherwise parallel tests
+    // interleave their trees.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn nesting_builds_a_tree_and_times_are_inclusive() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        for _ in 0..3 {
+            let _a = scope("a");
+            {
+                let _b = scope("b");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _c = scope("c");
+        }
+        let report = snapshot();
+        assert_eq!(report.roots.len(), 1);
+        let a = &report.roots[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.calls, 3);
+        let names: Vec<&str> = a.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["b", "c"], "children are name-sorted");
+        let b = &a.children[0];
+        assert!(b.total_ns >= 3_000_000, "slept >= 1ms per call");
+        assert!(a.total_ns >= b.total_ns, "parent includes child");
+        assert_eq!(a.self_ns, a.total_ns - b.total_ns - a.children[1].total_ns);
+    }
+
+    #[test]
+    fn disabled_scopes_record_nothing() {
+        let _g = guard();
+        reset();
+        set_enabled(false);
+        {
+            let _a = scope("ghost");
+        }
+        assert!(snapshot().roots.is_empty());
+        set_enabled(true);
+    }
+
+    #[test]
+    fn same_path_scopes_aggregate() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        for _ in 0..10 {
+            let _s = scope("site");
+        }
+        let report = snapshot();
+        assert_eq!(report.roots.len(), 1);
+        assert_eq!(report.roots[0].calls, 10);
+    }
+
+    #[test]
+    fn threads_fold_into_one_tree() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..5 {
+                        let _outer = scope("worker");
+                        let _inner = scope("inner");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let report = snapshot();
+        let worker = report
+            .roots
+            .iter()
+            .find(|r| r.name == "worker")
+            .expect("merged root");
+        assert_eq!(worker.calls, 20, "4 threads x 5 calls share one node");
+        assert_eq!(worker.children[0].calls, 20);
+    }
+
+    #[test]
+    fn reset_mid_scope_drops_the_sample() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        let s = scope("stale");
+        reset();
+        drop(s);
+        assert!(
+            snapshot().roots.is_empty(),
+            "a scope spanning reset must not resurrect"
+        );
+        // And the orphaned stack entry must not corrupt later parents.
+        {
+            let _fresh = scope("fresh");
+        }
+        let report = snapshot();
+        assert_eq!(report.roots.len(), 1);
+        assert_eq!(report.roots[0].name, "fresh");
+    }
+
+    #[test]
+    fn site_totals_merge_paths_and_sort_hottest_first() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        {
+            let _a = scope("a");
+            let _shared = scope("shared");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let _b = scope("b");
+            let _shared = scope("shared");
+        }
+        let report = snapshot();
+        let sites = report.site_totals();
+        let shared = sites.iter().find(|s| s.name == "shared").expect("merged");
+        assert_eq!(shared.calls, 2, "same name under two parents sums");
+        assert_eq!(sites[0].name, "shared", "hottest (2ms sleep) first");
+    }
+
+    #[test]
+    fn collapsed_stack_lines_carry_full_paths() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        {
+            let _a = scope("root_site");
+            let _b = scope("leaf");
+        }
+        let report = snapshot();
+        let folded = report.collapsed();
+        assert!(folded.contains("root_site "));
+        assert!(folded.contains("root_site;leaf "));
+        assert_eq!(folded.lines().count(), 2);
+        for line in folded.lines() {
+            let (_, value) = line.rsplit_once(' ').expect("`path value` shape");
+            value.parse::<u64>().expect("numeric self_ns");
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let _g = guard();
+        reset();
+        set_enabled(true);
+        {
+            let _a = scope("ser");
+            let _b = scope("de");
+        }
+        let report = snapshot();
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: ProfileReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, report);
+    }
+}

@@ -1617,6 +1617,7 @@ impl Soc {
     /// [`SocError::Memory`], [`SocError::HostStalled`]) raised by any
     /// job; the session is dead afterwards.
     pub fn advance_jobs(&mut self, horizon: Cycle) -> Result<SessionProgress, SocError> {
+        let _prof = mpsoc_sim::profile::scope("soc.session.advance");
         loop {
             if let Some(e) = self.fatal.take() {
                 return Err(e);

@@ -119,6 +119,71 @@ pub fn chrome_trace_json(trace: &EventTrace) -> String {
         .expect("trace values contain no non-finite floats")
 }
 
+/// The synthetic `pid` profile-tree tracks export under (the cycle
+/// exporter uses 1 for the SoC and 2 for the scheduler).
+const PROFILE_PID: u64 = 3;
+
+/// Builds a Chrome trace-event document for a wall-clock
+/// [`ProfileReport`](mpsoc_sim::profile::ProfileReport) as complete
+/// (`"X"`) events: each tree node becomes one slice whose duration is
+/// its inclusive wall time, children nested inside their parent by
+/// synthetic timestamps (sites aggregate many calls, so slice *offsets*
+/// are schematic while widths are real nanoseconds).
+pub fn profile_chrome_trace_value(report: &mpsoc_sim::profile::ProfileReport) -> Value {
+    let mut records: Vec<Value> = vec![
+        obj(vec![
+            ("name", str_value("process_name")),
+            ("ph", str_value("M")),
+            ("pid", Value::U64(PROFILE_PID)),
+            ("args", obj(vec![("name", str_value("profiler"))])),
+        ]),
+        obj(vec![
+            ("name", str_value("thread_name")),
+            ("ph", str_value("M")),
+            ("pid", Value::U64(PROFILE_PID)),
+            ("tid", Value::U64(0)),
+            ("args", obj(vec![("name", str_value("wall-clock tree"))])),
+        ]),
+    ];
+    // Pre-order emission yields non-decreasing `ts`: a child starts at
+    // its parent's cursor, and each sibling starts where the previous
+    // sibling's subtree ended.
+    fn emit(nodes: &[mpsoc_sim::profile::ProfileNode], start: u64, records: &mut Vec<Value>) {
+        let mut cursor = start;
+        for node in nodes {
+            records.push(obj(vec![
+                ("name", str_value(&node.name)),
+                ("cat", str_value("profile")),
+                ("ph", str_value("X")),
+                ("ts", Value::U64(cursor)),
+                ("dur", Value::U64(node.total_ns)),
+                ("pid", Value::U64(PROFILE_PID)),
+                ("tid", Value::U64(0)),
+                (
+                    "args",
+                    obj(vec![
+                        ("calls", Value::U64(node.calls)),
+                        ("self_ns", Value::U64(node.self_ns)),
+                    ]),
+                ),
+            ]));
+            emit(&node.children, cursor, records);
+            cursor += node.total_ns;
+        }
+    }
+    emit(&report.roots, 0, &mut records);
+    obj(vec![
+        ("displayTimeUnit", str_value("ns")),
+        ("traceEvents", Value::Array(records)),
+    ])
+}
+
+/// Serializes a profile report as pretty-printed Chrome trace JSON.
+pub fn profile_chrome_trace_json(report: &mpsoc_sim::profile::ProfileReport) -> String {
+    serde_json::to_string_pretty(&profile_chrome_trace_value(report))
+        .expect("profile values contain no non-finite floats")
+}
+
 /// What [`validate_chrome_trace`] found in a well-formed trace document.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChromeTraceSummary {
@@ -300,6 +365,43 @@ mod tests {
         t.end(Cycle::new(240), Unit::ClusterDma(0), EventKind::DmaOut, s);
         let json = chrome_trace_json(&t);
         validate_chrome_trace(&json).expect("sorted output validates");
+    }
+
+    #[test]
+    fn profile_export_nests_and_validates() {
+        use mpsoc_sim::profile::{ProfileNode, ProfileReport};
+        let report = ProfileReport {
+            roots: vec![ProfileNode {
+                name: "run".into(),
+                calls: 2,
+                total_ns: 1000,
+                self_ns: 400,
+                children: vec![
+                    ProfileNode {
+                        name: "dispatch".into(),
+                        calls: 8,
+                        total_ns: 350,
+                        self_ns: 350,
+                        children: vec![],
+                    },
+                    ProfileNode {
+                        name: "retire".into(),
+                        calls: 8,
+                        total_ns: 250,
+                        self_ns: 250,
+                        children: vec![],
+                    },
+                ],
+            }],
+        };
+        let json = profile_chrome_trace_json(&report);
+        let summary = validate_chrome_trace(&json).expect("valid");
+        assert_eq!(summary.events, 3, "one X slice per tree node");
+        assert!(json.contains("\"dur\": 1000"));
+        assert!(json.contains("\"calls\": 8"));
+        // The second child starts where the first ended, inside the parent.
+        assert!(json.contains("\"ts\": 350"));
+        assert_eq!(json, profile_chrome_trace_json(&report), "deterministic");
     }
 
     #[test]

@@ -31,10 +31,23 @@ pub mod event;
 pub mod fleet;
 pub mod phase;
 pub mod recorder;
+pub mod throughput;
 
-pub use chrome::{chrome_trace_json, validate_chrome_trace, ChromeTraceSummary};
+/// The wall-clock scoped self-profiler (RAII guards, per-site call
+/// tree, collapsed-stack export). Lives in `mpsoc-sim` so the lowest
+/// layers can host profiling sites without a dependency cycle;
+/// re-exported here because this crate owns its export surface
+/// ([`chrome::profile_chrome_trace_json`] and friends).
+pub use mpsoc_sim::profile;
+
+pub use chrome::{
+    chrome_trace_json, profile_chrome_trace_json, profile_chrome_trace_value,
+    validate_chrome_trace, ChromeTraceSummary,
+};
 pub use event::{EventKind, Mark, TraceEvent, Unit};
 pub use fleet::{aggregate_registries, merge_histograms, FleetView};
+pub use mpsoc_sim::profile::{ProfileNode, ProfileReport, SiteTotal};
 pub use mpsoc_sim::stats::{Histogram, StatsRegistry, Summary};
 pub use phase::{ModelTerms, PhaseBreakdown, ResidualAudit, TermResidual};
 pub use recorder::EventTrace;
+pub use throughput::{ThroughputMeter, ThroughputRow};

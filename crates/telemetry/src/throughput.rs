@@ -1,0 +1,148 @@
+//! Simulated-cycles-per-wall-second accounting: the simulator's own
+//! headline speed metric.
+//!
+//! A cycle-accurate simulator's performance is the ratio between the
+//! time it models and the time it takes: *simulated cycles per wall
+//! second*. The [`ThroughputMeter`] pairs those two domains per named
+//! component (a backend, a subsystem, a study cell) without ever letting
+//! wall time leak back into the cycle domain — the meter is observation
+//! only, so metered runs stay byte-identical to unmetered ones.
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use mpsoc_telemetry::throughput::ThroughputMeter;
+//!
+//! let mut meter = ThroughputMeter::new();
+//! meter.record("cosim", 2_000_000, Duration::from_millis(100));
+//! meter.record("cosim", 1_000_000, Duration::from_millis(50));
+//! let rows = meter.report();
+//! assert_eq!(rows[0].sim_cycles, 3_000_000);
+//! assert!((rows[0].cycles_per_wall_second - 2.0e7).abs() < 1.0e3);
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// One component's throughput over everything recorded for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputRow {
+    /// Component name (sorted in [`ThroughputMeter::report`] output).
+    pub component: String,
+    /// Total simulated cycles attributed to the component.
+    pub sim_cycles: u64,
+    /// Total wall-clock seconds spent producing them.
+    pub wall_seconds: f64,
+    /// `sim_cycles / wall_seconds` (0 when no wall time was recorded).
+    pub cycles_per_wall_second: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    sim_cycles: u64,
+    wall: Duration,
+}
+
+/// Accumulates `(simulated cycles, wall time)` pairs per component.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputMeter {
+    cells: BTreeMap<String, Cell>,
+}
+
+impl ThroughputMeter {
+    /// An empty meter.
+    pub fn new() -> Self {
+        ThroughputMeter::default()
+    }
+
+    /// Adds `sim_cycles` simulated in `wall` to `component`'s account.
+    pub fn record(&mut self, component: &str, sim_cycles: u64, wall: Duration) {
+        let cell = self.cells.entry(component.to_owned()).or_default();
+        cell.sim_cycles += sim_cycles;
+        cell.wall += wall;
+    }
+
+    /// Runs `f`, attributing its wall time and returned cycle count to
+    /// `component`; yields the closure's payload.
+    pub fn measure<T>(&mut self, component: &str, f: impl FnOnce() -> (u64, T)) -> T {
+        let start = std::time::Instant::now();
+        let (cycles, value) = f();
+        self.record(component, cycles, start.elapsed());
+        value
+    }
+
+    /// Whether anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Per-component rows, name-sorted (deterministic shape; the
+    /// wall-clock figures belong in `BENCH_*` side artifacts only).
+    pub fn report(&self) -> Vec<ThroughputRow> {
+        self.cells
+            .iter()
+            .map(|(component, cell)| {
+                let wall_seconds = cell.wall.as_secs_f64();
+                ThroughputRow {
+                    component: component.clone(),
+                    sim_cycles: cell.sim_cycles,
+                    wall_seconds,
+                    cycles_per_wall_second: if wall_seconds > 0.0 {
+                        cell.sim_cycles as f64 / wall_seconds
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_component_and_sorts() {
+        let mut m = ThroughputMeter::new();
+        m.record("b", 100, Duration::from_secs(1));
+        m.record("a", 50, Duration::from_secs(2));
+        m.record("b", 300, Duration::from_secs(1));
+        let rows = m.report();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].component, "a");
+        assert_eq!(rows[1].sim_cycles, 400);
+        assert_eq!(rows[1].cycles_per_wall_second, 200.0);
+    }
+
+    #[test]
+    fn zero_wall_time_reports_zero_rate_not_nan() {
+        let mut m = ThroughputMeter::new();
+        m.record("instant", 500, Duration::ZERO);
+        let rows = m.report();
+        assert_eq!(rows[0].cycles_per_wall_second, 0.0);
+    }
+
+    #[test]
+    fn measure_attributes_closure_cycles() {
+        let mut m = ThroughputMeter::new();
+        let out = m.measure("cell", || (1234, "payload"));
+        assert_eq!(out, "payload");
+        let rows = m.report();
+        assert_eq!(rows[0].sim_cycles, 1234);
+        assert!(rows[0].wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn rows_round_trip_through_serde() {
+        let mut m = ThroughputMeter::new();
+        m.record("x", 10, Duration::from_millis(5));
+        let rows = m.report();
+        let json = serde_json::to_string(&rows).expect("serialize");
+        let back: Vec<ThroughputRow> = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, rows);
+    }
+}
