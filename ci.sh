@@ -17,6 +17,15 @@ cargo test -q
 echo "==> lint_kernels --deny-warnings (static verification of the kernel zoo)"
 cargo run --release -q -p mpsoc-bench --bin lint_kernels -- --deny-warnings
 
+echo "==> forbid(unsafe_code) gate (every workspace crate must carry the attribute)"
+for lib in crates/*/src/lib.rs; do
+    grep -q '^#!\[forbid(unsafe_code)\]' "$lib" \
+        || { echo "missing #![forbid(unsafe_code)] in $lib"; exit 1; }
+done
+
+echo "==> rustdoc -D warnings (mpsoc-lint API docs must stay clean)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q -p mpsoc-lint --no-deps
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
@@ -86,6 +95,30 @@ test -s "$trace_dir/throughput_a.json"
 test -s "$trace_dir/throughput.folded"
 test -s "$trace_dir/throughput.trace.json"
 cmp "$trace_dir/throughput_a.json" "$trace_dir/throughput_b.json"
+
+echo "==> lint_kernels smoke test (determinism-gated like the other studies)"
+cargo run --release -q -p mpsoc-bench --bin lint_kernels -- \
+    --smoke --deny-warnings --json "$trace_dir/lint_a.json"
+cargo run --release -q -p mpsoc-bench --bin lint_kernels -- \
+    --smoke --deny-warnings --json "$trace_dir/lint_b.json"
+test -s "$trace_dir/lint_a.json"
+cmp "$trace_dir/lint_a.json" "$trace_dir/lint_b.json"
+
+echo "==> cost_study smoke test (static bounds soundness, determinism-gated)"
+# The binary asserts soundness itself: simulator-measured cycles and all
+# five phase milestones inside the static [best, worst] in every zoo ×
+# size × strategy cell, host path included, plus a co-simulated
+# two-tenant witness under the contention-widened worst bound. Two runs
+# must serialize byte-identically, and the replay sanitizer re-checks
+# the recorded phase breakdowns against freshly computed bounds.
+cargo run --release -q -p mpsoc-bench --bin cost_study -- \
+    --smoke --json "$trace_dir/cost_a.json"
+cargo run --release -q -p mpsoc-bench --bin cost_study -- \
+    --smoke --json "$trace_dir/cost_b.json"
+test -s "$trace_dir/cost_a.json"
+cmp "$trace_dir/cost_a.json" "$trace_dir/cost_b.json"
+cargo run --release -q -p mpsoc-bench --bin cost_study -- \
+    --replay "$trace_dir/cost_a.json"
 
 echo "==> profiling-off byte-identity (MPSOC_PROFILE=0 must not change results)"
 # The profiler's disabled path is a single branch per scope; proving it

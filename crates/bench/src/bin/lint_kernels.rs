@@ -6,8 +6,12 @@
 //! fail the run too (this is how CI runs it).
 //!
 //! ```text
-//! cargo run --release -p mpsoc-bench --bin lint_kernels [-- --deny-warnings] [-- --json out.json]
+//! cargo run --release -p mpsoc-bench --bin lint_kernels \
+//!     [-- --deny-warnings] [-- --smoke] [-- --json out.json]
 //! ```
+//!
+//! `--smoke` shrinks the size sweep for CI determinism gating (two runs
+//! must serialize byte-identically), matching the other study binaries.
 
 use std::fs;
 use std::path::Path;
@@ -51,6 +55,8 @@ fn zoo() -> Vec<Box<dyn Kernel>> {
 
 fn main() -> ExitCode {
     let deny_warnings = std::env::args().any(|a| a == "--deny-warnings");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[u64] = if smoke { &[1, 64, 250] } else { &SIZES };
     let cx = LintContext::manticore();
     let mut rows: Vec<LintRow> = Vec::new();
     let mut failures = String::new();
@@ -63,7 +69,7 @@ fn main() -> ExitCode {
             warnings: 0,
             errors: 0,
         };
-        for elems in SIZES {
+        for &elems in sizes {
             let slices = reference_slices(kernel.as_ref(), elems, CORES);
             for diag in lint_core_tiles(kernel.as_ref(), &slices) {
                 row.errors += 1;

@@ -73,6 +73,14 @@ pub enum DiagCode {
     /// L016: `ssr.cfg` names a stream index the core does not have
     /// (only streams 0–2 exist; anything else faults at issue).
     SsrBadStream,
+    /// L020: the cost analyzer cannot bound a loop's trip count (the
+    /// branch counter is not a single countdown of a positive literal,
+    /// or the decrement does not divide the initial value).
+    UnboundableLoop,
+    /// L021: control flow the cost analyzer cannot reduce to nested
+    /// counted loops (forward branches, overlapping loop regions, or a
+    /// halt inside a loop body).
+    UnstructuredFlow,
     /// L101: two cores' TCDM tiles race (write-write or read-write
     /// overlap with no barrier between them).
     TileOverlap,
@@ -85,7 +93,7 @@ pub enum DiagCode {
 
 impl DiagCode {
     /// Every code, in code order.
-    pub const ALL: [DiagCode; 19] = [
+    pub const ALL: [DiagCode; 21] = [
         DiagCode::UseBeforeDef,
         DiagCode::DeadStore,
         DiagCode::UnreachableOp,
@@ -102,6 +110,8 @@ impl DiagCode {
         DiagCode::SsrCountMismatch,
         DiagCode::BranchOutOfRange,
         DiagCode::SsrBadStream,
+        DiagCode::UnboundableLoop,
+        DiagCode::UnstructuredFlow,
         DiagCode::TileOverlap,
         DiagCode::MaskOverlap,
         DiagCode::DeadlineInfeasible,
@@ -126,6 +136,8 @@ impl DiagCode {
             DiagCode::SsrCountMismatch => "L014",
             DiagCode::BranchOutOfRange => "L015",
             DiagCode::SsrBadStream => "L016",
+            DiagCode::UnboundableLoop => "L020",
+            DiagCode::UnstructuredFlow => "L021",
             DiagCode::TileOverlap => "L101",
             DiagCode::MaskOverlap => "L102",
             DiagCode::DeadlineInfeasible => "L103",
@@ -138,7 +150,9 @@ impl DiagCode {
             DiagCode::DeadStore
             | DiagCode::UnreachableOp
             | DiagCode::BankConflictStride
-            | DiagCode::SsrZeroElements => Severity::Warning,
+            | DiagCode::SsrZeroElements
+            | DiagCode::UnboundableLoop
+            | DiagCode::UnstructuredFlow => Severity::Warning,
             _ => Severity::Error,
         }
     }

@@ -13,6 +13,7 @@
 //! | [`CfgLint`] | L003, L007–L009, L015 | control flow is well-formed: no unreachable ops, FREP bodies are FPU-only with sane geometry, branches land inside the program and never into a hardware-loop body |
 //! | [`DataflowLint`] | L001, L002 | every register read is dominated by a write; every write is observable |
 //! | [`SsrLint`] | L004–L006, L013, L014, L016 | the SSR enable/config protocol is respected and stream element counts add up |
+//! | [`cost::CostLint`] | L020, L021 | control flow reduces to nested counted loops, so the static cost analyzer ([`bound_program`]) can produce sound cycle bounds |
 //! | [`MemLint`] | L010–L012 | statically-resolvable addresses (interval abstract interpretation) stay inside the TCDM, aligned, and off pathological bank strides |
 //!
 //! ## Descriptor-level checks
@@ -61,6 +62,7 @@
 #![allow(clippy::too_many_lines)]
 
 mod cfg;
+pub mod cost;
 mod dataflow;
 pub mod descriptor;
 mod diag;
@@ -69,6 +71,10 @@ mod mem;
 mod ssr;
 
 pub use cfg::{Cfg, CfgLint, FrepExtent};
+pub use cost::{
+    bound_host_run, bound_offload, bound_program, bound_program_widened, loop_structure,
+    ContentionEnvelope, CostError, CostLint, CycleBounds, OffloadBounds, ProgramCost, Seg,
+};
 pub use dataflow::DataflowLint;
 pub use diag::{DiagCode, Diagnostic, LintReport, Severity};
 pub use interval::Value;
@@ -141,6 +147,7 @@ impl Linter {
                 Box::new(DataflowLint),
                 Box::new(SsrLint),
                 Box::new(MemLint),
+                Box::new(cost::CostLint),
             ],
         }
     }
@@ -188,7 +195,10 @@ mod tests {
     #[test]
     fn default_linter_registers_all_passes() {
         let linter = Linter::new(LintContext::default());
-        assert_eq!(linter.pass_names(), vec!["cfg", "dataflow", "ssr", "mem"]);
+        assert_eq!(
+            linter.pass_names(),
+            vec!["cfg", "dataflow", "ssr", "mem", "cost"]
+        );
     }
 
     #[test]

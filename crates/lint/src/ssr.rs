@@ -302,7 +302,7 @@ mod tests {
         diags.iter().map(|d| d.code).collect()
     }
 
-    /// The canonical DaxpySsr shape: cfg ×3, enable, frep'd fmadd,
+    /// The canonical `DaxpySsr` shape: cfg ×3, enable, frep'd fmadd,
     /// disable, halt.
     fn daxpy_ssr(elems: u64) -> Program {
         let mut b = ProgramBuilder::new();

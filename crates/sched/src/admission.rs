@@ -40,6 +40,15 @@ pub enum RejectReason {
         /// Healthy (non-quarantined) clusters remaining.
         healthy: u64,
     },
+    /// The deadline is below the *static best-case* runtime bound
+    /// ([`mpsoc_lint::bound_offload`]) at every cluster count and
+    /// strategy, and below the host path's static best case: no
+    /// schedule can meet it regardless of what the learned Eq. 1 model
+    /// predicts. Checked before Eq. 3 when a cost gate is enabled.
+    StaticInfeasible {
+        /// The smallest statically-possible runtime on this machine.
+        best: u64,
+    },
     /// The job is feasible but the shard's admitted-but-unstarted queue
     /// is at its configured cap — serving-side backpressure, distinct
     /// from the model-side reasons above (a balancer may retry it on
@@ -60,6 +69,7 @@ impl RejectReason {
             RejectReason::NotEnoughClusters { .. } => "not_enough_clusters",
             RejectReason::ProgramLint { .. } => "program_lint",
             RejectReason::DegradedMachine { .. } => "degraded_machine",
+            RejectReason::StaticInfeasible { .. } => "static_infeasible",
             RejectReason::QueueFull { .. } => "queue_full",
         }
     }

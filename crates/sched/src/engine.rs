@@ -36,6 +36,7 @@ use mpsoc_telemetry::{EventKind, EventTrace, Unit};
 use crate::admission::{AdmissionController, AdmissionDecision, RejectReason};
 use crate::alloc::Allocator;
 use crate::calibrate::ModelTable;
+use crate::cost_gate::CostGate;
 use crate::error::SchedError;
 use crate::job::Job;
 use crate::lint_gate::LintGate;
@@ -53,6 +54,7 @@ pub struct Engine {
     quarantined: ClusterMask,
     telemetry: EventTrace,
     lint_gate: Option<LintGate>,
+    cost_gate: Option<CostGate>,
 }
 
 /// A job in flight on a carved partition.
@@ -82,6 +84,7 @@ impl Engine {
             quarantined: ClusterMask::EMPTY,
             telemetry: EventTrace::disabled(),
             lint_gate: None,
+            cost_gate: None,
         }
     }
 
@@ -142,6 +145,15 @@ impl Engine {
     /// [`RejectReason::ProgramLint`] before admission control runs.
     pub fn enable_lint(&mut self, gate: LintGate) {
         self.lint_gate = Some(gate);
+    }
+
+    /// Enables static cost verification at admission: jobs whose
+    /// deadline undercuts the *static best-case* runtime bound at every
+    /// cluster count, strategy, and the host path are rejected with
+    /// [`RejectReason::StaticInfeasible`] before Eq. 3 runs. Verdicts
+    /// are memoized per kernel and problem size.
+    pub fn enable_cost(&mut self, gate: CostGate) {
+        self.cost_gate = Some(gate);
     }
 
     /// The admission controller in use.
@@ -255,6 +267,26 @@ impl Engine {
                             job: *job,
                             outcome: JobOutcome::Rejected {
                                 reason: RejectReason::ProgramLint { errors },
+                            },
+                            contention_cycles: 0,
+                            retries: 0,
+                            faults_observed: 0,
+                        });
+                        continue;
+                    }
+                }
+                if let Some(gate) = self.cost_gate.as_mut() {
+                    if let Some(best) = gate.check(job) {
+                        self.telemetry.instant(
+                            Cycle::new(now),
+                            Unit::SchedHost,
+                            EventKind::Reject,
+                            job.id,
+                        );
+                        records.push(JobRecord {
+                            job: *job,
+                            outcome: JobOutcome::Rejected {
+                                reason: RejectReason::StaticInfeasible { best },
                             },
                             contention_cycles: 0,
                             retries: 0,
@@ -543,6 +575,26 @@ impl Engine {
                             job: *job,
                             outcome: JobOutcome::Rejected {
                                 reason: RejectReason::ProgramLint { errors },
+                            },
+                            contention_cycles: 0,
+                            retries: 0,
+                            faults_observed: 0,
+                        });
+                        continue;
+                    }
+                }
+                if let Some(gate) = self.cost_gate.as_mut() {
+                    if let Some(best) = gate.check(job) {
+                        self.telemetry.instant(
+                            Cycle::new(now),
+                            Unit::SchedHost,
+                            EventKind::Reject,
+                            job.id,
+                        );
+                        records.push(JobRecord {
+                            job: *job,
+                            outcome: JobOutcome::Rejected {
+                                reason: RejectReason::StaticInfeasible { best },
                             },
                             contention_cycles: 0,
                             retries: 0,

@@ -58,6 +58,7 @@
 mod admission;
 mod alloc;
 mod calibrate;
+mod cost_gate;
 mod engine;
 mod error;
 mod job;
@@ -71,6 +72,7 @@ mod workload;
 pub use admission::{AdmissionController, AdmissionDecision, RejectReason};
 pub use alloc::Allocator;
 pub use calibrate::{calibrate, CalibrationGrid, KernelModel, ModelTable};
+pub use cost_gate::CostGate;
 pub use engine::Engine;
 pub use error::SchedError;
 pub use job::{Job, KernelId};
@@ -81,5 +83,5 @@ pub use policy::{
     SchedContext, SchedPolicy, SmallestFirst,
 };
 pub use service::ServiceBackend;
-pub use shard::{ShardDecision, ShardSim, COSIM_MAX_REDISPATCH};
+pub use shard::{CostCheck, ShardDecision, ShardSim, COSIM_MAX_REDISPATCH};
 pub use workload::{ArrivalPattern, Workload};

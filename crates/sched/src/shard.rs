@@ -42,6 +42,7 @@ use mpsoc_sim::Cycle;
 use crate::admission::{AdmissionController, AdmissionDecision, RejectReason};
 use crate::alloc::Allocator;
 use crate::calibrate::ModelTable;
+use crate::cost_gate::CostGate;
 use crate::error::SchedError;
 use crate::job::Job;
 use crate::metrics::{JobOutcome, JobRecord};
@@ -77,6 +78,21 @@ pub enum ShardDecision {
         /// Why.
         reason: RejectReason,
     },
+}
+
+/// The learned Eq. 1 prediction for one admitted job next to its static
+/// `[best, worst]` envelope at the admission-time `M_min` — the
+/// residual signal a serving front-end aggregates to detect model
+/// drift (a prediction outside the envelope is provably mis-calibrated
+/// for solo execution).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostCheck {
+    /// Static best-case total at `M_min` (cycles).
+    pub best: u64,
+    /// Static worst-case total at `M_min` (cycles).
+    pub worst: u64,
+    /// The Eq. 1 model's predicted runtime at `M_min` (cycles).
+    pub predicted: f64,
 }
 
 /// One job in flight (placed on a partition, or a scheduled host run).
@@ -115,6 +131,8 @@ pub struct ShardSim {
     backlog_cycles: f64,
     busy_cluster_cycles: u64,
     completed_jobs: u64,
+    cost_gate: Option<CostGate>,
+    last_cost_check: Option<CostCheck>,
 }
 
 impl ShardSim {
@@ -147,7 +165,25 @@ impl ShardSim {
             backlog_cycles: 0.0,
             busy_cluster_cycles: 0,
             completed_jobs: 0,
+            cost_gate: None,
+            last_cost_check: None,
         }
+    }
+
+    /// Enables static cost verification: offered jobs whose deadline
+    /// undercuts the static best-case runtime bound are rejected with
+    /// [`RejectReason::StaticInfeasible`] before Eq. 3 runs, and every
+    /// queued admission records a [`CostCheck`] residual (see
+    /// [`ShardSim::take_cost_check`]).
+    pub fn enable_cost(&mut self, gate: CostGate) {
+        self.cost_gate = Some(gate);
+    }
+
+    /// Takes the prediction-vs-static-bounds residual of the most recent
+    /// queued admission, if a cost gate is enabled and the bounds were
+    /// computable. Cleared on read so callers see each admission once.
+    pub fn take_cost_check(&mut self) -> Option<CostCheck> {
+        self.last_cost_check.take()
     }
 
     /// Caps the admitted-but-unstarted queue: once `limit` jobs wait,
@@ -279,6 +315,13 @@ impl ShardSim {
     /// Service-backend failures measuring or submitting the job.
     pub fn offer(&mut self, job: Job) -> Result<ShardDecision, SchedError> {
         self.now = self.now.max(job.arrival);
+        if let Some(gate) = self.cost_gate.as_mut() {
+            if let Some(best) = gate.check(&job) {
+                let reason = RejectReason::StaticInfeasible { best };
+                self.push_rejection(job, reason);
+                return Ok(ShardDecision::Rejected { reason });
+            }
+        }
         let decision = match self.admission.admit(&job) {
             AdmissionDecision::Offload { m_min, predicted } => {
                 if self
@@ -297,6 +340,15 @@ impl ShardSim {
                         predicted,
                     });
                     self.backlog_cycles += predicted * m_min as f64;
+                    if let Some(gate) = self.cost_gate.as_mut() {
+                        self.last_cost_check = gate
+                            .envelope(job.kernel, job.n, m_min as usize)
+                            .map(|env| CostCheck {
+                                best: env.best,
+                                worst: env.worst,
+                                predicted,
+                            });
+                    }
                     self.dispatch()?;
                     ShardDecision::Queued { m_min, predicted }
                 }

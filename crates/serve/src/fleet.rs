@@ -32,8 +32,8 @@
 //! [`RejectReason::QueueFull`]: mpsoc_sched::RejectReason::QueueFull
 
 use mpsoc_sched::{
-    FifoFirstFit, Job, JobOutcome, JobRecord, KernelId, ModelTable, RejectReason, SchedError,
-    ServiceBackend, ShardDecision, ShardSim,
+    CostGate, FifoFirstFit, Job, JobOutcome, JobRecord, KernelId, ModelTable, RejectReason,
+    SchedError, ServiceBackend, ShardDecision, ShardSim,
 };
 use mpsoc_telemetry::{FleetView, StatsRegistry};
 use serde::{Deserialize, Serialize};
@@ -153,6 +153,21 @@ impl Fleet {
         }
     }
 
+    /// Arms every shard with a static cost gate ([`CostGate`]): jobs
+    /// whose deadline undercuts the static best-case runtime bound are
+    /// rejected with `serve.reject.static_infeasible`, and each queued
+    /// admission's Eq. 1 prediction is audited against the static
+    /// `[best, worst]` envelope at its `M_min` — `serve.cost.checked`
+    /// counts audits, `serve.cost.pred_below_best` /
+    /// `serve.cost.pred_above_worst` count predictions that left the
+    /// provable envelope (the model-drift alarm signal). Opt-in: the
+    /// analysis runs once per distinct (kernel, n) per shard.
+    pub fn enable_cost_gates(&mut self) {
+        for shard in &mut self.shards {
+            shard.enable_cost(CostGate::manticore());
+        }
+    }
+
     /// The fleet's configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.config
@@ -230,6 +245,15 @@ impl Fleet {
         match decision {
             ShardDecision::Queued { .. } | ShardDecision::Host { .. } => {
                 self.stats[shard].incr("serve.accepted");
+                if let Some(check) = self.shards[shard].take_cost_check() {
+                    self.stats[shard].incr("serve.cost.checked");
+                    if check.predicted < check.best as f64 {
+                        self.stats[shard].incr("serve.cost.pred_below_best");
+                    }
+                    if check.predicted > check.worst as f64 {
+                        self.stats[shard].incr("serve.cost.pred_above_worst");
+                    }
+                }
             }
             ShardDecision::Rejected { reason } => {
                 self.stats[shard].incr("serve.rejected");
@@ -375,6 +399,38 @@ mod tests {
 
     fn fleet(placement: PlacementPolicy) -> Fleet {
         Fleet::analytic(config(placement), &ModelTable::paper_defaults())
+    }
+
+    #[test]
+    fn cost_gates_reject_static_infeasible_and_audit_predictions() {
+        let mut f = fleet(PlacementPolicy::RoundRobin);
+        f.enable_cost_gates();
+
+        // A one-cycle deadline is below the static best case of any
+        // path; the gate fires before Eq. 3 even sees the job.
+        let (shard, d) = f.submit(KernelId::Daxpy, 4_096, 1, 0).expect("submit");
+        match d {
+            ShardDecision::Rejected {
+                reason: RejectReason::StaticInfeasible { best },
+            } => assert!(best > 1),
+            other => panic!("expected static-infeasible rejection, got {other:?}"),
+        }
+        assert_eq!(
+            f.shard_stats()[shard as usize].counter("serve.reject.static_infeasible"),
+            1
+        );
+
+        // A generous deadline passes the gate; the queued admission is
+        // audited against the static envelope.
+        let (shard, d) = f
+            .submit(KernelId::Daxpy, 4_096, 10_000_000, 10)
+            .expect("submit");
+        assert!(matches!(d, ShardDecision::Queued { .. }));
+        assert_eq!(
+            f.shard_stats()[shard as usize].counter("serve.cost.checked"),
+            1
+        );
+        f.drain().expect("drain");
     }
 
     #[test]

@@ -191,6 +191,59 @@ mod tests {
     }
 
     #[test]
+    fn every_reject_reason_has_a_distinct_sorted_counter_key() {
+        use mpsoc_sched::RejectReason;
+        // One instance per variant. The exhaustive match below makes
+        // this test fail to *compile* when a variant is added without
+        // being listed here — and listing it forces a counter key.
+        let all = [
+            RejectReason::Infeasible,
+            RejectReason::NotEnoughClusters { required: 4 },
+            RejectReason::ProgramLint { errors: 2 },
+            RejectReason::DegradedMachine {
+                required: 8,
+                healthy: 3,
+            },
+            RejectReason::StaticInfeasible { best: 500 },
+            RejectReason::QueueFull { depth: 7 },
+        ];
+        for reason in &all {
+            match reason {
+                RejectReason::Infeasible
+                | RejectReason::NotEnoughClusters { .. }
+                | RejectReason::ProgramLint { .. }
+                | RejectReason::DegradedMachine { .. }
+                | RejectReason::StaticInfeasible { .. }
+                | RejectReason::QueueFull { .. } => {}
+            }
+        }
+        let mut keys: Vec<&str> = all.iter().map(RejectReason::counter_key).collect();
+        let unsorted = keys.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), all.len(), "counter keys collide: {unsorted:?}");
+        assert_eq!(
+            keys,
+            [
+                "degraded_machine",
+                "infeasible",
+                "not_enough_clusters",
+                "program_lint",
+                "queue_full",
+                "static_infeasible",
+            ],
+            "stable sorted exposition names"
+        );
+        // Each key renders as a valid Prometheus label value.
+        for key in keys {
+            assert!(
+                key.bytes().all(|b| b.is_ascii_lowercase() || b == b'_'),
+                "{key:?} is not snake_case"
+            );
+        }
+    }
+
+    #[test]
     fn throughput_rows_render_with_component_labels() {
         let r = report();
         let rows = vec![ThroughputRow {

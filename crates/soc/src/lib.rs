@@ -89,6 +89,7 @@ pub use host::{HostOp, HostProgram};
 pub use mpsoc_faults::{
     FaultInjector, FaultKind, FaultPlan, FaultRecord, FaultStats, OutageWindow, SiteSpec,
 };
+pub use mpsoc_mem::BankMode;
 pub use mpsoc_telemetry::{EventKind, EventTrace, Mark, PhaseBreakdown, TraceEvent, Unit};
 pub use outcome::{OffloadOutcome, PhaseTimestamps};
 pub use soc::{
