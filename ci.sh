@@ -120,6 +120,24 @@ cmp "$trace_dir/cost_a.json" "$trace_dir/cost_b.json"
 cargo run --release -q -p mpsoc-bench --bin cost_study -- \
     --replay "$trace_dir/cost_a.json"
 
+echo "==> chaos_study smoke test (fleet self-healing, determinism-gated)"
+# The binary asserts the self-healing claims itself: auto-quarantine
+# fires mid-stream with no explicit quarantine call, zero-fault plans
+# reproduce the no-plan fleet byte-for-byte, and at the overloaded
+# witness cell quarantine+failover+redirect attainment beats
+# no-recovery by >= 15%. Two runs must serialize byte-identically —
+# fault injection, strikes, and evacuation are all pure functions of
+# the seed — and the replay sanitizer re-computes the recorded grid
+# from its own scale stamp and demands the same bytes.
+cargo run --release -q -p mpsoc-bench --bin chaos_study -- \
+    --smoke --json "$trace_dir/chaos_a.json"
+cargo run --release -q -p mpsoc-bench --bin chaos_study -- \
+    --smoke --json "$trace_dir/chaos_b.json"
+test -s "$trace_dir/chaos_a.json"
+cmp "$trace_dir/chaos_a.json" "$trace_dir/chaos_b.json"
+cargo run --release -q -p mpsoc-bench --bin chaos_study -- \
+    --replay "$trace_dir/chaos_a.json"
+
 echo "==> profiling-off byte-identity (MPSOC_PROFILE=0 must not change results)"
 # The profiler's disabled path is a single branch per scope; proving it
 # cannot leak into cycle-domain output: profiled and unprofiled smoke

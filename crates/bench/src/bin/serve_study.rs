@@ -230,6 +230,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     queue_limit: QUEUE_LIMIT,
                     placement,
                     steal: true,
+                    redirect_budget: 0,
+                    failover: false,
                 };
                 let (row, slo) = run_cell(&table, config, load, jobs_per_cell, false)?;
                 let util = slo.per_shard.iter().map(|s| s.utilization).sum::<f64>()
@@ -260,6 +262,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 queue_limit: QUEUE_LIMIT,
                 placement: PlacementPolicy::RoundRobin,
                 steal,
+                redirect_budget: 0,
+                failover: false,
             };
             let (row, _) = run_cell(&table, config, 1.0, jobs_per_cell, false)?;
             ablation.push(row);
@@ -286,6 +290,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         queue_limit: 64,
         placement: PlacementPolicy::LeastLoaded,
         steal: true,
+        redirect_budget: 0,
+        failover: false,
     };
     let (witness, witness_slo) = run_cell(&table, witness_config, 1.2, witness_jobs, true)?;
     assert_eq!(
@@ -311,6 +317,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         queue_limit: QUEUE_LIMIT,
         placement: ALL_PLACEMENTS[0],
         steal: true,
+        redirect_budget: 0,
+        failover: false,
     };
     let (replay, _) = run_cell(&table, replay_config, loads[0], jobs_per_cell, false)?;
     assert_eq!(

@@ -171,6 +171,8 @@ fn assert_daemon_stats_exact() -> Result<(), Box<dyn std::error::Error>> {
             queue_limit: 8,
             placement: PlacementPolicy::LeastLoaded,
             steal: true,
+            redirect_budget: 0,
+            failover: false,
         },
         &ModelTable::paper_defaults(),
     );

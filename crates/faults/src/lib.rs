@@ -227,6 +227,17 @@ pub struct FaultPlan {
     pub dma_stall_cycles: u64,
     /// Clusters that never wake, as a bitmask (bit `i` = cluster `i`).
     pub dead_clusters: u64,
+    /// Clusters with a *flaky* DMA engine, as a bitmask: every DMA burst
+    /// on a flaky cluster rolls an extra per-cluster corruption die at
+    /// [`FaultPlan::flaky_corrupt_rate`]. Unlike the machine-wide
+    /// [`FaultPlan::dma_corrupt`] site, corruption is correlated with
+    /// the cluster — the hardware-degradation signature that
+    /// strike-based quarantine exists to catch. Unlike
+    /// [`FaultPlan::dead_clusters`], a flaky cluster still completes
+    /// work, so sessions make progress while recovery pays per-attempt.
+    pub flaky_clusters: u64,
+    /// Per-burst corruption probability on flaky clusters, in `[0, 1]`.
+    pub flaky_corrupt_rate: f64,
     /// Transient NoC link outages.
     pub noc_outages: Vec<OutageWindow>,
 }
@@ -246,6 +257,8 @@ impl FaultPlan {
             amo_drop: SiteSpec::off(),
             dma_stall_cycles: 0,
             dead_clusters: 0,
+            flaky_clusters: 0,
+            flaky_corrupt_rate: 0.0,
             noc_outages: Vec::new(),
         }
     }
@@ -268,7 +281,45 @@ impl FaultPlan {
             && !self.dma_stall.is_armed()
             && !self.amo_drop.is_armed()
             && self.dead_clusters == 0
+            && !self.flaky_is_armed()
             && self.noc_outages.is_empty()
+    }
+
+    /// Whether any cluster can roll the flaky-DMA corruption die.
+    pub fn flaky_is_armed(&self) -> bool {
+        self.flaky_clusters != 0 && self.flaky_corrupt_rate > 0.0
+    }
+
+    /// Whether `cluster` carries a flaky DMA engine under this plan.
+    pub fn cluster_is_flaky(&self, cluster: usize) -> bool {
+        cluster < 64 && (self.flaky_clusters >> cluster) & 1 == 1 && self.flaky_corrupt_rate > 0.0
+    }
+
+    /// Builds the live per-cluster flaky-corruption site. Each cluster
+    /// gets an independent PRF stream (the DMA-corrupt salt mixed with
+    /// the cluster index), so flaky clusters never fault in lockstep and
+    /// the sequence per cluster is a pure function of `(seed, cluster,
+    /// occurrence)` — byte-identical across processes, like every other
+    /// site.
+    pub fn flaky_site(&self, cluster: usize) -> FaultSite {
+        assert!(
+            (0.0..=1.0).contains(&self.flaky_corrupt_rate),
+            "flaky_corrupt_rate must be in [0, 1]"
+        );
+        FaultSite {
+            seed: self.seed,
+            salt: FaultKind::DmaCorrupt
+                .salt()
+                .wrapping_add((cluster as u64 + 1).wrapping_mul(MIX)),
+            rate: if self.cluster_is_flaky(cluster) {
+                self.flaky_corrupt_rate
+            } else {
+                0.0
+            },
+            forced: Vec::new(),
+            occurrences: 0,
+            fired: 0,
+        }
     }
 
     /// The spec of one stochastic site.
@@ -461,6 +512,7 @@ pub struct FaultInjector {
     credit_loss: FaultSite,
     dma_corrupt: FaultSite,
     dma_stall: FaultSite,
+    flaky: Vec<FaultSite>,
     records: Vec<FaultRecord>,
     stats: FaultStats,
 }
@@ -475,6 +527,7 @@ impl FaultInjector {
             credit_loss: plan.site(FaultKind::CreditLoss),
             dma_corrupt: plan.site(FaultKind::DmaCorrupt),
             dma_stall: plan.site(FaultKind::DmaStall),
+            flaky: Vec::new(),
             records: Vec::new(),
             stats: FaultStats::default(),
             plan,
@@ -535,6 +588,27 @@ impl FaultInjector {
             job,
         });
         self.stats.bump(kind);
+    }
+
+    /// Rolls the per-cluster flaky-DMA corruption die for one burst on
+    /// `cluster`; on a hit, logs it as a [`FaultKind::DmaCorrupt`].
+    /// Clusters outside [`FaultPlan::flaky_clusters`] (and every cluster
+    /// of an unarmed plan) return `false` on a single branch — per-site
+    /// state is built lazily, so the no-op guarantee holds.
+    pub fn flaky_fire(&mut self, at: Cycle, cluster: usize, job: u64) -> bool {
+        if !self.plan.cluster_is_flaky(cluster) {
+            return false;
+        }
+        while self.flaky.len() <= cluster {
+            let next = self.flaky.len();
+            self.flaky.push(self.plan.flaky_site(next));
+        }
+        if self.flaky[cluster].fire() {
+            self.note(FaultKind::DmaCorrupt, at, Some(cluster), job);
+            true
+        } else {
+            false
+        }
     }
 
     /// Whether `cluster` is configured to never wake.
@@ -697,12 +771,75 @@ mod tests {
     }
 
     #[test]
+    fn flaky_corruption_is_cluster_local_and_deterministic() {
+        let mut plan = FaultPlan::with_seed(0xF1A);
+        plan.flaky_clusters = 0b0101; // clusters 0 and 2 are flaky
+        plan.flaky_corrupt_rate = 0.5;
+        assert!(!plan.is_noop());
+        let draw = |cluster: usize| -> Vec<bool> {
+            let mut inj = FaultInjector::new(plan.clone());
+            (0..64)
+                .map(|_| inj.flaky_fire(Cycle::ZERO, cluster, 7))
+                .collect()
+        };
+        // Deterministic per cluster, decorrelated across clusters.
+        assert_eq!(draw(0), draw(0));
+        assert_ne!(draw(0), draw(2));
+        assert!(draw(0).iter().any(|&hit| hit));
+        // A healthy cluster never rolls the die.
+        assert!(draw(1).iter().all(|&hit| !hit));
+        assert!(draw(64).iter().all(|&hit| !hit));
+    }
+
+    #[test]
+    fn flaky_hits_are_logged_as_dma_corruption() {
+        let mut plan = FaultPlan::with_seed(2);
+        plan.flaky_clusters = 0b10;
+        plan.flaky_corrupt_rate = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.flaky_fire(Cycle::new(9), 1, 42));
+        assert_eq!(inj.stats().dma_corrupt, 1);
+        assert_eq!(inj.records().len(), 1);
+        assert_eq!(inj.records()[0].kind, FaultKind::DmaCorrupt);
+        assert_eq!(inj.records()[0].cluster, Some(1));
+        assert_eq!(inj.records()[0].job, 42);
+    }
+
+    #[test]
+    fn flaky_bitmask_without_a_rate_stays_a_noop() {
+        let mut plan = FaultPlan::with_seed(5);
+        plan.flaky_clusters = 0b111;
+        assert!(plan.is_noop(), "rate 0 keeps the plan inert");
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..16 {
+            assert!(!inj.flaky_fire(Cycle::ZERO, 0, 0));
+        }
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn flaky_streams_are_independent_of_the_machine_wide_site() {
+        let mut plan = FaultPlan::with_seed(9);
+        plan.dma_corrupt = SiteSpec::rate(0.5);
+        plan.flaky_clusters = 0b1;
+        plan.flaky_corrupt_rate = 0.5;
+        let mut inj = FaultInjector::new(plan);
+        let global: Vec<bool> = (0..64)
+            .map(|_| inj.fire(FaultKind::DmaCorrupt, Cycle::ZERO, Some(0), 0))
+            .collect();
+        let flaky: Vec<bool> = (0..64).map(|_| inj.flaky_fire(Cycle::ZERO, 0, 0)).collect();
+        assert_ne!(global, flaky, "per-cluster salts must decorrelate");
+    }
+
+    #[test]
     fn plan_round_trips_through_json() {
         let mut plan = FaultPlan::with_seed(11);
         plan.dispatch_drop = SiteSpec::rate(0.1);
         plan.wake_loss = SiteSpec::once_at(2);
         plan.dma_stall_cycles = 400;
         plan.dead_clusters = 0b100;
+        plan.flaky_clusters = 0b1001;
+        plan.flaky_corrupt_rate = 0.25;
         plan.noc_outages = vec![OutageWindow { start: 10, end: 20 }];
         let json = serde_json::to_string(&plan).expect("serialize");
         let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");

@@ -131,6 +131,26 @@ impl AdmissionController {
         self.admit_with_clusters(job, self.clusters)
     }
 
+    /// Admission against the `healthy` surviving pool of a (possibly
+    /// quarantine-degraded) machine. When the *full* machine could have
+    /// served the job but the surviving pool cannot, the rejection is
+    /// reported as [`RejectReason::DegradedMachine`] so capacity lost to
+    /// faults stays distinguishable from a job that was simply too big.
+    /// With `healthy == clusters()` this is exactly
+    /// [`AdmissionController::admit`].
+    pub fn admit_degraded(&self, job: &Job, healthy: u64) -> AdmissionDecision {
+        match self.admit_with_clusters(job, healthy) {
+            AdmissionDecision::Reject {
+                reason: RejectReason::NotEnoughClusters { required },
+            } if healthy < self.clusters && required <= self.clusters => {
+                AdmissionDecision::Reject {
+                    reason: RejectReason::DegradedMachine { required, healthy },
+                }
+            }
+            decision => decision,
+        }
+    }
+
     /// [`AdmissionController::admit`] against an explicit machine size —
     /// the engine passes the *healthy* cluster count here, so quarantine
     /// shrinks what admission reasons about without rebuilding the
@@ -247,6 +267,23 @@ mod tests {
             }
             other => panic!("expected reject, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn degraded_admission_types_quarantine_losses() {
+        let c = controller();
+        let j = job(1024, 700); // needs >2 clusters, host too slow
+        match c.admit_degraded(&j, 2) {
+            AdmissionDecision::Reject {
+                reason: RejectReason::DegradedMachine { required, healthy },
+            } => {
+                assert!(required > 2);
+                assert_eq!(healthy, 2);
+            }
+            other => panic!("expected degraded rejection, got {other:?}"),
+        }
+        // At full health the two entry points agree exactly.
+        assert_eq!(c.admit_degraded(&j, 32), c.admit(&j));
     }
 
     #[test]

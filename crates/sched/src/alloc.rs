@@ -16,6 +16,11 @@ use serde::{Deserialize, Serialize};
 pub struct Allocator {
     total: usize,
     free: ClusterMask,
+    /// Clusters retired from the pool. A quarantined cluster leaves the
+    /// free set immediately and [`Allocator::release`] withholds it from
+    /// returning partitions, so quarantine is safe mid-stream even while
+    /// the cluster is carved into a running tenant's partition.
+    quarantined: ClusterMask,
 }
 
 impl Allocator {
@@ -32,6 +37,7 @@ impl Allocator {
         Allocator {
             total,
             free: ClusterMask::first(total),
+            quarantined: ClusterMask::EMPTY,
         }
     }
 
@@ -48,8 +54,23 @@ impl Allocator {
     /// Panics when `total` is out of range (see [`Allocator::new`]).
     pub fn with_quarantine(total: usize, quarantined: ClusterMask) -> Self {
         let mut a = Allocator::new(total);
-        a.free = a.free.without(quarantined);
+        a.quarantine(quarantined);
         a
+    }
+
+    /// Retires `mask` from the pool mid-stream. Free clusters leave the
+    /// free set now; carved ones are withheld when their partition is
+    /// eventually released — either way a quarantined cluster is never
+    /// granted again. Idempotent; bits outside the machine are ignored.
+    pub fn quarantine(&mut self, mask: ClusterMask) {
+        let mask = mask.intersection(ClusterMask::first(self.total));
+        self.quarantined = self.quarantined.union(mask);
+        self.free = self.free.without(mask);
+    }
+
+    /// Clusters retired so far.
+    pub fn quarantined(&self) -> ClusterMask {
+        self.quarantined
     }
 
     /// The machine size.
@@ -98,7 +119,8 @@ impl Allocator {
             mask.highest().map_or(true, |h| h < self.total),
             "releasing clusters outside the machine"
         );
-        self.free = self.free.union(mask);
+        // Clusters quarantined while carved stay out of the pool.
+        self.free = self.free.union(mask.without(self.quarantined));
     }
 }
 
@@ -136,6 +158,42 @@ mod tests {
         let third = a.carve(3).unwrap();
         assert_eq!(third.iter().collect::<Vec<_>>(), vec![0, 1, 4]);
         assert!(third.intersection(second).is_empty());
+    }
+
+    #[test]
+    fn quarantine_removes_free_clusters_immediately() {
+        let mut a = Allocator::new(4);
+        a.quarantine(ClusterMask::first(2));
+        assert_eq!(a.free_count(), 2);
+        let grant = a.carve(2).unwrap();
+        assert_eq!(grant.iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert!(a.carve(1).is_none());
+    }
+
+    #[test]
+    fn quarantined_busy_clusters_never_return_to_the_pool() {
+        let mut a = Allocator::new(4);
+        let grant = a.carve(2).unwrap(); // clusters 0,1 busy
+        let mut bad = ClusterMask::EMPTY;
+        bad.insert(0);
+        a.quarantine(bad);
+        // Release returns only the healthy cluster; the quarantined one
+        // is withheld and can never be granted again.
+        a.release(grant);
+        assert_eq!(a.free_count(), 3);
+        let next = a.carve(3).unwrap();
+        assert!(!next.iter().any(|c| c == 0));
+    }
+
+    #[test]
+    fn quarantine_is_idempotent_and_clips_to_the_machine() {
+        let mut a = Allocator::new(4);
+        let mut mask = ClusterMask::first(1);
+        mask.insert(63); // outside the machine: ignored
+        a.quarantine(mask);
+        a.quarantine(mask);
+        assert_eq!(a.quarantined(), ClusterMask::first(1));
+        assert_eq!(a.free_count(), 3);
     }
 
     #[test]

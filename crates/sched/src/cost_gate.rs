@@ -32,6 +32,10 @@ use crate::job::{Job, KernelId};
 pub struct CostGate {
     config: SocConfig,
     costs: RuntimeCosts,
+    /// Cluster counts the analysis may assume available. Starts at the
+    /// configured machine size; quarantine shrinks it via
+    /// [`CostGate::restrict_clusters`].
+    effective_clusters: usize,
     /// Smallest static best-case total per `(kernel, n)`; `None` when
     /// the program is unboundable (the gate then stays open — an
     /// incomplete analysis is not evidence of infeasibility).
@@ -45,12 +49,36 @@ impl CostGate {
     /// A gate for the machine described by `config` with the default
     /// runtime-constant calibration.
     pub fn new(config: SocConfig) -> Self {
+        let effective_clusters = config.clusters;
         CostGate {
             config,
             costs: RuntimeCosts::default(),
+            effective_clusters,
             min_best: HashMap::new(),
             envelopes: HashMap::new(),
         }
+    }
+
+    /// Re-bounds the analysis to `healthy` surviving clusters and drops
+    /// every memoized verdict. Both memo families were computed against
+    /// the previous machine size: a shrunken pool raises the true
+    /// minimum best case (the widest partitions are gone), so stale
+    /// entries would keep admitting jobs on bounds the degraded machine
+    /// can no longer realize. Cluster counts beyond `healthy` stop
+    /// yielding envelopes — the machine cannot grant them.
+    pub fn restrict_clusters(&mut self, healthy: usize) {
+        let healthy = healthy.min(self.config.clusters);
+        if healthy == self.effective_clusters {
+            return;
+        }
+        self.effective_clusters = healthy;
+        self.min_best.clear();
+        self.envelopes.clear();
+    }
+
+    /// Cluster counts the gate currently reasons over.
+    pub fn effective_clusters(&self) -> usize {
+        self.effective_clusters
     }
 
     /// A gate for the calibrated Manticore-class machine.
@@ -94,7 +122,7 @@ impl CostGate {
         let k = kernel.instantiate();
         let solo = ContentionEnvelope::default();
         let mut best = bound_host_run(k.as_ref(), n).ok()?.cycles.best;
-        for m in 1..=self.config.clusters {
+        for m in 1..=self.effective_clusters {
             for strategy in OffloadStrategy::all() {
                 let bounds =
                     bound_offload(k.as_ref(), n, m, strategy, &self.config, &self.costs, &solo)
@@ -106,7 +134,7 @@ impl CostGate {
     }
 
     fn compute_envelope(&self, kernel: KernelId, n: u64, m: usize) -> Option<CycleBounds> {
-        if m == 0 || m > self.config.clusters {
+        if m == 0 || m > self.effective_clusters {
             return None;
         }
         let k = kernel.instantiate();
@@ -168,6 +196,26 @@ mod tests {
         assert_eq!(gate.min_best(KernelId::Daxpy, 4_096), Some(best));
         // A deadline at the bound itself is admissible.
         assert_eq!(gate.check(&job(KernelId::Daxpy, 4_096, best)), None);
+    }
+
+    #[test]
+    fn restricting_clusters_drops_memos_and_raises_the_bound() {
+        let mut gate = CostGate::manticore();
+        let full = gate.min_best(KernelId::Daxpy, 65_536).expect("boundable");
+        assert!(gate.envelope(KernelId::Daxpy, 65_536, 8).is_some());
+        gate.restrict_clusters(1);
+        assert_eq!(gate.effective_clusters(), 1);
+        // Envelopes beyond the surviving pool are no longer claimable.
+        assert_eq!(gate.envelope(KernelId::Daxpy, 65_536, 8), None);
+        // The recomputed minimum can only get worse on a smaller machine.
+        let degraded = gate.min_best(KernelId::Daxpy, 65_536).expect("boundable");
+        assert!(
+            degraded >= full,
+            "degraded bound {degraded} must not undercut the full machine's {full}"
+        );
+        // Restricting to the same size is a no-op (memos survive).
+        gate.restrict_clusters(1);
+        assert_eq!(gate.min_best(KernelId::Daxpy, 65_536), Some(degraded));
     }
 
     #[test]

@@ -42,6 +42,7 @@ use crate::job::Job;
 use crate::lint_gate::LintGate;
 use crate::metrics::{JobOutcome, JobRecord, Metrics, RunReport};
 use crate::policy::{Placement, QueuedJob, SchedContext, SchedPolicy};
+use crate::quarantine::{QuarantineEvent, StrikeBoard, AUTO_QUARANTINE_STRIKES};
 use crate::service::ServiceBackend;
 
 /// The multi-tenant scheduler: admission + allocation + dispatch over a
@@ -55,6 +56,12 @@ pub struct Engine {
     telemetry: EventTrace,
     lint_gate: Option<LintGate>,
     cost_gate: Option<CostGate>,
+    /// Corrupt completions flagged on one cluster before the engine
+    /// quarantines it automatically (co-simulated runs only); `None`
+    /// disables the closed loop.
+    auto_quarantine: Option<u32>,
+    /// Automatic quarantine decisions of the last [`Engine::run`].
+    quarantine_log: Vec<QuarantineEvent>,
 }
 
 /// A job in flight on a carved partition.
@@ -85,6 +92,8 @@ impl Engine {
             telemetry: EventTrace::disabled(),
             lint_gate: None,
             cost_gate: None,
+            auto_quarantine: Some(AUTO_QUARANTINE_STRIKES),
+            quarantine_log: Vec::new(),
         }
     }
 
@@ -99,11 +108,17 @@ impl Engine {
     /// offload timings ([`ServiceBackend::invalidate_measurements`]):
     /// they may have been taken on partitions containing the cluster
     /// now known to be faulty.
+    /// Quarantining also drops the static cost gate's memoized bounds
+    /// and re-bounds it to the surviving pool: min-best totals were
+    /// computed over partitions the machine can no longer grant.
     pub fn quarantine(&mut self, mask: ClusterMask) {
         self.quarantined = self
             .quarantined
             .union(mask.intersection(ClusterMask::first(self.clusters)));
         self.backend.invalidate_measurements();
+        if let Some(gate) = self.cost_gate.as_mut() {
+            gate.restrict_clusters(self.clusters - self.quarantined.count());
+        }
     }
 
     /// The clusters currently quarantined.
@@ -111,32 +126,23 @@ impl Engine {
         self.quarantined
     }
 
+    /// Configures automatic quarantine for co-simulated runs: a cluster
+    /// is retired after `threshold` corrupt completions flagged it
+    /// (default [`AUTO_QUARANTINE_STRIKES`]); `None` disables the
+    /// closed loop — corruption is then absorbed by re-dispatch alone.
+    pub fn set_auto_quarantine(&mut self, threshold: Option<u32>) {
+        self.auto_quarantine = threshold;
+    }
+
+    /// Automatic quarantine decisions made during the last
+    /// [`Engine::run`], in firing order.
+    pub fn quarantine_events(&self) -> &[QuarantineEvent] {
+        &self.quarantine_log
+    }
+
     /// Healthy (non-quarantined) clusters.
     fn healthy_clusters(&self) -> usize {
         self.clusters - self.quarantined.count()
-    }
-
-    /// Admission against the surviving pool. When the *full* machine
-    /// could have served the job but the quarantined one cannot, the
-    /// rejection is reported as [`RejectReason::DegradedMachine`] so
-    /// capacity lost to faults is distinguishable from a job that was
-    /// simply too big.
-    fn admit_degraded(
-        admission: &AdmissionController,
-        job: &Job,
-        healthy: usize,
-    ) -> AdmissionDecision {
-        let healthy = healthy as u64;
-        match admission.admit_with_clusters(job, healthy) {
-            AdmissionDecision::Reject {
-                reason: RejectReason::NotEnoughClusters { required },
-            } if healthy < admission.clusters() && required <= admission.clusters() => {
-                AdmissionDecision::Reject {
-                    reason: RejectReason::DegradedMachine { required, healthy },
-                }
-            }
-            decision => decision,
-        }
     }
 
     /// Enables static program verification at admission: every arriving
@@ -295,7 +301,7 @@ impl Engine {
                         continue;
                     }
                 }
-                match Self::admit_degraded(&self.admission, job, healthy) {
+                match self.admission.admit_degraded(job, healthy as u64) {
                     AdmissionDecision::Offload { m_min, predicted } => {
                         // Placeholder until the offload completes; the
                         // queue remembers where to write the outcome.
@@ -443,8 +449,15 @@ impl Engine {
         jobs: &[Job],
         policy: &mut dyn SchedPolicy,
     ) -> Result<RunReport, SchedError> {
-        let healthy = self.healthy_clusters();
+        let mut healthy = self.healthy_clusters();
         let mut allocator = Allocator::with_quarantine(self.clusters, self.quarantined);
+        // The closed loop from fault observation to scheduling decision:
+        // corrupt completions accumulate strikes per flagged cluster and
+        // crossing the hysteresis threshold quarantines the cluster
+        // mid-stream — no external diagnosis call involved.
+        let mut strikes = StrikeBoard::with_threshold(self.clusters, self.auto_quarantine);
+        self.quarantine_log.clear();
+        let clusters = self.clusters;
         let ServiceBackend::CoSimulated {
             offloader,
             seed,
@@ -483,6 +496,35 @@ impl Engine {
                         done.contention += t.contention.total_cycles();
                         let finish = t.finished_at.as_u64();
                         let part = Unit::Partition(done.mask.iter().next().unwrap_or(0) as u32);
+                        if t.corrupt_clusters != 0 {
+                            // Strike accounting happens on *every*
+                            // corrupt completion — including the final
+                            // attempt of an exhausted retry budget — so
+                            // a flaky cluster is diagnosed even when
+                            // re-dispatch keeps absorbing its output.
+                            let fire = strikes.record(t.corrupt_clusters, self.quarantined);
+                            if !fire.is_empty() {
+                                for cluster in fire.iter() {
+                                    self.telemetry.instant(
+                                        t.finished_at,
+                                        Unit::SchedHost,
+                                        EventKind::Quarantine,
+                                        cluster as u64,
+                                    );
+                                    self.quarantine_log.push(QuarantineEvent {
+                                        at: finish,
+                                        cluster,
+                                        strikes: strikes.strikes(cluster),
+                                    });
+                                }
+                                self.quarantined = self.quarantined.union(fire);
+                                allocator.quarantine(fire);
+                                healthy = clusters - self.quarantined.count();
+                                if let Some(gate) = self.cost_gate.as_mut() {
+                                    gate.restrict_clusters(healthy);
+                                }
+                            }
+                        }
                         if t.corrupt_clusters != 0
                             && done.retries < crate::shard::COSIM_MAX_REDISPATCH
                         {
@@ -603,7 +645,7 @@ impl Engine {
                         continue;
                     }
                 }
-                match Self::admit_degraded(&self.admission, job, healthy) {
+                match self.admission.admit_degraded(job, healthy as u64) {
                     AdmissionDecision::Offload { m_min, predicted } => {
                         records.push(JobRecord {
                             job: *job,
@@ -731,7 +773,33 @@ impl Engine {
             }
         }
 
-        assert!(ready.is_empty(), "policy left admitted jobs unscheduled");
+        // Mid-stream quarantine can strand admitted jobs whose Eq. 3
+        // minimum partition no longer fits the surviving pool: resolve
+        // them as typed degraded rejections — their admission verdict
+        // predates the capacity loss. Anything else left queued really
+        // is a policy bug.
+        for queued in ready.drain(..) {
+            assert!(
+                queued.m_min > healthy as u64,
+                "policy left a schedulable job unscheduled"
+            );
+            let record_index = records
+                .iter()
+                .position(|r| r.job.id == queued.job.id)
+                .expect("queued job has a placeholder record");
+            records[record_index] = JobRecord {
+                job: queued.job,
+                outcome: JobOutcome::Rejected {
+                    reason: RejectReason::DegradedMachine {
+                        required: queued.m_min,
+                        healthy: healthy as u64,
+                    },
+                },
+                contention_cycles: 0,
+                retries: 0,
+                faults_observed: 0,
+            };
+        }
         let metrics = Metrics::from_records(&records, self.clusters);
         Ok(RunReport {
             policy: policy.name().to_owned(),
@@ -1133,6 +1201,69 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn persistent_corruption_auto_quarantines_without_an_explicit_call() {
+        // Every DMA burst corrupts: each tenant's cluster accumulates a
+        // strike per corrupt completion and crosses the 3-strike
+        // threshold mid-stream. `Engine::quarantine` is never called;
+        // the closed loop does it all.
+        let mut offloader =
+            mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(2)).expect("soc");
+        let mut plan = mpsoc_soc::FaultPlan::with_seed(7);
+        plan.dma_corrupt = mpsoc_soc::SiteSpec::rate(1.0);
+        offloader.install_faults(plan);
+        let mut e = Engine::new(
+            ModelTable::paper_defaults(),
+            2,
+            ServiceBackend::co_simulated(offloader, 0xBEEF),
+        );
+        e.enable_telemetry(4096);
+        let stream = jobs(&[(0, 1024, 100_000), (0, 1024, 100_000), (0, 1024, 100_000)]);
+        let report = e.run(&stream, &mut FifoFirstFit).expect("run");
+        assert_eq!(e.quarantined().count(), 2, "both clusters condemned");
+        let events = e.quarantine_events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|ev| ev.strikes >= 3 && ev.at > 0));
+        assert!(e
+            .telemetry()
+            .events()
+            .iter()
+            .any(|ev| ev.kind.name() == "quarantine"));
+        // The two in-flight tenants complete (budget-exhausted results
+        // accepted); the queued third is stranded on a dead machine and
+        // resolves as a typed degraded rejection.
+        assert_eq!(report.metrics.offloaded, 2);
+        match report.records[2].outcome {
+            JobOutcome::Rejected {
+                reason: crate::RejectReason::DegradedMachine { healthy, .. },
+            } => assert_eq!(healthy, 0),
+            other => panic!("expected a degraded rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_quarantine_can_be_disabled() {
+        let mk = || {
+            let mut offloader =
+                mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(2)).expect("soc");
+            let mut plan = mpsoc_soc::FaultPlan::with_seed(7);
+            plan.dma_corrupt = mpsoc_soc::SiteSpec::rate(1.0);
+            offloader.install_faults(plan);
+            Engine::new(
+                ModelTable::paper_defaults(),
+                2,
+                ServiceBackend::co_simulated(offloader, 0xBEEF),
+            )
+        };
+        let stream = jobs(&[(0, 1024, 100_000), (0, 1024, 100_000), (0, 1024, 100_000)]);
+        let mut e = mk();
+        e.set_auto_quarantine(None);
+        let report = e.run(&stream, &mut FifoFirstFit).expect("run");
+        assert!(e.quarantined().is_empty());
+        assert!(e.quarantine_events().is_empty());
+        assert_eq!(report.metrics.offloaded, 3, "every job still completes");
     }
 
     #[test]

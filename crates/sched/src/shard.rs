@@ -32,7 +32,13 @@
 //! SoC session and — like the engine — re-dispatches a tenant whose
 //! completion carries the observable corruption signal
 //! (`corrupt_clusters`), bounded by [`COSIM_MAX_REDISPATCH`]; the
-//! re-dispatch count lands in [`JobRecord::retries`].
+//! re-dispatch count lands in [`JobRecord::retries`]. Corrupt
+//! completions also accumulate per-cluster strikes
+//! ([`crate::StrikeBoard`]): a cluster flagged
+//! [`crate::AUTO_QUARANTINE_STRIKES`] times is quarantined mid-stream —
+//! allocator pool shrink, degraded admission, measured-cache and
+//! cost-gate invalidation — and reported as a typed
+//! [`QuarantineEvent`].
 
 use std::collections::BTreeMap;
 
@@ -47,6 +53,7 @@ use crate::error::SchedError;
 use crate::job::Job;
 use crate::metrics::{JobOutcome, JobRecord};
 use crate::policy::{Placement, QueuedJob, SchedContext, SchedPolicy};
+use crate::quarantine::{QuarantineEvent, StrikeBoard};
 use crate::service::ServiceBackend;
 
 /// Bounded re-dispatch budget for co-simulated tenants that complete
@@ -133,6 +140,9 @@ pub struct ShardSim {
     completed_jobs: u64,
     cost_gate: Option<CostGate>,
     last_cost_check: Option<CostCheck>,
+    quarantined: ClusterMask,
+    strikes: StrikeBoard,
+    quarantine_events: Vec<QuarantineEvent>,
 }
 
 impl ShardSim {
@@ -167,7 +177,72 @@ impl ShardSim {
             completed_jobs: 0,
             cost_gate: None,
             last_cost_check: None,
+            quarantined: ClusterMask::EMPTY,
+            strikes: StrikeBoard::new(clusters),
+            quarantine_events: Vec::new(),
         }
+    }
+
+    /// Retires `mask` from this shard's pool mid-stream — the
+    /// incremental counterpart of [`Engine::quarantine`]. The allocator
+    /// stops granting the clusters (busy ones are withheld at release),
+    /// admission reasons against the surviving pool (typed
+    /// [`RejectReason::DegradedMachine`] rejections), and — exactly
+    /// like the engine — the measured backend's memoized solo-run
+    /// timings and the cost gate's static memos are dropped: both were
+    /// computed against a machine that no longer exists, and stale
+    /// entries would admit jobs on bounds the degraded shard cannot
+    /// realize. Each newly retired cluster is logged as a
+    /// [`QuarantineEvent`].
+    ///
+    /// [`Engine::quarantine`]: crate::Engine::quarantine
+    pub fn quarantine(&mut self, mask: ClusterMask) {
+        let mask = mask
+            .intersection(ClusterMask::first(self.clusters))
+            .without(self.quarantined);
+        if mask.is_empty() {
+            return;
+        }
+        self.quarantined = self.quarantined.union(mask);
+        self.allocator.quarantine(mask);
+        self.backend.invalidate_measurements();
+        let healthy = self.clusters - self.quarantined.count();
+        if let Some(gate) = self.cost_gate.as_mut() {
+            gate.restrict_clusters(healthy);
+        }
+        for cluster in mask.iter() {
+            self.quarantine_events.push(QuarantineEvent {
+                at: self.now,
+                cluster,
+                strikes: self.strikes.strikes(cluster),
+            });
+        }
+    }
+
+    /// Configures automatic quarantine: a cluster is retired after
+    /// `threshold` corrupt co-simulated completions flagged it (default
+    /// [`crate::AUTO_QUARANTINE_STRIKES`]); `None` disables the closed
+    /// loop so corruption is absorbed by re-dispatch alone.
+    pub fn set_auto_quarantine(&mut self, threshold: Option<u32>) {
+        self.strikes.set_threshold(threshold);
+    }
+
+    /// The clusters currently quarantined.
+    pub fn quarantined(&self) -> ClusterMask {
+        self.quarantined
+    }
+
+    /// Healthy (non-quarantined) clusters — the shard's *effective*
+    /// capacity, which a fleet balancer should weight by instead of the
+    /// configured size.
+    pub fn healthy_clusters(&self) -> usize {
+        self.clusters - self.quarantined.count()
+    }
+
+    /// Takes the quarantine decisions (manual and automatic) made since
+    /// the last drain, in firing order.
+    pub fn drain_quarantine_events(&mut self) -> Vec<QuarantineEvent> {
+        std::mem::take(&mut self.quarantine_events)
     }
 
     /// Enables static cost verification: offered jobs whose deadline
@@ -298,11 +373,71 @@ impl ShardSim {
                 return Ok(());
             }
             if self.completed_jobs == retired {
+                // Mid-stream quarantine can strand queued jobs whose
+                // Eq. 3 minimum partition no longer fits the surviving
+                // pool. With nothing in flight they can never start:
+                // resolve them as typed degraded rejections — a served
+                // "no" — instead of reporting a wedged session.
+                if self.in_flight() == 0 && self.reject_stranded() {
+                    continue;
+                }
                 return Err(SchedError::SessionStalled {
                     in_flight: self.in_flight(),
                 });
             }
         }
+    }
+
+    /// Rejects queued jobs whose minimum partition exceeds the healthy
+    /// pool (they were admitted before quarantine shrank the machine).
+    /// Returns whether anything was resolved.
+    fn reject_stranded(&mut self) -> bool {
+        let stranded = self.evict_unservable();
+        if stranded.is_empty() {
+            return false;
+        }
+        for q in stranded {
+            self.reject_evicted(q);
+        }
+        true
+    }
+
+    /// Removes and returns the queued-but-unstarted jobs whose minimum
+    /// partition exceeds the healthy pool, in arrival order. Under a
+    /// strict-FIFO policy such a job would otherwise wedge the queue
+    /// head mid-stream: it can never start, and everything behind it
+    /// waits until drain. A fleet calls this after quarantine shrinks a
+    /// shard and either re-places the evicted jobs on a shard that still
+    /// fits them or resolves them via [`ShardSim::reject_evicted`].
+    pub fn evict_unservable(&mut self) -> Vec<QueuedJob> {
+        let healthy = self.healthy_clusters() as u64;
+        let mut evicted = Vec::new();
+        let mut i = 0;
+        while i < self.ready.len() {
+            if self.ready[i].m_min > healthy {
+                let q = self.ready.remove(i);
+                self.backlog_cycles -= q.predicted * q.m_min as f64;
+                evicted.push(q);
+            } else {
+                i += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Resolves an evicted (or failed-over-but-unplaceable) job as a
+    /// typed [`RejectReason::DegradedMachine`] rejection against this
+    /// shard's surviving pool — a served "no", counted exactly once like
+    /// any other rejection.
+    pub fn reject_evicted(&mut self, q: QueuedJob) {
+        let healthy = self.healthy_clusters() as u64;
+        self.push_rejection(
+            q.job,
+            RejectReason::DegradedMachine {
+                required: q.m_min,
+                healthy,
+            },
+        );
     }
 
     /// Presents one arriving job (arrivals must be offered in
@@ -322,7 +457,10 @@ impl ShardSim {
                 return Ok(ShardDecision::Rejected { reason });
             }
         }
-        let decision = match self.admission.admit(&job) {
+        let decision = match self
+            .admission
+            .admit_degraded(&job, self.healthy_clusters() as u64)
+        {
             AdmissionDecision::Offload { m_min, predicted } => {
                 if self
                     .queue_limit
@@ -382,6 +520,28 @@ impl ShardSim {
             }
         };
         Ok(decision)
+    }
+
+    /// Retracts the rejection record this shard just logged for
+    /// `job_id`, so a balancer that re-offers the job elsewhere (and
+    /// finds a taker) keeps the fleet log exactly-once. Only the *most
+    /// recent* finished record is eligible — a rejection stops being
+    /// retractable as soon as anything else resolves after it — and
+    /// only rejections can be withdrawn. Returns whether a record was
+    /// removed.
+    pub fn withdraw_rejection(&mut self, job_id: u64) -> bool {
+        let retractable = matches!(
+            self.finished.last(),
+            Some(JobRecord {
+                job,
+                outcome: JobOutcome::Rejected { .. },
+                ..
+            }) if job.id == job_id
+        );
+        if retractable {
+            self.finished.pop();
+        }
+        retractable
     }
 
     /// Removes the most recently admitted queued-but-unstarted job for
@@ -473,7 +633,7 @@ impl ShardSim {
             let ctx = SchedContext {
                 now: self.now,
                 free_clusters: self.allocator.free_count(),
-                total_clusters: self.clusters,
+                total_clusters: self.healthy_clusters(),
                 models: self.admission.table(),
             };
             let Some(Placement { queue_index, m }) = self.policy.pick(&self.ready, &ctx) else {
@@ -605,6 +765,18 @@ impl ShardSim {
         self.now = self.now.max(finish);
         done.faults += t.faults_injected;
         done.contention += t.contention.total_cycles();
+        if t.corrupt_clusters != 0 {
+            // Strike accounting on every corrupt completion — including
+            // a final attempt whose retry budget is exhausted — so a
+            // flaky cluster is diagnosed even while re-dispatch keeps
+            // absorbing its output. Crossing the hysteresis threshold
+            // quarantines the cluster mid-stream, with no external
+            // `quarantine` call involved.
+            let fire = self.strikes.record(t.corrupt_clusters, self.quarantined);
+            if !fire.is_empty() {
+                self.quarantine(fire);
+            }
+        }
         if t.corrupt_clusters != 0 && done.retries < COSIM_MAX_REDISPATCH {
             // Observable corruption: re-dispatch on the same partition
             // with fresh fault dice, charging the retry to the record.
@@ -831,5 +1003,164 @@ mod tests {
         );
         assert!(records[0].faults_observed >= 1);
         assert!(matches!(records[0].outcome, JobOutcome::Offloaded { .. }));
+        // Hysteresis: one transient corruption is below the strike
+        // threshold — the cluster survives.
+        assert!(
+            s.quarantined().is_empty(),
+            "a single transient must not quarantine anything"
+        );
+        assert!(s.drain_quarantine_events().is_empty());
+    }
+
+    #[test]
+    fn persistent_corruption_auto_quarantines_mid_stream() {
+        // Every DMA burst corrupts: each tenant burns its full retry
+        // budget (4 corrupt completions = 4 strikes on its cluster), so
+        // each busy cluster crosses the 3-strike threshold and is
+        // quarantined mid-stream with no explicit `quarantine` call.
+        // The queued fifth job is stranded on a fully dead machine and
+        // must resolve as a typed degraded rejection.
+        let mut offloader =
+            mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(4)).expect("soc");
+        let mut plan = mpsoc_soc::FaultPlan::with_seed(7);
+        plan.dma_corrupt = mpsoc_soc::SiteSpec::rate(1.0);
+        offloader.install_faults(plan);
+        let mut s = shard(4, ServiceBackend::co_simulated(offloader, 0xBEEF));
+        let stream = jobs(&[(0, 1024, 100_000); 5]);
+        for job in &stream {
+            s.offer(*job).expect("offer");
+        }
+        s.drain()
+            .expect("drain resolves the stranded job, not stalls");
+        assert_eq!(s.healthy_clusters(), 0, "all four clusters condemned");
+        let events = s.drain_quarantine_events();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.strikes >= 3 && e.at > 0));
+        let mut records = s.drain_finished();
+        records.sort_by_key(|r| r.job.id);
+        assert_eq!(records.len(), 5);
+        let offloaded = records
+            .iter()
+            .filter(|r| matches!(r.outcome, JobOutcome::Offloaded { .. }))
+            .count();
+        assert_eq!(offloaded, 4, "in-flight tenants still complete");
+        match records[4].outcome {
+            JobOutcome::Rejected {
+                reason: RejectReason::DegradedMachine { healthy, .. },
+            } => assert_eq!(healthy, 0),
+            other => panic!("expected a degraded rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_auto_quarantine_leaves_the_pool_intact() {
+        let mut offloader =
+            mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(4)).expect("soc");
+        let mut plan = mpsoc_soc::FaultPlan::with_seed(7);
+        plan.dma_corrupt = mpsoc_soc::SiteSpec::rate(1.0);
+        offloader.install_faults(plan);
+        let mut s = shard(4, ServiceBackend::co_simulated(offloader, 0xBEEF));
+        s.set_auto_quarantine(None);
+        let stream = jobs(&[(0, 1024, 100_000); 5]);
+        for job in &stream {
+            s.offer(*job).expect("offer");
+        }
+        s.drain().expect("drain");
+        assert_eq!(s.healthy_clusters(), 4);
+        assert!(s.drain_quarantine_events().is_empty());
+        assert_eq!(s.drain_finished().len(), 5, "every job still resolves");
+    }
+
+    #[test]
+    fn shard_quarantine_invalidates_measured_and_cost_memos() {
+        // Satellite fix: `ShardSim::quarantine` must drop the measured
+        // solo-run cache and the cost gate's memos exactly like
+        // `Engine::quarantine`, or a degraded shard admits on stale
+        // t̂(M, N) and stale static bounds.
+        let offloader =
+            mpsoc_offload::Offloader::new(mpsoc_soc::SocConfig::with_clusters(4)).expect("soc");
+        let mut s = shard(4, ServiceBackend::measured(offloader, 0xBEEF));
+        s.enable_cost(CostGate::new(mpsoc_soc::SocConfig::with_clusters(4)));
+        let stream = jobs(&[(0, 1024, 100_000)]);
+        s.offer(stream[0]).unwrap();
+        s.drain().expect("drain");
+        let cache_len = |b: &ServiceBackend| match b {
+            ServiceBackend::Measured { offload_cache, .. } => offload_cache.len(),
+            _ => unreachable!(),
+        };
+        assert!(cache_len(&s.backend) > 0, "the run populated the cache");
+        s.quarantine(ClusterMask::single(3));
+        assert_eq!(cache_len(&s.backend), 0, "measured cache must drop");
+        assert_eq!(
+            s.cost_gate.as_ref().map(|g| g.effective_clusters()),
+            Some(3),
+            "cost gate must re-bound to the surviving pool"
+        );
+        let events = s.drain_quarantine_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].cluster, 3);
+        assert_eq!(events[0].strikes, 0, "manual quarantine carries no strikes");
+    }
+
+    #[test]
+    fn eviction_unwedges_a_degraded_fifo_queue() {
+        // A 2-cluster shard: a narrow filler runs on cluster 0, then a
+        // deadline that only 2 clusters can meet queues an m_min=2 job.
+        // Quarantining the free cluster makes that queued job
+        // unservable — under strict FIFO it would wedge the queue head
+        // until drain. `evict_unservable` must surgically remove it
+        // (restoring the backlog ledger), leave servable work alone,
+        // and `reject_evicted` must resolve it as a typed degraded
+        // rejection.
+        let table = ModelTable::paper_defaults();
+        let t1 = table.get(KernelId::Daxpy).accel.predict(1, 16_384);
+        let t2 = table.get(KernelId::Daxpy).accel.predict(2, 16_384);
+        let deadline = (t2.ceil() as u64 + t1.floor() as u64) / 2;
+        let mut s = shard(2, ServiceBackend::analytic(table));
+        let stream = jobs(&[(0, 4096, 1_000_000), (0, 16_384, deadline)]);
+        assert!(matches!(
+            s.offer(stream[0]).unwrap(),
+            ShardDecision::Queued { m_min: 1, .. }
+        ));
+        assert!(matches!(
+            s.offer(stream[1]).unwrap(),
+            ShardDecision::Queued { m_min: 2, .. }
+        ));
+        assert_eq!(s.queue_depth(), 1, "the wide job waits for both clusters");
+        let backlog_before = s.backlog_cycles();
+
+        s.quarantine(ClusterMask::single(1));
+        let mut evicted = s.evict_unservable();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].job.id, 1);
+        assert_eq!(evicted[0].m_min, 2);
+        assert_eq!(s.queue_depth(), 0);
+        assert!(
+            s.backlog_cycles() < backlog_before,
+            "eviction must return the job's cycles to the ledger"
+        );
+        assert!(
+            s.evict_unservable().is_empty(),
+            "eviction is idempotent once the queue fits the pool"
+        );
+
+        s.reject_evicted(evicted.pop().expect("evicted job"));
+        s.drain().expect("drain");
+        let mut records = s.drain_finished();
+        records.sort_by_key(|r| r.job.id);
+        assert_eq!(records.len(), 2);
+        assert!(
+            matches!(records[0].outcome, JobOutcome::Offloaded { m: 1, .. }),
+            "the narrow tenant on the surviving cluster is untouched"
+        );
+        match records[1].outcome {
+            JobOutcome::Rejected {
+                reason: RejectReason::DegradedMachine { required, healthy },
+            } => {
+                assert_eq!(required, 2);
+                assert_eq!(healthy, 1);
+            }
+            other => panic!("expected a degraded rejection, got {other:?}"),
+        }
     }
 }

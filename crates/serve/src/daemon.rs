@@ -370,6 +370,8 @@ mod tests {
                 queue_limit,
                 placement: PlacementPolicy::LeastLoaded,
                 steal: true,
+                redirect_budget: 0,
+                failover: false,
             },
             &ModelTable::paper_defaults(),
         ))

@@ -21,9 +21,22 @@
 //!   clusters) while a sibling has jobs backed up, the idle shard steals
 //!   a queued-but-unstarted job. Stealing moves only jobs that have not
 //!   touched hardware, so records stay exact.
+//! - **Shard health & failover** ([`ShardState`]): shards degrade as
+//!   auto-quarantine retires clusters and die when the pool empties.
+//!   Placement weights by *effective* (healthy) capacity and skips dead
+//!   shards; with [`FleetConfig::failover`] on, a dead shard's
+//!   queued-but-unstarted jobs are drained to survivors over the same
+//!   stealing path, so capacity loss costs latency instead of losing
+//!   admitted work.
+//! - **Redirect on reject**: with a nonzero
+//!   [`FleetConfig::redirect_budget`], a job bounced by queue-depth
+//!   backpressure is re-offered to the next-best shards before the
+//!   rejection becomes final; the failed attempt's record is withdrawn
+//!   so every job still resolves exactly once.
 //! - **Telemetry**: one [`StatsRegistry`] per shard (accept/reject/steal
-//!   counters, completion-latency histogram), merged on demand into a
-//!   fleet-wide [`FleetView`] whose histogram merge is exact.
+//!   counters, completion-latency histogram, the `serve.health.*`
+//!   family), merged on demand into a fleet-wide [`FleetView`] whose
+//!   histogram merge is exact.
 //!
 //! Everything iterates in shard-index order and all state lives in
 //! ordered containers, so a fixed (config, job stream) pair replays to
@@ -31,6 +44,7 @@
 //!
 //! [`RejectReason::QueueFull`]: mpsoc_sched::RejectReason::QueueFull
 
+use mpsoc_noc::ClusterMask;
 use mpsoc_sched::{
     CostGate, FifoFirstFit, Job, JobOutcome, JobRecord, KernelId, ModelTable, RejectReason,
     SchedError, ServiceBackend, ShardDecision, ShardSim,
@@ -83,6 +97,49 @@ pub struct FleetConfig {
     pub placement: PlacementPolicy,
     /// Whether idle shards steal queued work from loaded siblings.
     pub steal: bool,
+    /// How many alternative shards a queue-full-rejected job is
+    /// re-offered to before the rejection becomes final. `0` disables
+    /// redirection (the first shard's verdict stands, the pre-redirect
+    /// behavior).
+    pub redirect_budget: u32,
+    /// Whether a dead shard's queued-but-unstarted jobs are drained to
+    /// surviving shards. Off, they sit until the run ends and resolve
+    /// as `DegradedMachine` rejections.
+    pub failover: bool,
+}
+
+/// Health of one shard, derived from its quarantine mass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ShardState {
+    /// Every configured cluster is serving.
+    Healthy,
+    /// Quarantine has retired some clusters; the rest still serve.
+    Degraded,
+    /// Every cluster is quarantined: the shard can serve nothing.
+    Dead,
+}
+
+impl ShardState {
+    /// Stable snake_case name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardState::Healthy => "healthy",
+            ShardState::Degraded => "degraded",
+            ShardState::Dead => "dead",
+        }
+    }
+
+    /// Severity code (0 healthy, 1 degraded, 2 dead). Quarantine never
+    /// heals, so a shard's code is monotone over a run — which lets the
+    /// `serve.health.shard_state` *counter* track the current state
+    /// exactly (each transition adds the code delta).
+    pub fn code(&self) -> u64 {
+        match self {
+            ShardState::Healthy => 0,
+            ShardState::Degraded => 1,
+            ShardState::Dead => 2,
+        }
+    }
 }
 
 /// One finished job, tagged with the shard that resolved it.
@@ -103,6 +160,9 @@ pub struct Fleet {
     next_job_id: u64,
     submitted: u64,
     completed: Vec<FleetRecord>,
+    /// Last state code published to `serve.health.shard_state`, per
+    /// shard (the counter carries the delta on each transition).
+    state_logged: Vec<u64>,
 }
 
 impl Fleet {
@@ -145,11 +205,12 @@ impl Fleet {
         Fleet {
             stats: (0..config.shards).map(|_| StatsRegistry::new()).collect(),
             shards,
-            config,
             rr_next: 0,
             next_job_id: 0,
             submitted: 0,
             completed: Vec::new(),
+            state_logged: vec![0; config.shards],
+            config,
         }
     }
 
@@ -200,6 +261,36 @@ impl Fleet {
         &self.shards[i]
     }
 
+    /// Configures automatic quarantine on every shard: a cluster is
+    /// retired after `threshold` corrupt co-simulated completions
+    /// flagged it; `None` disables the closed loop so corruption is
+    /// absorbed by bounded re-dispatch alone — the no-recovery arm
+    /// chaos studies ablate against.
+    pub fn set_auto_quarantine(&mut self, threshold: Option<u32>) {
+        for shard in &mut self.shards {
+            shard.set_auto_quarantine(threshold);
+        }
+    }
+
+    /// Manually retires clusters on shard `i` — the operator-driven
+    /// path through the same quarantine machinery auto-quarantine
+    /// drives, publishing the same `serve.health.*` telemetry
+    /// immediately.
+    pub fn quarantine_shard(&mut self, i: usize, mask: ClusterMask) {
+        self.shards[i].quarantine(mask);
+        self.collect(i);
+    }
+
+    /// Shard `i`'s health, derived from its healthy-cluster count
+    /// against the configured size.
+    pub fn shard_state(&self, i: usize) -> ShardState {
+        match self.shards[i].healthy_clusters() {
+            0 => ShardState::Dead,
+            h if h < self.config.clusters_per_shard => ShardState::Degraded,
+            _ => ShardState::Healthy,
+        }
+    }
+
     /// Advances every shard to `until`, collects completions, and — when
     /// stealing is on — lets idle shards take queued work from loaded
     /// siblings.
@@ -213,6 +304,7 @@ impl Fleet {
             self.shards[i].advance(until)?;
             self.collect(i);
         }
+        self.fail_over()?;
         self.rebalance()
     }
 
@@ -231,7 +323,7 @@ impl Fleet {
         now: u64,
     ) -> Result<(u32, ShardDecision), SchedError> {
         self.advance(now)?;
-        let shard = self.place();
+        let first = self.place();
         let job = Job {
             id: self.next_job_id,
             kernel,
@@ -241,33 +333,98 @@ impl Fleet {
         };
         self.next_job_id += 1;
         self.submitted += 1;
-        let decision = self.shards[shard].offer(job)?;
-        match decision {
-            ShardDecision::Queued { .. } | ShardDecision::Host { .. } => {
-                self.stats[shard].incr("serve.accepted");
-                if let Some(check) = self.shards[shard].take_cost_check() {
-                    self.stats[shard].incr("serve.cost.checked");
-                    if check.predicted < check.best as f64 {
-                        self.stats[shard].incr("serve.cost.pred_below_best");
-                    }
-                    if check.predicted > check.worst as f64 {
-                        self.stats[shard].incr("serve.cost.pred_above_worst");
-                    }
-                }
+        let mut shard = first;
+        let mut decision = self.shards[first].offer(job)?;
+        if matches!(
+            decision,
+            ShardDecision::Rejected {
+                reason: RejectReason::QueueFull { .. }
             }
-            ShardDecision::Rejected { reason } => {
-                self.stats[shard].incr("serve.rejected");
-                // One named counter per rejection kind, so operators can
-                // tell backpressure from model-side infeasibility at a
-                // glance (`serve.reject.queue_full` vs `.infeasible` …).
-                self.stats[shard].incr(&format!("serve.reject.{}", reason.counter_key()));
-                if matches!(reason, RejectReason::QueueFull { .. }) {
-                    self.stats[shard].incr("serve.queue_full");
+        ) && self.config.redirect_budget > 0
+        {
+            (shard, decision) = self.redirect(first, job, decision)?;
+        }
+        if matches!(
+            decision,
+            ShardDecision::Queued { .. } | ShardDecision::Host { .. }
+        ) {
+            self.stats[shard].incr("serve.accepted");
+            if let Some(check) = self.shards[shard].take_cost_check() {
+                self.stats[shard].incr("serve.cost.checked");
+                if check.predicted < check.best as f64 {
+                    self.stats[shard].incr("serve.cost.pred_below_best");
+                }
+                if check.predicted > check.worst as f64 {
+                    self.stats[shard].incr("serve.cost.pred_above_worst");
                 }
             }
         }
-        self.collect(shard);
+        // Rejections are counted when their records are collected, so a
+        // withdrawn (successfully redirected) rejection never shows up.
+        self.collect(first);
+        if shard != first {
+            self.collect(shard);
+        }
         Ok((shard as u32, decision))
+    }
+
+    /// Re-offers a queue-full-rejected job to up to
+    /// [`FleetConfig::redirect_budget`] next-best live shards. The first
+    /// taker wins: the original shard's rejection record is withdrawn
+    /// and the taker's verdict replaces it. Failed attempts withdraw
+    /// their own records immediately, and when the budget exhausts (or
+    /// no alternative exists) the original rejection stands — exactly
+    /// one record per job either way.
+    fn redirect(
+        &mut self,
+        first: usize,
+        job: Job,
+        original: ShardDecision,
+    ) -> Result<(usize, ShardDecision), SchedError> {
+        let mut tried = vec![false; self.shards.len()];
+        tried[first] = true;
+        for _ in 0..self.config.redirect_budget {
+            let Some(next) = self.next_choice(&tried) else {
+                break;
+            };
+            tried[next] = true;
+            let decision = self.shards[next].offer(job)?;
+            match decision {
+                ShardDecision::Queued { .. } | ShardDecision::Host { .. } => {
+                    let withdrawn = self.shards[first].withdraw_rejection(job.id);
+                    debug_assert!(withdrawn, "the queue-full rejection must still be last");
+                    self.stats[first].incr("serve.health.redirects");
+                    return Ok((next, decision));
+                }
+                ShardDecision::Rejected { .. } => {
+                    // This attempt is not final: drop its record and
+                    // keep looking (the original rejection still
+                    // stands if nothing takes the job).
+                    self.shards[next].withdraw_rejection(job.id);
+                }
+            }
+        }
+        Ok((first, original))
+    }
+
+    /// The untried live shard with the shallowest queue (ties to the
+    /// lowest index) — the deterministic "next-best" choice redirection
+    /// and failover share.
+    fn next_choice(&self, tried: &[bool]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, s) in self.shards.iter().enumerate() {
+            if tried[i] || s.healthy_clusters() == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => s.queue_depth() < self.shards[b].queue_depth(),
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        best
     }
 
     /// Runs every shard dry and collects the remaining completions.
@@ -276,6 +433,7 @@ impl Fleet {
     ///
     /// Shard failures, including a stalled co-simulated session.
     pub fn drain(&mut self) -> Result<(), SchedError> {
+        self.fail_over()?;
         self.rebalance()?;
         for i in 0..self.shards.len() {
             self.shards[i].drain()?;
@@ -284,37 +442,108 @@ impl Fleet {
         Ok(())
     }
 
-    /// The placement policy's shard choice for the next job.
+    /// The placement policy's shard choice for the next job. Dead
+    /// shards are skipped and capacity-normalized scores divide by the
+    /// *healthy* cluster count, so a degraded shard attracts
+    /// proportionally less work; on an all-healthy fleet every branch
+    /// reduces exactly to the pre-health behavior. With every shard
+    /// dead, shard 0 takes the offer (and rejects it as degraded).
     fn place(&mut self) -> usize {
         match self.config.placement {
             PlacementPolicy::RoundRobin => {
-                let shard = self.rr_next % self.shards.len();
-                self.rr_next += 1;
-                shard
-            }
-            PlacementPolicy::LeastLoaded => {
-                let mut best = 0;
-                for (i, s) in self.shards.iter().enumerate().skip(1) {
-                    if s.queue_depth() < self.shards[best].queue_depth() {
-                        best = i;
+                for _ in 0..self.shards.len() {
+                    let shard = self.rr_next % self.shards.len();
+                    self.rr_next += 1;
+                    if self.shards[shard].healthy_clusters() > 0 {
+                        return shard;
                     }
                 }
-                best
+                0
+            }
+            PlacementPolicy::LeastLoaded => {
+                let mut best: Option<usize> = None;
+                for (i, s) in self.shards.iter().enumerate() {
+                    if s.healthy_clusters() == 0 {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some(b) => s.queue_depth() < self.shards[b].queue_depth(),
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+                best.unwrap_or(0)
             }
             PlacementPolicy::ModelGuided => {
-                let score = |s: &ShardSim| s.backlog_cycles() / s.clusters() as f64;
-                let mut best = 0;
-                let mut best_score = score(&self.shards[0]);
-                for (i, s) in self.shards.iter().enumerate().skip(1) {
-                    let sc = score(s);
-                    if sc < best_score {
-                        best = i;
+                let mut best: Option<usize> = None;
+                let mut best_score = f64::INFINITY;
+                for (i, s) in self.shards.iter().enumerate() {
+                    if s.healthy_clusters() == 0 {
+                        continue;
+                    }
+                    let sc = s.backlog_cycles() / s.healthy_clusters() as f64;
+                    if best.is_none() || sc < best_score {
+                        best = Some(i);
                         best_score = sc;
                     }
                 }
-                best
+                best.unwrap_or(0)
             }
         }
+    }
+
+    /// Evacuates work stranded by quarantine. Dead shards (whole pool
+    /// quarantined) give up their entire queue; degraded shards give up
+    /// exactly the jobs whose minimum partition no longer fits their
+    /// surviving pool — under the shards' strict-FIFO policy such a job
+    /// would otherwise wedge the queue head mid-stream, starving every
+    /// job behind it until drain. Each evacuated job moves to the
+    /// shallowest live shard whose healthy pool still fits it
+    /// (admission solution intact, no hardware state to migrate); with
+    /// no fitting survivor it resolves immediately as a typed
+    /// `DegradedMachine` rejection. No-op unless
+    /// [`FleetConfig::failover`] is on.
+    fn fail_over(&mut self) -> Result<(), SchedError> {
+        if !self.config.failover {
+            return Ok(());
+        }
+        for i in 0..self.shards.len() {
+            let evicted = if self.shards[i].healthy_clusters() == 0 {
+                // Steal pops the tail; reverse to evacuate in arrival
+                // order so the oldest jobs get first pick of survivors.
+                let mut all = Vec::new();
+                while let Some(q) = self.shards[i].steal() {
+                    all.push(q);
+                }
+                all.reverse();
+                all
+            } else {
+                self.shards[i].evict_unservable()
+            };
+            for q in evicted {
+                let mut tried = vec![false; self.shards.len()];
+                tried[i] = true;
+                let target = loop {
+                    match self.next_choice(&tried) {
+                        Some(t) if self.shards[t].healthy_clusters() as u64 >= q.m_min => {
+                            break Some(t);
+                        }
+                        Some(t) => tried[t] = true,
+                        None => break None,
+                    }
+                };
+                match target {
+                    Some(t) => {
+                        self.stats[i].incr("serve.health.failovers");
+                        self.shards[t].inject(q)?;
+                    }
+                    None => self.shards[i].reject_evicted(q),
+                }
+            }
+        }
+        Ok(())
     }
 
     /// One stealing pass: each idle shard (empty queue, free clusters)
@@ -348,7 +577,8 @@ impl Fleet {
     }
 
     /// Drains shard `i`'s finished records into the fleet log and its
-    /// statistics registry.
+    /// statistics registry, along with its quarantine events and any
+    /// health-state transition they caused.
     fn collect(&mut self, i: usize) {
         for record in self.shards[i].drain_finished() {
             let reg = &mut self.stats[i];
@@ -372,13 +602,35 @@ impl Fleet {
                         reg.incr("serve.deadline_missed");
                     }
                 }
-                // Rejections were counted at submit time.
-                JobOutcome::Rejected { .. } => {}
+                // Counted here — not at submit time — so rejections
+                // that materialize mid-run (stranded jobs on a dead
+                // shard) are counted too, and rejections withdrawn by a
+                // successful redirect never are.
+                JobOutcome::Rejected { reason } => {
+                    reg.incr("serve.rejected");
+                    // One named counter per rejection kind, so
+                    // operators can tell backpressure from model-side
+                    // infeasibility at a glance
+                    // (`serve.reject.queue_full` vs `.infeasible` …).
+                    reg.incr(&format!("serve.reject.{}", reason.counter_key()));
+                    if matches!(reason, RejectReason::QueueFull { .. }) {
+                        reg.incr("serve.queue_full");
+                    }
+                }
             }
             self.completed.push(FleetRecord {
                 shard: i as u32,
                 record,
             });
+        }
+        let retired = self.shards[i].drain_quarantine_events();
+        if !retired.is_empty() {
+            self.stats[i].add("serve.health.quarantined_clusters", retired.len() as u64);
+            let code = self.shard_state(i).code();
+            if code > self.state_logged[i] {
+                self.stats[i].add("serve.health.shard_state", code - self.state_logged[i]);
+                self.state_logged[i] = code;
+            }
         }
     }
 }
@@ -394,6 +646,8 @@ mod tests {
             queue_limit: 4,
             placement,
             steal: true,
+            redirect_budget: 0,
+            failover: false,
         }
     }
 
@@ -458,6 +712,8 @@ mod tests {
                 queue_limit: 8,
                 placement: PlacementPolicy::LeastLoaded,
                 steal: false,
+                redirect_budget: 0,
+                failover: false,
             },
             &ModelTable::paper_defaults(),
         );
@@ -483,6 +739,8 @@ mod tests {
                 queue_limit: 2,
                 placement: PlacementPolicy::RoundRobin,
                 steal: false,
+                redirect_budget: 0,
+                failover: false,
             },
             &ModelTable::paper_defaults(),
         );
@@ -520,6 +778,8 @@ mod tests {
                 queue_limit: 16,
                 placement: PlacementPolicy::RoundRobin,
                 steal: true,
+                redirect_budget: 0,
+                failover: false,
             },
             &ModelTable::paper_defaults(),
         );
@@ -545,6 +805,280 @@ mod tests {
         );
         f.drain().expect("drain");
         assert_eq!(f.completed().len(), 10);
+    }
+
+    #[test]
+    fn shard_health_tracks_quarantine_mass() {
+        let mut f = Fleet::analytic(
+            FleetConfig {
+                shards: 1,
+                clusters_per_shard: 2,
+                queue_limit: 4,
+                placement: PlacementPolicy::RoundRobin,
+                steal: false,
+                redirect_budget: 0,
+                failover: false,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        assert_eq!(f.shard_state(0), ShardState::Healthy);
+        f.quarantine_shard(0, ClusterMask::single(0));
+        assert_eq!(f.shard_state(0), ShardState::Degraded);
+        f.quarantine_shard(0, ClusterMask::single(1));
+        assert_eq!(f.shard_state(0), ShardState::Dead);
+        let stats = &f.shard_stats()[0];
+        assert_eq!(stats.counter("serve.health.quarantined_clusters"), 2);
+        // The monotone state counter carries the *current* code.
+        assert_eq!(
+            stats.counter("serve.health.shard_state"),
+            ShardState::Dead.code()
+        );
+    }
+
+    #[test]
+    fn failover_moves_a_dead_shards_queue_to_survivors() {
+        let mut f = Fleet::analytic(
+            FleetConfig {
+                shards: 2,
+                clusters_per_shard: 1,
+                queue_limit: 16,
+                placement: PlacementPolicy::RoundRobin,
+                steal: false,
+                redirect_budget: 0,
+                failover: true,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        // Round-robin at t=0: three offloads land on each shard (one
+        // running, two queued).
+        for _ in 0..6 {
+            let (_, d) = f
+                .submit(KernelId::Daxpy, 4096, 1_000_000, 0)
+                .expect("submit");
+            assert!(matches!(d, ShardDecision::Queued { .. }));
+        }
+        f.quarantine_shard(0, ClusterMask::single(0));
+        assert_eq!(f.shard_state(0), ShardState::Dead);
+        f.drain().expect("drain");
+        let view = f.fleet_view();
+        assert!(
+            view.stats().counter("serve.health.failovers") > 0,
+            "the dead shard's queue must evacuate: {:?}",
+            view.stats().counters().collect::<Vec<_>>()
+        );
+        // Nothing admitted is lost: every job resolves as a completion,
+        // not a stranded DegradedMachine rejection.
+        assert_eq!(f.completed().len(), 6);
+        assert!(f
+            .completed()
+            .iter()
+            .all(|r| !matches!(r.record.outcome, JobOutcome::Rejected { .. })));
+    }
+
+    /// A 2×2 fleet where each shard runs a narrow filler on cluster 0
+    /// and shard 0 additionally queues a job whose deadline only a
+    /// 2-cluster partition can meet (t̂(1, 16384) misses, t̂(2, 16384)
+    /// fits, host is far out of range).
+    fn degraded_wide_job_fleet(shards: usize) -> Fleet {
+        let mut f = Fleet::analytic(
+            FleetConfig {
+                shards,
+                clusters_per_shard: 2,
+                queue_limit: 8,
+                placement: PlacementPolicy::RoundRobin,
+                steal: false,
+                redirect_budget: 0,
+                failover: true,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        for _ in 0..shards {
+            let (_, d) = f
+                .submit(KernelId::Daxpy, 4096, 1_000_000, 0)
+                .expect("submit filler");
+            assert!(matches!(d, ShardDecision::Queued { m_min: 1, .. }));
+        }
+        let (s, d) = f.submit(KernelId::Daxpy, 16_384, 8_000, 0).expect("submit");
+        assert_eq!(s, 0, "round-robin wraps the wide job onto shard 0");
+        assert!(
+            matches!(d, ShardDecision::Queued { m_min: 2, .. }),
+            "the deadline must force a 2-cluster partition, got {d:?}"
+        );
+        f
+    }
+
+    #[test]
+    fn failover_rescues_a_wedged_wide_job_from_a_degraded_shard() {
+        // Quarantining shard 0's free cluster leaves its queued m_min=2
+        // job unservable — without eviction it would wedge the strict
+        // FIFO head until drain. Failover must move it to shard 1,
+        // whose full pool still fits it, where it completes 2-wide.
+        let mut f = degraded_wide_job_fleet(2);
+        f.quarantine_shard(0, ClusterMask::single(1));
+        assert_eq!(f.shard_state(0), ShardState::Degraded);
+        f.drain().expect("drain");
+        assert!(f.fleet_view().stats().counter("serve.health.failovers") > 0);
+        assert_eq!(f.completed().len(), 3);
+        let wide = f
+            .completed()
+            .iter()
+            .find(|r| r.record.job.id == 2)
+            .expect("wide job resolves");
+        assert_eq!(wide.shard, 1, "the wide job must land on the survivor");
+        assert!(
+            matches!(wide.record.outcome, JobOutcome::Offloaded { m: 2, .. }),
+            "rescued job still runs at its admitted width: {:?}",
+            wide.record.outcome
+        );
+    }
+
+    #[test]
+    fn eviction_rejects_typed_when_no_survivor_fits() {
+        // Same wedge, but every shard is degraded to one cluster: no
+        // pool fits the m_min=2 job, so eviction must resolve it as an
+        // immediate `DegradedMachine` rejection instead of moving it —
+        // and the narrow tenants on the surviving clusters finish
+        // untouched.
+        let mut f = degraded_wide_job_fleet(2);
+        f.quarantine_shard(0, ClusterMask::single(1));
+        f.quarantine_shard(1, ClusterMask::single(1));
+        f.drain().expect("drain");
+        assert_eq!(f.fleet_view().stats().counter("serve.health.failovers"), 0);
+        assert_eq!(f.completed().len(), 3);
+        let wide = f
+            .completed()
+            .iter()
+            .find(|r| r.record.job.id == 2)
+            .expect("wide job resolves");
+        match wide.record.outcome {
+            JobOutcome::Rejected {
+                reason: RejectReason::DegradedMachine { required, healthy },
+            } => {
+                assert_eq!(required, 2);
+                assert_eq!(healthy, 1);
+            }
+            ref other => panic!("expected a degraded rejection, got {other:?}"),
+        }
+        let offloaded = f
+            .completed()
+            .iter()
+            .filter(|r| matches!(r.record.outcome, JobOutcome::Offloaded { .. }))
+            .count();
+        assert_eq!(offloaded, 2, "both fillers complete on surviving clusters");
+    }
+
+    #[test]
+    fn without_failover_a_dead_shard_strands_its_queue() {
+        let mut f = Fleet::analytic(
+            FleetConfig {
+                shards: 2,
+                clusters_per_shard: 1,
+                queue_limit: 16,
+                placement: PlacementPolicy::RoundRobin,
+                steal: false,
+                redirect_budget: 0,
+                failover: false,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        for _ in 0..6 {
+            f.submit(KernelId::Daxpy, 4096, 1_000_000, 0)
+                .expect("submit");
+        }
+        f.quarantine_shard(0, ClusterMask::single(0));
+        f.drain().expect("drain");
+        let stranded = f
+            .completed()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.record.outcome,
+                    JobOutcome::Rejected {
+                        reason: RejectReason::DegradedMachine { .. }
+                    }
+                )
+            })
+            .count();
+        assert!(stranded > 0, "queued work on the dead shard must strand");
+        assert_eq!(f.completed().len(), 6);
+        assert_eq!(f.fleet_view().stats().counter("serve.health.failovers"), 0);
+    }
+
+    #[test]
+    fn queue_full_jobs_redirect_to_shards_with_room() {
+        // Round-robin sends heavy offloads to shard 0 (even arrivals)
+        // and below-break-even host jobs to shard 1 (odd arrivals), so
+        // shard 0's queue saturates while shard 1 sits empty.
+        let run = |redirect_budget: u32| {
+            let mut f = Fleet::analytic(
+                FleetConfig {
+                    shards: 2,
+                    clusters_per_shard: 1,
+                    queue_limit: 2,
+                    placement: PlacementPolicy::RoundRobin,
+                    steal: false,
+                    redirect_budget,
+                    failover: false,
+                },
+                &ModelTable::paper_defaults(),
+            );
+            for k in 0..12u64 {
+                let n = if k % 2 == 0 { 4096 } else { 64 };
+                f.submit(KernelId::Daxpy, n, 1_000_000, 0).expect("submit");
+            }
+            f.drain().expect("drain");
+            f
+        };
+        let strict = run(0);
+        let healed = run(1);
+        let queue_full = |f: &Fleet| f.fleet_view().stats().counter("serve.queue_full");
+        assert!(
+            queue_full(&healed) < queue_full(&strict),
+            "redirection must convert backpressure rejections into work: {} vs {}",
+            queue_full(&healed),
+            queue_full(&strict)
+        );
+        assert!(
+            healed
+                .fleet_view()
+                .stats()
+                .counter("serve.health.redirects")
+                > 0
+        );
+        // Exactly-once resolution under withdrawal: 12 records, one per
+        // distinct job.
+        for f in [&strict, &healed] {
+            let mut ids: Vec<u64> = f.completed().iter().map(|r| r.record.job.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 12);
+        }
+    }
+
+    #[test]
+    fn placement_skips_dead_shards() {
+        for placement in ALL_PLACEMENTS {
+            let mut f = Fleet::analytic(
+                FleetConfig {
+                    shards: 3,
+                    clusters_per_shard: 2,
+                    queue_limit: 8,
+                    placement,
+                    steal: false,
+                    redirect_budget: 0,
+                    failover: false,
+                },
+                &ModelTable::paper_defaults(),
+            );
+            f.quarantine_shard(1, ClusterMask::first(2));
+            for i in 0..9u64 {
+                let (s, _) = f
+                    .submit(KernelId::Daxpy, 1024, 100_000, i * 10)
+                    .expect("submit");
+                assert_ne!(s, 1, "{placement:?} placed on a dead shard");
+            }
+            f.drain().expect("drain");
+        }
     }
 
     #[test]

@@ -20,8 +20,11 @@
 //!    `tcp` feature.
 //! 4. **Fleet** ([`fleet`]) — independent [`ShardSim`] machines behind a
 //!    balancer with pluggable placement (round-robin, least-loaded,
-//!    model-guided on Eq. 1 backlog), queue-depth backpressure and work
-//!    stealing of queued-but-unstarted jobs.
+//!    model-guided on Eq. 1 backlog), queue-depth backpressure, work
+//!    stealing of queued-but-unstarted jobs, and self-healing: shard
+//!    health states ([`fleet::ShardState`]) driven by auto-quarantine,
+//!    failover of a dead shard's queue to survivors, and bounded
+//!    redirect of backpressure-rejected jobs.
 //! 5. **Daemon** ([`daemon`]) — the event loop tying scripts → frames →
 //!    fleet → time-ordered response streams, deterministically.
 //! 6. **SLO** ([`slo`]) — fleet p50/p99 from exact per-shard histogram
@@ -50,6 +53,8 @@
 //!         queue_limit: 8,
 //!         placement: PlacementPolicy::LeastLoaded,
 //!         steal: true,
+//!         redirect_budget: 0,
+//!         failover: false,
 //!     },
 //!     &ModelTable::paper_defaults(),
 //! );
@@ -81,7 +86,7 @@ pub mod transport;
 pub mod wire;
 
 pub use daemon::{ClientScript, Daemon, ServeError, SessionLog};
-pub use fleet::{Fleet, FleetConfig, FleetRecord, PlacementPolicy, ALL_PLACEMENTS};
+pub use fleet::{Fleet, FleetConfig, FleetRecord, PlacementPolicy, ShardState, ALL_PLACEMENTS};
 pub use metrics::{prometheus_text, stats_json};
 pub use proto::{Request, Response, StatsReport, PROTOCOL_VERSION};
 pub use slo::{FleetSlo, ShardSlo};

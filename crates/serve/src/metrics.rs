@@ -132,6 +132,8 @@ mod tests {
                 queue_limit: 2,
                 placement: PlacementPolicy::LeastLoaded,
                 steal: true,
+                redirect_budget: 0,
+                failover: false,
             },
             &ModelTable::paper_defaults(),
         );
@@ -241,6 +243,39 @@ mod tests {
                 "{key:?} is not snake_case"
             );
         }
+    }
+
+    #[test]
+    fn health_counters_fold_into_shard_labeled_families() {
+        use mpsoc_noc::ClusterMask;
+        let mut fleet = Fleet::analytic(
+            FleetConfig {
+                shards: 2,
+                clusters_per_shard: 2,
+                queue_limit: 4,
+                placement: PlacementPolicy::LeastLoaded,
+                steal: false,
+                redirect_budget: 0,
+                failover: false,
+            },
+            &ModelTable::paper_defaults(),
+        );
+        fleet.quarantine_shard(0, ClusterMask::single(0));
+        let mut daemon = Daemon::new(fleet);
+        let mut script = ClientScript::new();
+        script.submit_at(0, 1, KernelId::Daxpy, 1024, 100_000);
+        daemon.run(&[script]).expect("run");
+        let r = daemon.stats_report(0);
+        let text = prometheus_text(&r, &[]);
+        // The `serve.health.*` family needs no exposition-side support:
+        // the shard-prefix fold gives it `{shard=…}` labels like any
+        // other counter.
+        assert!(text.contains("mpsoc_serve_health_quarantined_clusters{shard=\"0\"} 1"));
+        assert!(text.contains("mpsoc_serve_health_shard_state{shard=\"0\"} 1"));
+        assert_eq!(r.slo.quarantined_clusters, 1);
+        assert_eq!(r.slo.per_shard[0].state, "degraded");
+        assert_eq!(r.slo.per_shard[1].state, "healthy");
+        assert_eq!(r.slo.dead_shards, 0);
     }
 
     #[test]

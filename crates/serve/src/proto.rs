@@ -24,8 +24,10 @@ use serde::{Deserialize, Serialize};
 /// from other versions with a typed error rather than guessing.
 ///
 /// History: 1 = submit/accept/reject/complete; 2 = adds
-/// `GetStats`/`Stats` and `Option`-typed SLO quantiles.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// `GetStats`/`Stats` and `Option`-typed SLO quantiles; 3 = adds the
+/// self-healing fields (shard state, quarantined clusters, failovers,
+/// redirects) to the SLO summary inside [`Response::Stats`].
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Client → daemon.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -192,6 +194,8 @@ mod tests {
                 queue_limit: 1,
                 placement: PlacementPolicy::RoundRobin,
                 steal: false,
+                redirect_budget: 0,
+                failover: false,
             },
             &ModelTable::paper_defaults(),
         );

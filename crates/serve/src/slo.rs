@@ -31,6 +31,15 @@ pub struct ShardSlo {
     pub steals_out: u64,
     /// Queued jobs stolen *into* this shard.
     pub steals_in: u64,
+    /// Health at summary time (`"healthy"` / `"degraded"` / `"dead"`).
+    pub state: String,
+    /// Clusters auto-quarantined (or manually retired) on this shard.
+    pub quarantined_clusters: u64,
+    /// Queued jobs evacuated from this shard after it died.
+    pub failovers: u64,
+    /// Queue-full rejections redirected *away* from this shard that
+    /// found a taker.
+    pub redirects: u64,
     /// Median completion latency (cycles; `None` when nothing
     /// completed — `Some(0)` would be indistinguishable from a real
     /// zero-cycle completion).
@@ -67,6 +76,14 @@ pub struct FleetSlo {
     pub steals: u64,
     /// Corruption re-dispatches across the fleet.
     pub retries: u64,
+    /// Clusters quarantined across the fleet.
+    pub quarantined_clusters: u64,
+    /// Shards with every cluster quarantined at summary time.
+    pub dead_shards: u64,
+    /// Jobs evacuated from dead shards to survivors.
+    pub failovers: u64,
+    /// Queue-full rejections that found a taker on another shard.
+    pub redirects: u64,
     /// Completed jobs that met their deadline.
     pub deadline_met: u64,
     /// `deadline_met / submitted` — rejections count against SLO.
@@ -126,6 +143,10 @@ impl FleetSlo {
                     host_runs: c("host_runs"),
                     steals_out: c("steals_out"),
                     steals_in: c("steals_in"),
+                    state: fleet.shard_state(i).name().to_owned(),
+                    quarantined_clusters: c("health.quarantined_clusters"),
+                    failovers: c("health.failovers"),
+                    redirects: c("health.redirects"),
                     p50: shard_hist.p50(),
                     p99: shard_hist.p99(),
                     utilization: if capacity == 0 {
@@ -148,6 +169,12 @@ impl FleetSlo {
             queue_full: stats.counter("serve.queue_full"),
             steals: stats.counter("serve.steals_in"),
             retries: stats.counter("serve.retries"),
+            quarantined_clusters: stats.counter("serve.health.quarantined_clusters"),
+            dead_shards: (0..config.shards)
+                .filter(|&i| fleet.shard_state(i) == crate::fleet::ShardState::Dead)
+                .count() as u64,
+            failovers: stats.counter("serve.health.failovers"),
+            redirects: stats.counter("serve.health.redirects"),
             deadline_met,
             attainment: if submitted == 0 {
                 1.0
@@ -178,6 +205,8 @@ mod tests {
                 queue_limit: 2,
                 placement: PlacementPolicy::LeastLoaded,
                 steal: true,
+                redirect_budget: 0,
+                failover: false,
             },
             &ModelTable::paper_defaults(),
         );
@@ -214,6 +243,8 @@ mod tests {
                 queue_limit: 8,
                 placement: PlacementPolicy::RoundRobin,
                 steal: false,
+                redirect_budget: 0,
+                failover: false,
             },
             &ModelTable::paper_defaults(),
         );
@@ -244,6 +275,8 @@ mod tests {
                 queue_limit: 4,
                 placement: PlacementPolicy::LeastLoaded,
                 steal: true,
+                redirect_budget: 0,
+                failover: false,
             },
             &ModelTable::paper_defaults(),
         );

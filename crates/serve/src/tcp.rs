@@ -141,6 +141,8 @@ mod tests {
                     queue_limit: 8,
                     placement: PlacementPolicy::LeastLoaded,
                     steal: true,
+                    redirect_budget: 0,
+                    failover: false,
                 },
                 &ModelTable::paper_defaults(),
             ));

@@ -40,6 +40,10 @@ fn stats_report_from(dice: (u64, u64, u64)) -> StatsReport {
             host_runs: b % 7,
             steals_out: a % 5,
             steals_in: c % 5,
+            state: ["healthy", "degraded", "dead"][((a ^ i) % 3) as usize].to_owned(),
+            quarantined_clusters: c % 4,
+            failovers: b % 6,
+            redirects: a % 6,
             p50: if (b ^ i) % 2 == 0 {
                 Some(b % 100_000)
             } else {
@@ -65,6 +69,10 @@ fn stats_report_from(dice: (u64, u64, u64)) -> StatsReport {
         queue_full: c % 100,
         steals: a % 50,
         retries: a % 3,
+        quarantined_clusters: c % 16,
+        dead_shards: a % 4,
+        failovers: b % 40,
+        redirects: c % 40,
         deadline_met: b % 9_000,
         attainment: (a % 9) as f64 / 8.0,
         p50: if a % 2 == 0 { Some(a % 70_000) } else { None },

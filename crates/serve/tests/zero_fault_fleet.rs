@@ -1,0 +1,91 @@
+//! The self-healing layer's no-op guarantee at fleet scope: a
+//! co-simulated fleet with a zero-fault [`FaultPlan`] installed (any
+//! seed, every site disarmed) must quarantine nothing and produce
+//! **byte-identical** reports to the same fleet with no plan installed
+//! at all. Any randomness consumed or branch flipped by a disarmed
+//! fault hook — or any health-machinery side effect on a healthy
+//! fleet — shows up here as a serialization diff.
+
+use mpsoc_offload::Offloader;
+use mpsoc_sched::{KernelId, ModelTable, ServiceBackend};
+use mpsoc_serve::{Fleet, FleetConfig, FleetSlo, PlacementPolicy};
+use mpsoc_soc::{FaultPlan, SocConfig};
+use proptest::prelude::*;
+
+/// One co-simulated fleet run serialized to its report bytes. The SLO
+/// summary and the full resolution log both go into the artifact, so a
+/// divergence anywhere — placement, timing, retries, health counters —
+/// fails the byte comparison.
+fn run_bytes(
+    plan: Option<FaultPlan>,
+    seed: u64,
+    jobs: u64,
+    redirect_budget: u32,
+    failover: bool,
+) -> String {
+    let config = FleetConfig {
+        shards: 2,
+        clusters_per_shard: 2,
+        // Generous: backpressure never fires here, so a nonzero
+        // redirect budget has nothing to act on and must change nothing.
+        queue_limit: 64,
+        placement: PlacementPolicy::ModelGuided,
+        steal: true,
+        redirect_budget,
+        failover,
+    };
+    let table = ModelTable::paper_defaults();
+    let backends = (0..config.shards)
+        .map(|i| {
+            let mut off = Offloader::new(SocConfig::with_clusters(config.clusters_per_shard))
+                .expect("offloader");
+            if let Some(plan) = &plan {
+                off.install_faults(plan.clone());
+            }
+            ServiceBackend::co_simulated(off, seed ^ i as u64)
+        })
+        .collect();
+    let mut fleet = Fleet::with_backends(config, &table, backends);
+    for k in 0..jobs {
+        let n = 256 << (k % 3);
+        fleet
+            .submit(KernelId::Daxpy, n, 500_000, k * 400)
+            .expect("submit");
+    }
+    fleet.drain().expect("drain");
+    let slo = FleetSlo::from_fleet(&fleet);
+    assert_eq!(slo.quarantined_clusters, 0, "zero faults, zero quarantine");
+    assert_eq!(slo.dead_shards, 0);
+    assert_eq!(slo.failovers, 0);
+    assert!(slo.per_shard.iter().all(|s| s.state == "healthy"));
+    serde_json::to_string(&(slo, fleet.completed().to_vec())).expect("serialize")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Zero-fault plans are observationally invisible to the serving
+    /// stack, whatever their seed, and flipping the self-healing knobs
+    /// (redirect budget, failover) changes nothing on a healthy fleet.
+    #[test]
+    fn zero_fault_fleets_report_byte_identically(
+        seed in any::<u64>(),
+        jobs in 1u64..10,
+        redirect_budget in 0u32..2,
+        failover in any::<bool>(),
+    ) {
+        let clean = run_bytes(None, seed, jobs, 0, false);
+        let planned = run_bytes(
+            Some(FaultPlan::with_seed(seed)),
+            seed,
+            jobs,
+            0,
+            false,
+        );
+        prop_assert_eq!(&clean, &planned, "a zero-fault plan perturbed the fleet");
+        // The recovery machinery must be pure overheadless bookkeeping
+        // while every shard is healthy: same bytes with it armed.
+        let armed = run_bytes(None, seed, jobs, redirect_budget, failover);
+        prop_assert_eq!(&clean, &armed, "health machinery perturbed a healthy fleet");
+    }
+}

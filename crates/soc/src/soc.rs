@@ -456,6 +456,18 @@ impl Soc {
         true
     }
 
+    /// Rolls the per-cluster flaky-DMA die for one burst on `cluster`
+    /// (armed only for clusters in the plan's `flaky_clusters` mask);
+    /// recorded exactly like a machine-wide DMA corruption strike.
+    fn flaky_strikes(&mut self, at: Cycle, cluster: usize) -> bool {
+        let job = self.owner_of(cluster).map_or(0, |s| self.jobs[s].id);
+        if !self.faults.flaky_fire(at, cluster, job) {
+            return false;
+        }
+        self.log_fault(at, FaultKind::DmaCorrupt, cluster);
+        true
+    }
+
     /// Records a fault whose decision was made by the plan itself (a
     /// statically dead cluster) rather than a per-occurrence die roll.
     fn note_fault(&mut self, at: Cycle, kind: FaultKind, cluster: usize) {
@@ -566,7 +578,10 @@ impl Soc {
         if let Some(slot) = self.owner_of(cluster) {
             self.jobs[slot].activity.dma_words += total;
         }
-        if total > 0 && self.fault_strikes(at, FaultKind::DmaCorrupt, cluster) {
+        if total > 0
+            && (self.fault_strikes(at, FaultKind::DmaCorrupt, cluster)
+                || self.flaky_strikes(at, cluster))
+        {
             // A burst took a bit flip in flight. The engine's CRC check
             // flags the transfer (the observable signal recovery acts
             // on) but the corrupted data still lands, so a runtime that
@@ -2531,6 +2546,50 @@ mod tests {
         assert_ne!(corrupt, vec![30.0, 40.0]);
         // Timing is untouched: corruption is silent in the time domain.
         assert_eq!(flagged.outcome.total, clean.outcome.total);
+    }
+
+    #[test]
+    fn flaky_cluster_corrupts_only_its_own_bursts() {
+        let mut cfg = SocConfig::with_clusters(2);
+        cfg.cores_per_cluster = 1;
+        let mut soc = Soc::new(cfg).unwrap();
+        let base = soc.map().main_base();
+        soc.main_mut()
+            .store_mut()
+            .write_f64_slice(base, &[1.0, 2.0])
+            .unwrap();
+        let mut plan = FaultPlan::with_seed(3);
+        plan.flaky_clusters = 1 << 1;
+        plan.flaky_corrupt_rate = 1.0;
+        soc.install_faults(plan);
+        for c in 0..2 {
+            let job = ClusterJob::single(
+                vec![nop_program()],
+                vec![Transfer {
+                    main_addr: base,
+                    local_word: 0,
+                    words: 2,
+                }],
+                vec![],
+                vec![],
+                0,
+                CompletionSignal::Credit,
+            );
+            soc.bind_job(c, job);
+        }
+        soc.begin_jobs();
+        soc.submit_job(credit_program(2), ClusterMask::first(2), Cycle::ZERO)
+            .unwrap();
+        let done = match soc.advance_jobs(Cycle::MAX).unwrap() {
+            SessionProgress::Completed(c) => c,
+            other => panic!("expected a completion, got {other:?}"),
+        };
+        // Both clusters moved the same data, but only the flaky one's
+        // CRC flags corruption — the cluster-correlated signature the
+        // scheduler's strike accounting keys on.
+        assert_eq!(done.corrupt_clusters, 1 << 1);
+        assert_eq!(done.faults_injected, 1);
+        assert_eq!(soc.fault_stats().dma_corrupt, 1);
     }
 
     #[test]
